@@ -1,0 +1,33 @@
+//! Wall-clock bench behind Table 1: building the R\*-trees of the
+//! experimental relations at each page size, plus the bulk-loading and
+//! Guttman alternatives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsj_bench::{build_rstar, build_str, build_with_policy};
+use rsj_datagen::{preset, TestId};
+use rsj_rtree::InsertPolicy;
+
+const SCALE: f64 = 0.01;
+
+fn bench_build(c: &mut Criterion) {
+    let data = preset(TestId::A, SCALE);
+    let items = rsj_datagen::mbr_items(&data.r);
+    let mut g = c.benchmark_group("table1_build");
+    g.sample_size(10);
+    for page in [1024usize, 2048, 4096, 8192] {
+        g.bench_with_input(BenchmarkId::new("rstar_insert", page / 1024), &page, |b, &page| {
+            b.iter(|| build_rstar(&items, page))
+        });
+    }
+    g.bench_function("guttman_quadratic_4k", |b| {
+        b.iter(|| build_with_policy(&items, 4096, InsertPolicy::GuttmanQuadratic))
+    });
+    g.bench_function("guttman_linear_4k", |b| {
+        b.iter(|| build_with_policy(&items, 4096, InsertPolicy::GuttmanLinear))
+    });
+    g.bench_function("str_bulk_4k", |b| b.iter(|| build_str(&items, 4096)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

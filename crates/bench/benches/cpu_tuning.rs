@@ -1,0 +1,36 @@
+//! Wall-clock bench behind Tables 3 and 4: the CPU-tuning ablation.
+//! SJ1 (nested loop) vs SJ2 (restriction) vs plane sweep without
+//! restriction (version I) vs SJ3 (restriction + sweep, version II).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsj_bench::Workbench;
+use rsj_core::{spatial_join, JoinConfig, JoinPlan};
+use rsj_datagen::TestId;
+
+const SCALE: f64 = 0.01;
+
+fn bench_cpu(c: &mut Criterion) {
+    let mut w = Workbench::new(TestId::A, SCALE);
+    let mut g = c.benchmark_group("table3_table4_cpu");
+    for page in [1024usize, 8192] {
+        let r = w.tree_r(page);
+        let s = w.tree_s(page);
+        let cfg = JoinConfig { buffer_bytes: 128 * 1024, collect_pairs: false, ..Default::default() };
+        for (name, plan) in [
+            ("sj1_nested", JoinPlan::sj1()),
+            ("sj2_restrict", JoinPlan::sj2()),
+            ("sweep_I_unrestricted", JoinPlan::sweep_unrestricted()),
+            ("sj3_sweep_II", JoinPlan::sj3()),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("page{}k", page / 1024)),
+                &plan,
+                |b, plan| b.iter(|| spatial_join(&r, &s, *plan, &cfg)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cpu);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Wall-clock bench behind Table 7: joining trees of different height with
+//! the three directory×leaf policies of §4.4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsj_bench::Workbench;
+use rsj_core::{spatial_join, DiffHeightPolicy, JoinConfig, JoinPlan};
+use rsj_datagen::TestId;
+
+/// A scale at which test (C)'s trees really differ in height at 2 KByte
+/// pages (at some scales both trees have the same height; the experiments
+/// binary probes for this, the bench just uses a known-good scale).
+const SCALE: f64 = 0.02;
+
+fn bench_diff_height(c: &mut Criterion) {
+    let mut w = Workbench::new(TestId::C, SCALE);
+    let r = w.tree_r(2048);
+    let s = w.tree_s(2048);
+    assert!(r.height() > s.height(), "fixture must have differing heights");
+    let cfg = JoinConfig { buffer_bytes: 32 * 1024, collect_pairs: false, ..Default::default() };
+    let mut g = c.benchmark_group("table7_diff_height");
+    g.sample_size(20);
+    for (name, policy) in [
+        ("a_per_pair", DiffHeightPolicy::PerPair),
+        ("b_batched", DiffHeightPolicy::Batched),
+        ("c_sweep_pinned", DiffHeightPolicy::SweepPinned),
+    ] {
+        let plan = JoinPlan { diff_height: policy, ..JoinPlan::sj4() };
+        g.bench_function(name, |b| b.iter(|| spatial_join(&r, &s, plan, &cfg)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_diff_height);
+criterion_main!(benches);

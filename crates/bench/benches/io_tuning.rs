@@ -1,0 +1,33 @@
+//! Wall-clock bench behind Tables 5 and 6: the read-schedule ablation.
+//! SJ3 (sweep order) vs SJ4 (+pinning) vs SJ5 (z-order + pinning) at
+//! 4-KByte pages across buffer sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsj_bench::Workbench;
+use rsj_core::{spatial_join, JoinConfig, JoinPlan};
+use rsj_datagen::TestId;
+
+const SCALE: f64 = 0.01;
+
+fn bench_io(c: &mut Criterion) {
+    let mut w = Workbench::new(TestId::A, SCALE);
+    let r = w.tree_r(4096);
+    let s = w.tree_s(4096);
+    let mut g = c.benchmark_group("table5_table6_io");
+    for buf_kb in [0usize, 128] {
+        let cfg = JoinConfig { buffer_bytes: buf_kb * 1024, collect_pairs: false, ..Default::default() };
+        for (name, plan) in [
+            ("sj3_sweep", JoinPlan::sj3()),
+            ("sj4_pinned", JoinPlan::sj4()),
+            ("sj5_zorder", JoinPlan::sj5()),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, format!("buf{buf_kb}k")), &plan, |b, plan| {
+                b.iter(|| spatial_join(&r, &s, *plan, &cfg))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_io);
+criterion_main!(benches);

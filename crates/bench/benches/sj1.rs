@@ -1,0 +1,29 @@
+//! Wall-clock bench behind Table 2 / Figure 2: SpatialJoin1 across page
+//! and buffer sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsj_bench::Workbench;
+use rsj_core::{spatial_join, JoinConfig, JoinPlan};
+use rsj_datagen::TestId;
+
+const SCALE: f64 = 0.01;
+
+fn bench_sj1(c: &mut Criterion) {
+    let mut w = Workbench::new(TestId::A, SCALE);
+    let mut g = c.benchmark_group("table2_sj1");
+    for page in [1024usize, 4096] {
+        let r = w.tree_r(page);
+        let s = w.tree_s(page);
+        for buf_kb in [0usize, 32, 512] {
+            let id = BenchmarkId::new(format!("page{}k", page / 1024), format!("buf{buf_kb}k"));
+            let cfg = JoinConfig { buffer_bytes: buf_kb * 1024, collect_pairs: false, ..Default::default() };
+            g.bench_with_input(id, &cfg, |b, cfg| {
+                b.iter(|| spatial_join(&r, &s, JoinPlan::sj1(), cfg))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sj1);
+criterion_main!(benches);

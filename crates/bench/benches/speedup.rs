@@ -1,0 +1,32 @@
+//! Wall-clock bench behind Figures 8 and 9: SJ1 vs SJ2 vs SJ4 total join
+//! cost per page size — the headline "order of magnitude" comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsj_bench::Workbench;
+use rsj_core::{spatial_join, JoinConfig, JoinPlan};
+use rsj_datagen::TestId;
+
+const SCALE: f64 = 0.01;
+
+fn bench_speedup(c: &mut Criterion) {
+    let mut w = Workbench::new(TestId::A, SCALE);
+    let cfg = JoinConfig { buffer_bytes: 128 * 1024, collect_pairs: false, ..Default::default() };
+    let mut g = c.benchmark_group("figure8_figure9_speedup");
+    for page in [1024usize, 2048, 4096, 8192] {
+        let r = w.tree_r(page);
+        let s = w.tree_s(page);
+        for (name, plan) in
+            [("sj1", JoinPlan::sj1()), ("sj2", JoinPlan::sj2()), ("sj4", JoinPlan::sj4())]
+        {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("page{}k", page / 1024)),
+                &plan,
+                |b, plan| b.iter(|| spatial_join(&r, &s, *plan, &cfg)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_speedup);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation bench: how tree construction quality (R\* insert vs Guttman
+//! splits vs STR bulk load) affects SJ4 join cost — the design choice §3
+//! motivates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsj_bench::{build_str, build_with_policy};
+use rsj_core::{spatial_join, JoinConfig, JoinPlan};
+use rsj_datagen::{preset, TestId};
+use rsj_rtree::InsertPolicy;
+
+const SCALE: f64 = 0.01;
+const PAGE: usize = 4096;
+
+fn bench_tree_quality(c: &mut Criterion) {
+    let data = preset(TestId::A, SCALE);
+    let items_r = rsj_datagen::mbr_items(&data.r);
+    let items_s = rsj_datagen::mbr_items(&data.s);
+    let cfg = JoinConfig { buffer_bytes: 128 * 1024, collect_pairs: false, ..Default::default() };
+    let mut g = c.benchmark_group("ablation_tree_quality_join");
+    let variants: Vec<(&str, rsj_rtree::RTree, rsj_rtree::RTree)> = vec![
+        (
+            "rstar",
+            build_with_policy(&items_r, PAGE, InsertPolicy::RStar),
+            build_with_policy(&items_s, PAGE, InsertPolicy::RStar),
+        ),
+        (
+            "guttman_quadratic",
+            build_with_policy(&items_r, PAGE, InsertPolicy::GuttmanQuadratic),
+            build_with_policy(&items_s, PAGE, InsertPolicy::GuttmanQuadratic),
+        ),
+        (
+            "guttman_linear",
+            build_with_policy(&items_r, PAGE, InsertPolicy::GuttmanLinear),
+            build_with_policy(&items_s, PAGE, InsertPolicy::GuttmanLinear),
+        ),
+        ("str_bulk", build_str(&items_r, PAGE), build_str(&items_s, PAGE)),
+    ];
+    for (name, r, s) in &variants {
+        g.bench_function(*name, |b| b.iter(|| spatial_join(r, s, JoinPlan::sj4(), &cfg)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tree_quality);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Table 2 and Figure 2: the straightforward join SJ1.
+//!
+//! Table 2 reports SJ1's disk accesses for every (page size × LRU buffer)
+//! combination, the optimal access count (|R| + |S|), and — buffer
+//! independent — the number of comparisons per page size. Figure 2 turns
+//! the same numbers into estimated execution time via the cost model and
+//! splits it into I/O- and CPU-time, showing that SJ1 starts I/O-bound at
+//! 1 KByte pages and becomes CPU-bound as pages grow.
+
+use crate::experiments::run_on;
+use crate::{fmt_buffer, fmt_count, fmt_page, fmt_secs, Workbench, BUFFER_SIZES, PAGE_SIZES};
+use rsj_core::{JoinPlan, JoinStats};
+use rsj_storage::CostModel;
+use std::io::Write;
+
+/// Measured grid: `stats[buffer][page]`, same shape for every algorithm.
+pub struct Grid {
+    pub stats: Vec<Vec<JoinStats>>,
+}
+
+/// Runs `plan` over the full (buffer × page) grid.
+pub fn run_grid(w: &mut Workbench, plan: JoinPlan) -> Grid {
+    let stats = BUFFER_SIZES
+        .iter()
+        .map(|&buf| PAGE_SIZES.iter().map(|&page| run_on(w, page, plan, buf)).collect())
+        .collect();
+    Grid { stats }
+}
+
+/// Prints Table 2 and returns the SJ1 grid for reuse by later experiments.
+pub fn table2(w: &mut Workbench, out: &mut dyn Write) -> std::io::Result<Grid> {
+    let grid = run_grid(w, JoinPlan::sj1());
+    writeln!(out, "### Table 2: disk accesses and comparisons of SpatialJoin1\n")?;
+    write_access_table(out, &grid, None)?;
+    // Optimum row: every required page read exactly once.
+    write!(out, "| optimum |")?;
+    for &page in &PAGE_SIZES {
+        let total = {
+            let r = w.tree_r(page).stats().total_pages();
+            let s = w.tree_s(page).stats().total_pages();
+            (r + s) as u64
+        };
+        write!(out, " {} |", fmt_count(total))?;
+    }
+    writeln!(out)?;
+    write!(out, "| # comparisons |")?;
+    for (pi, _) in PAGE_SIZES.iter().enumerate() {
+        let c = grid.stats[0][pi].join_comparisons;
+        // Comparisons are buffer-independent; check while reporting.
+        for row in &grid.stats {
+            assert_eq!(row[pi].join_comparisons, c, "comparisons must not depend on buffer");
+        }
+        write!(out, " {} |", fmt_count(c))?;
+    }
+    writeln!(out, "\n")?;
+    Ok(grid)
+}
+
+/// Prints the access matrix of a grid; when `baseline` is given, appends
+/// the percentage vs the baseline in each cell (Table 6 format).
+pub fn write_access_table(
+    out: &mut dyn Write,
+    grid: &Grid,
+    baseline: Option<&Grid>,
+) -> std::io::Result<()> {
+    write!(out, "| LRU buffer |")?;
+    for &page in &PAGE_SIZES {
+        write!(out, " {} |", fmt_page(page))?;
+    }
+    writeln!(out)?;
+    writeln!(out, "|---|{}", "---|".repeat(PAGE_SIZES.len()))?;
+    for (bi, &buf) in BUFFER_SIZES.iter().enumerate() {
+        write!(out, "| {} |", fmt_buffer(buf))?;
+        for pi in 0..PAGE_SIZES.len() {
+            let a = grid.stats[bi][pi].io.disk_accesses;
+            match baseline {
+                Some(b) => {
+                    let base = b.stats[bi][pi].io.disk_accesses.max(1);
+                    write!(out, " {} ({:.1} %) |", fmt_count(a), 100.0 * a as f64 / base as f64)?;
+                }
+                None => write!(out, " {} |", fmt_count(a))?,
+            }
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Prints Figure 2: estimated execution time of SJ1 and its CPU/I-O split.
+pub fn figure2(grid: &Grid, out: &mut dyn Write) -> std::io::Result<()> {
+    let model = CostModel::default();
+    writeln!(out, "### Figure 2: estimated execution time of SpatialJoin1\n")?;
+    writeln!(out, "Total time (positioning + transfer + comparisons):\n")?;
+    write!(out, "| LRU buffer |")?;
+    for &page in &PAGE_SIZES {
+        write!(out, " {} |", fmt_page(page))?;
+    }
+    writeln!(out)?;
+    writeln!(out, "|---|{}", "---|".repeat(PAGE_SIZES.len()))?;
+    for (bi, &buf) in BUFFER_SIZES.iter().enumerate() {
+        write!(out, "| {} |", fmt_buffer(buf))?;
+        for pi in 0..PAGE_SIZES.len() {
+            let t = grid.stats[bi][pi].time(&model);
+            write!(out, " {} |", fmt_secs(t.total()))?;
+        }
+        writeln!(out)?;
+    }
+    writeln!(out, "\nI/O share of total time (no LRU buffer):\n")?;
+    writeln!(out, "| page size | I/O time | CPU time | I/O share |")?;
+    writeln!(out, "|---|---|---|---|")?;
+    for (pi, &page) in PAGE_SIZES.iter().enumerate() {
+        let t = grid.stats[0][pi].time(&model);
+        writeln!(
+            out,
+            "| {} | {} | {} | {:.0} % |",
+            fmt_page(page),
+            fmt_secs(t.io_s),
+            fmt_secs(t.cpu_s),
+            100.0 * t.io_fraction()
+        )?;
+    }
+    writeln!(out)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_datagen::TestId;
+
+    #[test]
+    fn table2_and_figure2_render() {
+        let mut w = Workbench::new(TestId::A, 0.002);
+        let mut buf = Vec::new();
+        let grid = table2(&mut w, &mut buf).unwrap();
+        figure2(&grid, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("Table 2"));
+        assert!(text.contains("optimum"));
+        assert!(text.contains("Figure 2"));
+        // Buffer monotonicity along each column.
+        for pi in 0..PAGE_SIZES.len() {
+            for bi in 1..BUFFER_SIZES.len() {
+                assert!(
+                    grid.stats[bi][pi].io.disk_accesses <= grid.stats[bi - 1][pi].io.disk_accesses
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Figures 8–10 and Table 8: the summary performance comparison (§5).
+//!
+//! * Figure 8 — total estimated join time of SJ4 per (page × buffer) and
+//!   its I/O/CPU split: SJ4 is I/O-bound except at large pages, the
+//!   opposite of SJ1.
+//! * Figure 9 — improvement factors of SJ4 over SJ1 and over SJ2 in total
+//!   estimated time.
+//! * Table 8 — characteristics of the tests (A)–(E).
+//! * Figure 10 — improvement factor SJ4/SJ1 per test at a 128-KByte buffer.
+
+use crate::experiments::run_join;
+use crate::experiments::sj1_io::Grid;
+use crate::{fmt_buffer, fmt_count, fmt_page, fmt_secs, Workbench, BUFFER_SIZES, PAGE_SIZES};
+use rsj_core::JoinPlan;
+use rsj_datagen::TestId;
+use rsj_storage::CostModel;
+use std::io::Write;
+
+/// Prints Figure 8 from the measured SJ4 grid.
+pub fn figure8(sj4: &Grid, out: &mut dyn Write) -> std::io::Result<()> {
+    let model = CostModel::default();
+    writeln!(out, "### Figure 8: total join time of SJ4 and CPU/IO split\n")?;
+    write!(out, "| LRU buffer |")?;
+    for &page in &PAGE_SIZES {
+        write!(out, " {} |", fmt_page(page))?;
+    }
+    writeln!(out)?;
+    writeln!(out, "|---|{}", "---|".repeat(PAGE_SIZES.len()))?;
+    for (bi, &buf) in BUFFER_SIZES.iter().enumerate() {
+        write!(out, "| {} |", fmt_buffer(buf))?;
+        for pi in 0..PAGE_SIZES.len() {
+            write!(out, " {} |", fmt_secs(sj4.stats[bi][pi].time(&model).total()))?;
+        }
+        writeln!(out)?;
+    }
+    writeln!(out, "\nI/O share of total (no LRU buffer):\n")?;
+    writeln!(out, "| page size | I/O time | CPU time | I/O share |")?;
+    writeln!(out, "|---|---|---|---|")?;
+    for (pi, &page) in PAGE_SIZES.iter().enumerate() {
+        let t = sj4.stats[0][pi].time(&model);
+        writeln!(
+            out,
+            "| {} | {} | {} | {:.0} % |",
+            fmt_page(page),
+            fmt_secs(t.io_s),
+            fmt_secs(t.cpu_s),
+            100.0 * t.io_fraction()
+        )?;
+    }
+    writeln!(out)?;
+    Ok(())
+}
+
+/// Prints Figure 9 from measured grids.
+pub fn figure9(sj1: &Grid, sj2: &Grid, sj4: &Grid, out: &mut dyn Write) -> std::io::Result<()> {
+    let model = CostModel::default();
+    writeln!(out, "### Figure 9: improvement factor of SJ4 in total join time\n")?;
+    for (name, base) in [("SJ1", sj1), ("SJ2", sj2)] {
+        writeln!(out, "factor {name} / SJ4:\n")?;
+        write!(out, "| LRU buffer |")?;
+        for &page in &PAGE_SIZES {
+            write!(out, " {} |", fmt_page(page))?;
+        }
+        writeln!(out)?;
+        writeln!(out, "|---|{}", "---|".repeat(PAGE_SIZES.len()))?;
+        for (bi, &buf) in BUFFER_SIZES.iter().enumerate() {
+            write!(out, "| {} |", fmt_buffer(buf))?;
+            for pi in 0..PAGE_SIZES.len() {
+                let b = base.stats[bi][pi].time(&model).total();
+                let t = sj4.stats[bi][pi].time(&model).total().max(1e-12);
+                write!(out, " {:.2} |", b / t)?;
+            }
+            writeln!(out)?;
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Prints Table 8 and Figure 10 across tests (A)–(E).
+pub fn table8_figure10(scale: f64, out: &mut dyn Write) -> std::io::Result<()> {
+    writeln!(out, "### Table 8: characteristics of tests (A)-(E), scale {scale}\n")?;
+    writeln!(
+        out,
+        "| test | ||R||dat | ||S||dat | intersections | paper (x scale) |"
+    )?;
+    writeln!(out, "|---|---|---|---|---|")?;
+    let mut benches: Vec<(TestId, Workbench)> = Vec::new();
+    for t in TestId::ALL {
+        let mut w = Workbench::new(t, scale);
+        // Intersections are algorithm-independent; measure once at 4 KByte.
+        let stats = {
+            let r = w.tree_r(4096);
+            let s = w.tree_s(4096);
+            run_join(&r, &s, JoinPlan::sj4(), 128 * 1024)
+        };
+        writeln!(
+            out,
+            "| {t} | {} | {} | {} | {} |",
+            fmt_count(w.data.r.len() as u64),
+            fmt_count(w.data.s.len() as u64),
+            fmt_count(stats.result_pairs),
+            fmt_count((t.paper_intersections() as f64 * scale) as u64),
+        )?;
+        benches.push((t, w));
+    }
+    writeln!(out)?;
+
+    writeln!(out, "### Figure 10: improvement factor SJ4 over SJ1, 128 KByte buffer\n")?;
+    write!(out, "| test |")?;
+    for &page in &PAGE_SIZES {
+        write!(out, " {} |", fmt_page(page))?;
+    }
+    writeln!(out)?;
+    writeln!(out, "|---|{}", "---|".repeat(PAGE_SIZES.len()))?;
+    let model = CostModel::default();
+    for (t, w) in &mut benches {
+        write!(out, "| {t} |")?;
+        for &page in &PAGE_SIZES {
+            let r = w.tree_r(page);
+            let s = w.tree_s(page);
+            let t1 = run_join(&r, &s, JoinPlan::sj1(), 128 * 1024).time(&model).total();
+            let t4 = run_join(&r, &s, JoinPlan::sj4(), 128 * 1024).time(&model).total();
+            write!(out, " {:.2} |", t1 / t4.max(1e-12))?;
+        }
+        writeln!(out)?;
+    }
+    writeln!(out)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::sj1_io::run_grid;
+
+    #[test]
+    fn figures_render() {
+        let mut w = Workbench::new(TestId::A, 0.002);
+        let sj1 = run_grid(&mut w, JoinPlan::sj1());
+        let sj2 = run_grid(&mut w, JoinPlan::sj2());
+        let sj4 = run_grid(&mut w, JoinPlan::sj4());
+        let mut buf = Vec::new();
+        figure8(&sj4, &mut buf).unwrap();
+        figure9(&sj1, &sj2, &sj4, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("Figure 8") && text.contains("Figure 9"));
+    }
+
+    #[test]
+    fn table8_renders_all_tests() {
+        let mut buf = Vec::new();
+        table8_figure10(0.002, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for t in ["(A)", "(B)", "(C)", "(D)", "(E)"] {
+            assert!(text.contains(t), "{t} missing:\n{text}");
+        }
+        assert!(text.contains("Figure 10"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Table 1: properties of the experimental R\*-trees R and S.
+//!
+//! Paper columns per page size: node capacity M, per tree the height,
+//! |·|dir (directory pages) and |·|dat (data pages), plus |R| + |S|.
+
+use crate::{fmt_count, fmt_page, Workbench, PAGE_SIZES};
+use std::io::Write;
+
+/// Prints the table; returns per-page-size `(|R|+|S|)` totals, which later
+/// experiments reuse as the optimal disk-access count.
+pub fn run(w: &mut Workbench, out: &mut dyn Write) -> std::io::Result<Vec<(usize, u64)>> {
+    writeln!(out, "### Table 1: properties of R*-trees R and S")?;
+    writeln!(
+        out,
+        "(relations: R = {} objects, S = {} objects, scale {})\n",
+        fmt_count(w.data.r.len() as u64),
+        fmt_count(w.data.s.len() as u64),
+        w.scale
+    )?;
+    writeln!(
+        out,
+        "| page size | M | R height | |R|dir | |R|dat | S height | |S|dir | |S|dat | |R|+|S| |"
+    )?;
+    writeln!(out, "|---|---|---|---|---|---|---|---|---|")?;
+    let mut totals = Vec::new();
+    for page in PAGE_SIZES {
+        let tr = w.tree_r(page);
+        let ts = w.tree_s(page);
+        let (sr, ss) = (tr.stats(), ts.stats());
+        let total = (sr.total_pages() + ss.total_pages()) as u64;
+        writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            fmt_page(page),
+            tr.params().max_entries,
+            sr.height,
+            fmt_count(sr.dir_pages as u64),
+            fmt_count(sr.data_pages as u64),
+            ss.height,
+            fmt_count(ss.dir_pages as u64),
+            fmt_count(ss.data_pages as u64),
+            fmt_count(total),
+        )?;
+        totals.push((page, total));
+    }
+    writeln!(out)?;
+    Ok(totals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_datagen::TestId;
+
+    #[test]
+    fn totals_decrease_with_page_size() {
+        let mut w = Workbench::new(TestId::A, 0.005);
+        let mut buf = Vec::new();
+        let totals = run(&mut w, &mut buf).unwrap();
+        assert_eq!(totals.len(), PAGE_SIZES.len());
+        for pair in totals.windows(2) {
+            assert!(pair[1].1 < pair[0].1, "bigger pages, fewer pages: {totals:?}");
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("Table 1"));
+        assert!(text.contains("8 KByte"));
+    }
+}

@@ -1,0 +1,812 @@
+//! The synchronized-traversal join driver.
+//!
+//! One recursion implements all of SJ1–SJ5; the [`JoinPlan`] decides, per
+//! node pair, how qualifying entry pairs are *enumerated* (nested loop vs
+//! plane sweep, with or without search-space restriction) and in which
+//! order the child pages are *scheduled* (enumeration/sweep order, pinned
+//! max-degree drain, z-order). Trees of different height fall back to
+//! window queries per §4.4 once the shorter tree reaches its leaves.
+//!
+//! Accounting mirrors the paper:
+//! * every `ReadPage` goes through the shared [`BufferPool`] (path buffer →
+//!   LRU → disk), so `stats.io.disk_accesses` is the Table 2/5/6/7 metric;
+//! * every join-condition test runs through counted predicates, so
+//!   `stats.join_comparisons` is the Table 2/3/4 metric;
+//! * sorting work for the sweep is tallied separately in
+//!   `stats.sort_comparisons` (the "sorting" rows of Table 4).
+
+use crate::plan::{DiffHeightPolicy, Enumerate, JoinConfig, JoinPlan};
+use crate::stats::JoinStats;
+use crate::sweep::{sort_indices_by_xl, sorted_intersection_test};
+use rsj_geom::{zorder, CmpCounter, Rect};
+use rsj_rtree::{DataId, Entry, RTree};
+use rsj_storage::{BufferPool, PageId};
+
+/// Buffer-pool store tag of tree R.
+pub const TAG_R: u8 = 0;
+/// Buffer-pool store tag of tree S.
+pub const TAG_S: u8 = 1;
+
+/// Result of an MBR-spatial-join.
+#[derive(Debug, Clone)]
+pub struct JoinResult {
+    /// Intersecting `(Id(r), Id(s))` pairs — empty when
+    /// [`JoinConfig::collect_pairs`] is off (see `stats.result_pairs`).
+    pub pairs: Vec<(DataId, DataId)>,
+    /// Cost accounting.
+    pub stats: JoinStats,
+}
+
+/// Computes the MBR-spatial-join of `r` and `s` under `plan`.
+///
+/// Both trees must use the same page size (they share one LRU buffer whose
+/// capacity is `cfg.buffer_bytes / page_bytes` pages).
+pub fn spatial_join(r: &RTree, s: &RTree, plan: JoinPlan, cfg: &JoinConfig) -> JoinResult {
+    assert_eq!(
+        r.params().page_bytes,
+        s.params().page_bytes,
+        "joined trees must share a page size"
+    );
+    let page_bytes = r.params().page_bytes;
+    let pool = BufferPool::with_policy(
+        cfg.buffer_bytes,
+        page_bytes,
+        &[r.height() as usize, s.height() as usize],
+        cfg.eviction,
+    );
+    let zframe = r.mbr().union(&s.mbr());
+    let eps = plan.predicate.epsilon();
+    assert!(eps >= 0.0 && eps.is_finite(), "distance-join epsilon must be finite and >= 0");
+    let mut runner = Runner {
+        r,
+        s,
+        plan,
+        eps,
+        pool,
+        cmp: CmpCounter::new(),
+        sort_cmp: CmpCounter::new(),
+        pairs: Vec::new(),
+        result_count: 0,
+        collect: cfg.collect_pairs,
+        zframe,
+    };
+    // The roots are read once up front (SpatialJoin1 is handed both root
+    // nodes).
+    runner.access(TAG_R, r.root());
+    runner.access(TAG_S, s.root());
+    if !r.is_empty() && !s.is_empty() {
+        if let Some(rect) = r.mbr().expanded(eps).intersection(&s.mbr()) {
+            runner.join_nodes(r.root(), s.root(), rect);
+        }
+    }
+    JoinResult {
+        stats: JoinStats {
+            join_comparisons: runner.cmp.get(),
+            sort_comparisons: runner.sort_cmp.get(),
+            io: runner.pool.stats(),
+            result_pairs: runner.result_count,
+            page_bytes,
+        },
+        pairs: runner.pairs,
+    }
+}
+
+/// Runs the join recursion over an explicit list of node-pair tasks with a
+/// private buffer pool — the worker unit of the parallel join (§6 future
+/// work). Root accesses are *not* charged here; the caller accounts for
+/// them once.
+pub(crate) fn run_subjoin(
+    r: &RTree,
+    s: &RTree,
+    plan: JoinPlan,
+    buffer_bytes: usize,
+    eviction: rsj_storage::EvictionPolicy,
+    collect: bool,
+    tasks: &[(PageId, PageId, Rect)],
+) -> JoinResult {
+    let page_bytes = r.params().page_bytes;
+    let pool = BufferPool::with_policy(
+        buffer_bytes,
+        page_bytes,
+        &[r.height() as usize, s.height() as usize],
+        eviction,
+    );
+    let mut runner = Runner {
+        r,
+        s,
+        plan,
+        eps: plan.predicate.epsilon(),
+        pool,
+        cmp: CmpCounter::new(),
+        sort_cmp: CmpCounter::new(),
+        pairs: Vec::new(),
+        result_count: 0,
+        collect,
+        zframe: r.mbr().union(&s.mbr()),
+    };
+    for &(rp, sp, rect) in tasks {
+        runner.access(TAG_R, rp);
+        runner.access(TAG_S, sp);
+        runner.join_nodes(rp, sp, rect);
+    }
+    JoinResult {
+        stats: JoinStats {
+            join_comparisons: runner.cmp.get(),
+            sort_comparisons: runner.sort_cmp.get(),
+            io: runner.pool.stats(),
+            result_pairs: runner.result_count,
+            page_bytes,
+        },
+        pairs: runner.pairs,
+    }
+}
+
+struct Runner<'a> {
+    r: &'a RTree,
+    s: &'a RTree,
+    plan: JoinPlan,
+    /// Virtual expansion of R-side rectangles (distance joins), else 0.
+    eps: f64,
+    pool: BufferPool,
+    cmp: CmpCounter,
+    sort_cmp: CmpCounter,
+    pairs: Vec<(DataId, DataId)>,
+    result_count: u64,
+    collect: bool,
+    zframe: Rect,
+}
+
+/// A scheduled directory pair: entry indices plus the intersection of the
+/// two entry rectangles (the restricted search space passed down).
+#[derive(Debug, Clone, Copy)]
+struct DirPair {
+    ir: usize,
+    js: usize,
+    rect: Rect,
+}
+
+impl<'a> Runner<'a> {
+    fn tree(&self, tag: u8) -> &'a RTree {
+        if tag == TAG_R {
+            self.r
+        } else {
+            self.s
+        }
+    }
+
+    /// Charges one page access for `tag`/`page` at its path-buffer depth.
+    fn access(&mut self, tag: u8, page: PageId) {
+        let tree = self.tree(tag);
+        let depth = tree.depth_of_level(tree.node(page).level);
+        self.pool.access(tag, page, depth);
+    }
+
+    fn emit(&mut self, rid: DataId, sid: DataId) {
+        self.result_count += 1;
+        if self.collect {
+            self.pairs.push((rid, sid));
+        }
+    }
+
+    /// Entry rectangles of an R-side node, virtually expanded by ε for
+    /// distance joins (`dist∞(r, s) ≤ ε ⇔ expand(r, ε) ∩ s ≠ ∅`); a no-op
+    /// for the other predicates.
+    fn eff_rects(&self, entries: &[Entry]) -> Vec<Rect> {
+        if self.eps > 0.0 {
+            entries.iter().map(|e| e.rect.expanded(self.eps)).collect()
+        } else {
+            entries.iter().map(|e| e.rect).collect()
+        }
+    }
+
+    /// Plain entry rectangles (S side).
+    fn plain_rects(entries: &[Entry]) -> Vec<Rect> {
+        entries.iter().map(|e| e.rect).collect()
+    }
+
+    /// Final data-pair test beyond MBR intersection. Intersection and
+    /// distance joins are fully decided by the (expanded) intersection test
+    /// of the enumeration; containment joins re-check the original
+    /// rectangles.
+    fn leaf_predicate_holds(&mut self, r_rect: &Rect, s_rect: &Rect) -> bool {
+        use crate::plan::JoinPredicate::*;
+        match self.plan.predicate {
+            Intersects | WithinDistance(_) => true,
+            Contains => r_rect.contains_counted(s_rect, &mut self.cmp),
+            Within => s_rect.contains_counted(r_rect, &mut self.cmp),
+        }
+    }
+
+    fn join_nodes(&mut self, rp: PageId, sp: PageId, rect: Rect) {
+        let rn = self.r.node(rp);
+        let sn = self.s.node(sp);
+        match (rn.is_leaf(), sn.is_leaf()) {
+            (true, true) => {
+                let arects = self.eff_rects(&rn.entries);
+                let brects = Self::plain_rects(&sn.entries);
+                let pairs = self.enumerate_pairs(&arects, &brects, &rect);
+                for (ir, js) in pairs {
+                    if !self.leaf_predicate_holds(&rn.entries[ir].rect, &sn.entries[js].rect) {
+                        continue;
+                    }
+                    let rid = rn.entries[ir].child.data().expect("leaf entry");
+                    let sid = sn.entries[js].child.data().expect("leaf entry");
+                    self.emit(rid, sid);
+                }
+            }
+            (false, false) => {
+                let arects = self.eff_rects(&rn.entries);
+                let brects = Self::plain_rects(&sn.entries);
+                let raw = self.enumerate_pairs(&arects, &brects, &rect);
+                let pairs: Vec<DirPair> = raw
+                    .into_iter()
+                    .map(|(ir, js)| DirPair {
+                        ir,
+                        js,
+                        rect: arects[ir]
+                            .intersection(&brects[js])
+                            .expect("qualifying pair must intersect"),
+                    })
+                    .collect();
+                self.schedule_pairs(rp, sp, pairs);
+            }
+            // Different heights: the shorter tree bottomed out (§4.4).
+            (false, true) => self.join_mixed(TAG_R, rp, TAG_S, sp, rect),
+            (true, false) => self.join_mixed(TAG_S, sp, TAG_R, rp, rect),
+        }
+    }
+
+    /// Enumerates qualifying `(index into a, index into b)` pairs between
+    /// two (effective) rectangle slices, applying search-space restriction
+    /// and the configured enumeration strategy. For plane-sweep enumeration
+    /// the pairs come back in sweep order.
+    fn enumerate_pairs(&mut self, a: &[Rect], b: &[Rect], rect: &Rect) -> Vec<(usize, usize)> {
+        // Restriction: a linear scan through each node marks the entries
+        // that intersect the intersection rectangle of the two node MBRs
+        // (§4.2 "Restricting the search space").
+        let ai: Vec<usize> = if self.plan.restrict_space {
+            (0..a.len())
+                .filter(|&i| a[i].intersects_counted(rect, &mut self.cmp))
+                .collect()
+        } else {
+            (0..a.len()).collect()
+        };
+        let bi: Vec<usize> = if self.plan.restrict_space {
+            (0..b.len())
+                .filter(|&j| b[j].intersects_counted(rect, &mut self.cmp))
+                .collect()
+        } else {
+            (0..b.len()).collect()
+        };
+        match self.plan.enumerate {
+            Enumerate::NestedLoop => {
+                // SpatialJoin1: outer loop over S (here: `b`), inner over R.
+                let mut out = Vec::new();
+                for &j in &bi {
+                    for &i in &ai {
+                        if a[i].intersects_counted(&b[j], &mut self.cmp) {
+                            out.push((i, j));
+                        }
+                    }
+                }
+                out
+            }
+            Enumerate::PlaneSweep => {
+                let mut ai = ai;
+                let mut bi = bi;
+                sort_indices_by_xl(a, &mut ai, &mut self.sort_cmp);
+                sort_indices_by_xl(b, &mut bi, &mut self.sort_cmp);
+                let mut out = Vec::new();
+                sorted_intersection_test(a, &ai, b, &bi, &mut self.cmp, &mut out);
+                out
+            }
+        }
+    }
+
+    /// Processes directory pairs in the order dictated by the schedule,
+    /// optionally pinning the page with maximal degree after each pair
+    /// (§4.3).
+    fn schedule_pairs(&mut self, rp: PageId, sp: PageId, mut pairs: Vec<DirPair>) {
+        if self.plan.zorders() {
+            // Local z-order (§4.3): sort the intersection rectangles by the
+            // z-value of their centres. The key computation and sort are
+            // CPU the paper notes is "not compensated"; we charge the
+            // comparator invocations like a sort.
+            let frame = self.zframe;
+            let keys: Vec<u64> =
+                pairs.iter().map(|p| zorder::z_center(&p.rect, &frame, 16)).collect();
+            let mut order: Vec<usize> = (0..pairs.len()).collect();
+            order.sort_by(|&x, &y| {
+                self.sort_cmp.bump();
+                keys[x].cmp(&keys[y])
+            });
+            pairs = order.into_iter().map(|k| pairs[k]).collect();
+        }
+        let rn = self.r.node(rp);
+        let sn = self.s.node(sp);
+        let mut done = vec![false; pairs.len()];
+        for k in 0..pairs.len() {
+            if done[k] {
+                continue;
+            }
+            self.process_dir_pair(rp, sp, &pairs[k]);
+            done[k] = true;
+            if !self.plan.pins() {
+                continue;
+            }
+            // Degree of both pages among the unprocessed pairs (§4.3:
+            // "the number of intersections between rectangle E.rect and the
+            // rectangles which belong to entries of the other tree not
+            // processed until now").
+            let DirPair { ir, js, .. } = pairs[k];
+            let deg_r = count_remaining(&pairs, &done, k, |p| p.ir == ir);
+            let deg_s = count_remaining(&pairs, &done, k, |p| p.js == js);
+            if deg_r == 0 && deg_s == 0 {
+                continue;
+            }
+            if deg_r >= deg_s {
+                let page = RTree::child_page(&rn.entries[ir]);
+                self.pool.pin(TAG_R, page);
+                self.drain_pairs(rp, sp, &pairs, &mut done, k, |p| p.ir == ir);
+                self.pool.unpin(TAG_R, page);
+            } else {
+                let page = RTree::child_page(&sn.entries[js]);
+                self.pool.pin(TAG_S, page);
+                self.drain_pairs(rp, sp, &pairs, &mut done, k, |p| p.js == js);
+                self.pool.unpin(TAG_S, page);
+            }
+        }
+    }
+
+    /// Processes all remaining pairs selected by `pred`, in order.
+    fn drain_pairs(
+        &mut self,
+        rp: PageId,
+        sp: PageId,
+        pairs: &[DirPair],
+        done: &mut [bool],
+        after: usize,
+        pred: impl Fn(&DirPair) -> bool,
+    ) {
+        for l in (after + 1)..pairs.len() {
+            if !done[l] && pred(&pairs[l]) {
+                self.process_dir_pair(rp, sp, &pairs[l]);
+                done[l] = true;
+            }
+        }
+    }
+
+    /// Reads the two child pages (`ReadPage(E_R.ref); ReadPage(E_S.ref)`)
+    /// and recurses.
+    fn process_dir_pair(&mut self, rp: PageId, sp: PageId, pair: &DirPair) {
+        let cr = RTree::child_page(&self.r.node(rp).entries[pair.ir]);
+        let cs = RTree::child_page(&self.s.node(sp).entries[pair.js]);
+        self.access(TAG_R, cr);
+        self.access(TAG_S, cs);
+        self.join_nodes(cr, cs, pair.rect);
+    }
+
+    /// Directory × leaf join for trees of different height (§4.4): finish
+    /// with window queries into the directory-side subtrees, using the
+    /// configured [`DiffHeightPolicy`].
+    fn join_mixed(&mut self, dir_tag: u8, dir_page: PageId, leaf_tag: u8, leaf_page: PageId, rect: Rect) {
+        let dir_node = self.tree(dir_tag).node(dir_page);
+        let leaf_node = self.tree(leaf_tag).node(leaf_page);
+        // R-side rectangles carry the distance-join expansion, whichever
+        // side of the mixed pair they are on.
+        let dir_rects = if dir_tag == TAG_R {
+            self.eff_rects(&dir_node.entries)
+        } else {
+            Self::plain_rects(&dir_node.entries)
+        };
+        let leaf_rects = if leaf_tag == TAG_R {
+            self.eff_rects(&leaf_node.entries)
+        } else {
+            Self::plain_rects(&leaf_node.entries)
+        };
+        // (dir entry index, leaf entry index), sweep-ordered under
+        // plane-sweep enumeration.
+        let pairs = self.enumerate_pairs(&dir_rects, &leaf_rects, &rect);
+        match self.plan.diff_height {
+            DiffHeightPolicy::PerPair => {
+                for &(id, il) in &pairs {
+                    self.window_query_pair(dir_tag, dir_page, leaf_tag, leaf_page, id, il);
+                }
+            }
+            DiffHeightPolicy::Batched => {
+                // Group the leaf windows per directory entry, preserving
+                // first-occurrence order, then one batched traversal per
+                // subtree: every required page is read exactly once.
+                let mut order: Vec<usize> = Vec::new();
+                let mut windows: std::collections::HashMap<usize, Vec<(usize, Rect)>> =
+                    std::collections::HashMap::new();
+                for &(id, il) in &pairs {
+                    let w = leaf_node.entries[il].rect.expanded(self.eps);
+                    let slot = windows.entry(id).or_default();
+                    if slot.is_empty() {
+                        order.push(id);
+                    }
+                    slot.push((il, w));
+                }
+                for id in order {
+                    let ws = &windows[&id];
+                    self.multi_window_query(dir_tag, dir_page, leaf_tag, leaf_page, id, ws);
+                }
+            }
+            DiffHeightPolicy::SweepPinned => {
+                // Like SJ4: after each pair, pin the directory child with
+                // maximal degree and drain its window queries first.
+                let mut done = vec![false; pairs.len()];
+                for k in 0..pairs.len() {
+                    if done[k] {
+                        continue;
+                    }
+                    let (id, il) = pairs[k];
+                    self.window_query_pair(dir_tag, dir_page, leaf_tag, leaf_page, id, il);
+                    done[k] = true;
+                    let deg = pairs
+                        .iter()
+                        .zip(done.iter())
+                        .skip(k + 1)
+                        .filter(|(&(pid, _), &d)| !d && pid == id)
+                        .count();
+                    if deg == 0 {
+                        continue;
+                    }
+                    let page = RTree::child_page(&dir_node.entries[id]);
+                    self.pool.pin(dir_tag, page);
+                    for l in (k + 1)..pairs.len() {
+                        if !done[l] && pairs[l].0 == id {
+                            let (_, il2) = pairs[l];
+                            self.window_query_pair(dir_tag, dir_page, leaf_tag, leaf_page, id, il2);
+                            done[l] = true;
+                        }
+                    }
+                    self.pool.unpin(dir_tag, page);
+                }
+            }
+        }
+    }
+
+    /// Policy (a)/(c) unit: one window query with the leaf entry's rect
+    /// into the subtree of the directory entry.
+    fn window_query_pair(
+        &mut self,
+        dir_tag: u8,
+        dir_page: PageId,
+        leaf_tag: u8,
+        leaf_page: PageId,
+        id: usize,
+        il: usize,
+    ) {
+        let dir_tree = self.tree(dir_tag);
+        let dir_node = dir_tree.node(dir_page);
+        let leaf_entry = &self.tree(leaf_tag).node(leaf_page).entries[il];
+        let leaf_id = leaf_entry.child.data().expect("leaf entry");
+        let child = RTree::child_page(&dir_node.entries[id]);
+        // The ε expansion commutes across sides (`expand(r, ε) ∩ s ⇔
+        // r ∩ expand(s, ε)`), so the query window absorbs it regardless of
+        // which tree is the directory side.
+        let window = leaf_entry.rect.expanded(self.eps);
+        let leaf_rect = leaf_entry.rect;
+        let mut hits = Vec::new();
+        {
+            let pool = &mut self.pool;
+            let cmp = &mut self.cmp;
+            dir_tree.window_query_from(
+                child,
+                &window,
+                cmp,
+                &mut |pg, lvl| {
+                    pool.access(dir_tag, pg, dir_tree.depth_of_level(lvl));
+                },
+                &mut hits,
+            );
+        }
+        for (hit_rect, did) in hits {
+            let (r_rect, s_rect) =
+                if dir_tag == TAG_R { (hit_rect, leaf_rect) } else { (leaf_rect, hit_rect) };
+            if !self.leaf_predicate_holds(&r_rect, &s_rect) {
+                continue;
+            }
+            if dir_tag == TAG_R {
+                self.emit(did, leaf_id);
+            } else {
+                self.emit(leaf_id, did);
+            }
+        }
+    }
+
+    /// Policy (b) unit: all qualifying leaf windows of one directory entry
+    /// in a single traversal.
+    fn multi_window_query(
+        &mut self,
+        dir_tag: u8,
+        dir_page: PageId,
+        leaf_tag: u8,
+        leaf_page: PageId,
+        id: usize,
+        windows: &[(usize, Rect)],
+    ) {
+        let dir_tree = self.tree(dir_tag);
+        let leaf_node = self.tree(leaf_tag).node(leaf_page);
+        let child = RTree::child_page(&dir_tree.node(dir_page).entries[id]);
+        let mut hits = Vec::new();
+        {
+            let pool = &mut self.pool;
+            let cmp = &mut self.cmp;
+            dir_tree.multi_window_query_from(
+                child,
+                windows,
+                cmp,
+                &mut |pg, lvl| {
+                    pool.access(dir_tag, pg, dir_tree.depth_of_level(lvl));
+                },
+                &mut hits,
+            );
+        }
+        for (il, hit_rect, did) in hits {
+            let leaf_rect = leaf_node.entries[il].rect;
+            let (r_rect, s_rect) =
+                if dir_tag == TAG_R { (hit_rect, leaf_rect) } else { (leaf_rect, hit_rect) };
+            if !self.leaf_predicate_holds(&r_rect, &s_rect) {
+                continue;
+            }
+            let leaf_id = leaf_node.entries[il].child.data().expect("leaf entry");
+            if dir_tag == TAG_R {
+                self.emit(did, leaf_id);
+            } else {
+                self.emit(leaf_id, did);
+            }
+        }
+    }
+}
+
+fn count_remaining(
+    pairs: &[DirPair],
+    done: &[bool],
+    after: usize,
+    pred: impl Fn(&DirPair) -> bool,
+) -> usize {
+    pairs
+        .iter()
+        .zip(done.iter())
+        .skip(after + 1)
+        .filter(|(p, &d)| !d && pred(p))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Schedule;
+    use rsj_rtree::{InsertPolicy, RTreeParams};
+
+    fn build_tree(items: &[(Rect, u64)], page: usize) -> RTree {
+        let mut t = RTree::new(RTreeParams::explicit(page, 10, 4, InsertPolicy::RStar));
+        for &(r, id) in items {
+            t.insert(r, DataId(id));
+        }
+        t.validate().unwrap();
+        t
+    }
+
+    fn grid_items(n: u64, offset: f64, step: f64, size: f64) -> Vec<(Rect, u64)> {
+        (0..n)
+            .map(|i| {
+                let x = offset + (i % 30) as f64 * step;
+                let y = offset + (i / 30) as f64 * step;
+                (Rect::from_corners(x, y, x + size, y + size), i)
+            })
+            .collect()
+    }
+
+    fn reference_join(a: &[(Rect, u64)], b: &[(Rect, u64)]) -> Vec<(u64, u64)> {
+        let mut v = Vec::new();
+        for &(ra, ia) in a {
+            for &(rb, ib) in b {
+                if ra.intersects(&rb) {
+                    v.push((ia, ib));
+                }
+            }
+        }
+        v.sort_unstable();
+        v
+    }
+
+    fn sorted_ids(res: &JoinResult) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = res.pairs.iter().map(|&(a, b)| (a.0, b.0)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn all_plans() -> Vec<JoinPlan> {
+        vec![
+            JoinPlan::sj1(),
+            JoinPlan::sj2(),
+            JoinPlan::sj3(),
+            JoinPlan::sj4(),
+            JoinPlan::sj5(),
+            JoinPlan::sweep_unrestricted(),
+            JoinPlan { schedule: Schedule::ZOrder, ..JoinPlan::sj3() },
+        ]
+    }
+
+    #[test]
+    fn all_algorithms_agree_with_reference() {
+        let a = grid_items(300, 0.0, 7.0, 5.0);
+        let b = grid_items(280, 3.0, 7.3, 5.0);
+        let (tr, ts) = (build_tree(&a, 200), build_tree(&b, 200));
+        let want = reference_join(&a, &b);
+        assert!(!want.is_empty());
+        for plan in all_plans() {
+            let res = spatial_join(&tr, &ts, plan, &JoinConfig::with_buffer(8 * 200));
+            assert_eq!(sorted_ids(&res), want, "plan {}", plan.name());
+            assert_eq!(res.stats.result_pairs as usize, want.len());
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty = build_tree(&[], 200);
+        let full = build_tree(&grid_items(50, 0.0, 5.0, 4.0), 200);
+        for plan in [JoinPlan::sj1(), JoinPlan::sj4()] {
+            let res = spatial_join(&empty, &full, plan, &JoinConfig::default());
+            assert!(res.pairs.is_empty());
+            let res = spatial_join(&full, &empty, plan, &JoinConfig::default());
+            assert!(res.pairs.is_empty());
+        }
+    }
+
+    #[test]
+    fn disjoint_relations_touch_only_roots() {
+        let a = build_tree(&grid_items(100, 0.0, 3.0, 2.0), 200);
+        let b = build_tree(&grid_items(100, 5000.0, 3.0, 2.0), 200);
+        let res = spatial_join(&a, &b, JoinPlan::sj1(), &JoinConfig::default());
+        assert!(res.pairs.is_empty());
+        assert_eq!(res.stats.io.disk_accesses, 2, "only the two roots");
+    }
+
+    #[test]
+    fn sj2_needs_fewer_comparisons_than_sj1() {
+        let a = grid_items(400, 0.0, 6.0, 4.0);
+        let b = grid_items(400, 2.0, 6.1, 4.0);
+        let (tr, ts) = (build_tree(&a, 200), build_tree(&b, 200));
+        let c1 = spatial_join(&tr, &ts, JoinPlan::sj1(), &JoinConfig::default());
+        let c2 = spatial_join(&tr, &ts, JoinPlan::sj2(), &JoinConfig::default());
+        assert_eq!(sorted_ids(&c1), sorted_ids(&c2));
+        assert!(
+            c2.stats.join_comparisons < c1.stats.join_comparisons,
+            "SJ2 {} >= SJ1 {}",
+            c2.stats.join_comparisons,
+            c1.stats.join_comparisons
+        );
+    }
+
+    #[test]
+    fn sweep_beats_nested_loop_on_comparisons() {
+        let a = grid_items(500, 0.0, 5.0, 3.5);
+        let b = grid_items(500, 1.0, 5.2, 3.5);
+        let (tr, ts) = (build_tree(&a, 200), build_tree(&b, 200));
+        let nl = spatial_join(&tr, &ts, JoinPlan::sj2(), &JoinConfig::default());
+        let sw = spatial_join(&tr, &ts, JoinPlan::sj3(), &JoinConfig::default());
+        assert_eq!(sorted_ids(&nl), sorted_ids(&sw));
+        assert!(sw.stats.join_comparisons < nl.stats.join_comparisons);
+        assert!(sw.stats.sort_comparisons > 0, "sweep must sort");
+        assert_eq!(nl.stats.sort_comparisons, 0, "nested loop must not sort");
+    }
+
+    #[test]
+    fn pinning_helps_without_a_buffer() {
+        // With no LRU buffer, re-reads of a page whose pairs are spread
+        // across the sweep order are exactly what pinning eliminates — SJ4
+        // must not lose to SJ3 there. (At small nonzero buffers the drain
+        // reordering can cost a little locality; the paper's Table 5 shows
+        // the win on realistic data, which the experiment suite reproduces.)
+        let a = grid_items(600, 0.0, 4.0, 3.0);
+        let b = grid_items(600, 1.5, 4.1, 3.0);
+        let (tr, ts) = (build_tree(&a, 200), build_tree(&b, 200));
+        let sj3 = spatial_join(&tr, &ts, JoinPlan::sj3(), &JoinConfig::with_buffer(0));
+        let sj4 = spatial_join(&tr, &ts, JoinPlan::sj4(), &JoinConfig::with_buffer(0));
+        assert_eq!(sorted_ids(&sj3), sorted_ids(&sj4));
+        assert!(
+            sj4.stats.io.disk_accesses <= sj3.stats.io.disk_accesses,
+            "SJ4 {} vs SJ3 {}",
+            sj4.stats.io.disk_accesses,
+            sj3.stats.io.disk_accesses
+        );
+        // And result sets stay equal at other buffer sizes.
+        for buf in [4 * 200, 16 * 200] {
+            let s3 = spatial_join(&tr, &ts, JoinPlan::sj3(), &JoinConfig::with_buffer(buf));
+            let s4 = spatial_join(&tr, &ts, JoinPlan::sj4(), &JoinConfig::with_buffer(buf));
+            assert_eq!(sorted_ids(&s3), sorted_ids(&s4));
+        }
+    }
+
+    #[test]
+    fn bigger_buffer_means_fewer_disk_accesses() {
+        let a = grid_items(700, 0.0, 4.0, 3.0);
+        let b = grid_items(700, 1.0, 4.3, 3.0);
+        let (tr, ts) = (build_tree(&a, 200), build_tree(&b, 200));
+        let mut last = u64::MAX;
+        for buf_pages in [0usize, 2, 8, 32, 128] {
+            let res = spatial_join(
+                &tr,
+                &ts,
+                JoinPlan::sj4(),
+                &JoinConfig::with_buffer(buf_pages * 200),
+            );
+            assert!(res.stats.io.disk_accesses <= last);
+            last = res.stats.io.disk_accesses;
+        }
+    }
+
+    #[test]
+    fn different_height_policies_agree() {
+        // Big R (tall tree), small S (short tree).
+        let a = grid_items(900, 0.0, 3.0, 2.5);
+        let b = grid_items(60, 10.0, 14.0, 6.0);
+        let (tr, ts) = (build_tree(&a, 200), build_tree(&b, 200));
+        assert!(tr.height() > ts.height(), "setup must give different heights");
+        let want = reference_join(&a, &b);
+        for policy in [
+            DiffHeightPolicy::PerPair,
+            DiffHeightPolicy::Batched,
+            DiffHeightPolicy::SweepPinned,
+        ] {
+            let plan = JoinPlan { diff_height: policy, ..JoinPlan::sj4() };
+            let res = spatial_join(&tr, &ts, plan, &JoinConfig::default());
+            assert_eq!(sorted_ids(&res), want, "{policy:?}");
+            // Swapped operands too (S taller than R).
+            let plan = JoinPlan { diff_height: policy, ..JoinPlan::sj4() };
+            let res = spatial_join(&ts, &tr, plan, &JoinConfig::default());
+            let want_swapped: Vec<(u64, u64)> = {
+                let mut v: Vec<(u64, u64)> = want.iter().map(|&(x, y)| (y, x)).collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(sorted_ids(&res), want_swapped, "swapped {policy:?}");
+        }
+    }
+
+    #[test]
+    fn batched_policy_reads_less_than_per_pair() {
+        let a = grid_items(1200, 0.0, 2.5, 2.0);
+        let b = grid_items(40, 5.0, 18.0, 9.0);
+        let (tr, ts) = (build_tree(&a, 200), build_tree(&b, 200));
+        assert!(tr.height() > ts.height());
+        let per_pair = JoinPlan { diff_height: DiffHeightPolicy::PerPair, ..JoinPlan::sj4() };
+        let batched = JoinPlan { diff_height: DiffHeightPolicy::Batched, ..JoinPlan::sj4() };
+        let a_res = spatial_join(&tr, &ts, per_pair, &JoinConfig::with_buffer(0));
+        let b_res = spatial_join(&tr, &ts, batched, &JoinConfig::with_buffer(0));
+        assert!(
+            b_res.stats.io.disk_accesses <= a_res.stats.io.disk_accesses,
+            "batched {} vs per-pair {}",
+            b_res.stats.io.disk_accesses,
+            a_res.stats.io.disk_accesses
+        );
+    }
+
+    #[test]
+    fn counting_only_mode_skips_materialization() {
+        let a = grid_items(200, 0.0, 5.0, 4.0);
+        let b = grid_items(200, 2.0, 5.0, 4.0);
+        let (tr, ts) = (build_tree(&a, 200), build_tree(&b, 200));
+        let cfg = JoinConfig { collect_pairs: false, ..Default::default() };
+        let res = spatial_join(&tr, &ts, JoinPlan::sj4(), &cfg);
+        assert!(res.pairs.is_empty());
+        assert_eq!(res.stats.result_pairs as usize, reference_join(&a, &b).len());
+    }
+
+    #[test]
+    fn self_join_includes_identity_pairs() {
+        let a = grid_items(150, 0.0, 6.0, 4.0);
+        let t1 = build_tree(&a, 200);
+        let t2 = build_tree(&a, 200);
+        let res = spatial_join(&t1, &t2, JoinPlan::sj4(), &JoinConfig::default());
+        let ids = sorted_ids(&res);
+        for &(_, i) in &a {
+            assert!(ids.binary_search(&(i, i)).is_ok(), "identity pair {i} missing");
+        }
+    }
+}

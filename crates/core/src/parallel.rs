@@ -1,0 +1,195 @@
+//! Parallel spatial join (extension — the paper's §6 future work).
+//!
+//! "Parallel computer systems and disk arrays are very interesting for
+//! performing spatial joins and window queries, for example using parallel
+//! R-trees \[14\]." This module provides the shared-nothing-style
+//! parallelization that maps onto that vision: the qualifying pairs of
+//! *root entries* are partitioned across worker threads; each worker joins
+//! its subtree pairs with a **private buffer pool** (modelling per-worker
+//! buffer/disk resources, as with a disk array) and private comparison
+//! counters; results and statistics are merged at the end.
+//!
+//! Work is dealt in contiguous runs of the sweep-ordered pair list so each
+//! worker sees spatially local work — the same locality argument as the
+//! SJ3/SJ4 read schedules, applied across workers.
+//!
+//! Accounting semantics: the merged `disk_accesses` is the *sum* over
+//! workers. Workers share no buffer, so a page needed by two workers is
+//! fetched twice — exactly what a shared-nothing deployment pays.
+
+use crate::join::{run_subjoin, JoinResult};
+use crate::plan::{JoinConfig, JoinPlan};
+use crate::stats::JoinStats;
+use rsj_geom::{CmpCounter, Rect};
+use rsj_rtree::RTree;
+use rsj_storage::{IoStats, PageId};
+
+/// Computes the spatial join with `workers` threads.
+///
+/// Falls back to the sequential [`crate::spatial_join`] when `workers <= 1`
+/// or when a root is a leaf (nothing to partition). The result-pair *set*
+/// equals the sequential join's; pair order differs.
+pub fn parallel_spatial_join(
+    r: &RTree,
+    s: &RTree,
+    plan: JoinPlan,
+    cfg: &JoinConfig,
+    workers: usize,
+) -> JoinResult {
+    assert_eq!(r.params().page_bytes, s.params().page_bytes);
+    let rn = r.node(r.root());
+    let sn = s.node(s.root());
+    if workers <= 1 || rn.is_leaf() || sn.is_leaf() {
+        return crate::spatial_join(r, s, plan, cfg);
+    }
+    let eps = plan.predicate.epsilon();
+    // Enumerate qualifying root-entry pairs (cheap, done once, charged to
+    // the merged stats below).
+    let mut cmp = CmpCounter::new();
+    let mut tasks: Vec<(PageId, PageId, Rect)> = Vec::new();
+    for er in &rn.entries {
+        let er_rect = er.rect.expanded(eps);
+        for es in &sn.entries {
+            if er_rect.intersects_counted(&es.rect, &mut cmp) {
+                let rect = er_rect.intersection(&es.rect).expect("tested above");
+                tasks.push((RTree::child_page(er), RTree::child_page(es), rect));
+            }
+        }
+    }
+    // Sweep-order the tasks for per-worker locality, then deal contiguous
+    // chunks.
+    tasks.sort_by(|a, b| a.2.xl.partial_cmp(&b.2.xl).expect("no NaN"));
+    let workers = workers.min(tasks.len()).max(1);
+    let chunk = tasks.len().div_ceil(workers);
+    let per_worker_buffer = cfg.buffer_bytes / workers;
+
+    let results: Vec<JoinResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = tasks
+            .chunks(chunk.max(1))
+            .map(|slice| {
+                scope.spawn(move || {
+                    run_subjoin(r, s, plan, per_worker_buffer, cfg.eviction, cfg.collect_pairs, slice)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    // Merge.
+    let mut pairs = Vec::new();
+    let mut io = IoStats {
+        // Both roots were read once by the coordinator.
+        disk_accesses: 2,
+        ..IoStats::default()
+    };
+    let mut join_comparisons = cmp.get();
+    let mut sort_comparisons = 0;
+    let mut result_pairs = 0;
+    for res in results {
+        pairs.extend(res.pairs);
+        io.disk_accesses += res.stats.io.disk_accesses;
+        io.path_hits += res.stats.io.path_hits;
+        io.lru_hits += res.stats.io.lru_hits;
+        join_comparisons += res.stats.join_comparisons;
+        sort_comparisons += res.stats.sort_comparisons;
+        result_pairs += res.stats.result_pairs;
+    }
+    JoinResult {
+        pairs,
+        stats: JoinStats {
+            join_comparisons,
+            sort_comparisons,
+            io,
+            result_pairs,
+            page_bytes: r.params().page_bytes,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_rtree::{DataId, InsertPolicy, RTreeParams};
+
+    fn items(n: u64, offset: f64) -> Vec<(Rect, u64)> {
+        (0..n)
+            .map(|i| {
+                let x = offset + (i % 40) as f64 * 5.0;
+                let y = offset + (i / 40) as f64 * 5.0;
+                (Rect::from_corners(x, y, x + 3.5, y + 3.5), i)
+            })
+            .collect()
+    }
+
+    fn build(itemsv: &[(Rect, u64)]) -> RTree {
+        let mut t = RTree::new(RTreeParams::explicit(200, 10, 4, InsertPolicy::RStar));
+        for &(r, id) in itemsv {
+            t.insert(r, DataId(id));
+        }
+        t
+    }
+
+    fn sorted_pairs(res: &JoinResult) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = res.pairs.iter().map(|&(a, b)| (a.0, b.0)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_all_worker_counts() {
+        let a = items(600, 0.0);
+        let b = items(600, 1.5);
+        let (ta, tb) = (build(&a), build(&b));
+        let cfg = JoinConfig::with_buffer(16 * 200);
+        let seq = crate::spatial_join(&ta, &tb, JoinPlan::sj4(), &cfg);
+        let want = sorted_pairs(&seq);
+        for workers in [1usize, 2, 3, 4, 8, 64] {
+            let par = parallel_spatial_join(&ta, &tb, JoinPlan::sj4(), &cfg, workers);
+            assert_eq!(sorted_pairs(&par), want, "workers = {workers}");
+            assert_eq!(par.stats.result_pairs, seq.stats.result_pairs);
+        }
+    }
+
+    #[test]
+    fn leaf_root_falls_back_to_sequential() {
+        let a = items(5, 0.0);
+        let b = items(600, 0.0);
+        let (ta, tb) = (build(&a), build(&b));
+        assert_eq!(ta.height(), 1);
+        let cfg = JoinConfig::default();
+        let par = parallel_spatial_join(&ta, &tb, JoinPlan::sj4(), &cfg, 4);
+        let seq = crate::spatial_join(&ta, &tb, JoinPlan::sj4(), &cfg);
+        assert_eq!(sorted_pairs(&par), sorted_pairs(&seq));
+    }
+
+    #[test]
+    fn shared_nothing_costs_at_least_sequential_io() {
+        // Private buffers can only duplicate fetches, never save them
+        // relative to one shared buffer of the same total size.
+        let a = items(800, 0.0);
+        let b = items(800, 2.0);
+        let (ta, tb) = (build(&a), build(&b));
+        let cfg = JoinConfig::with_buffer(32 * 200);
+        let seq = crate::spatial_join(&ta, &tb, JoinPlan::sj3(), &cfg);
+        let par = parallel_spatial_join(&ta, &tb, JoinPlan::sj3(), &cfg, 4);
+        assert!(
+            par.stats.io.disk_accesses >= seq.stats.io.disk_accesses,
+            "parallel {} vs sequential {}",
+            par.stats.io.disk_accesses,
+            seq.stats.io.disk_accesses
+        );
+    }
+
+    #[test]
+    fn works_with_predicates() {
+        use crate::plan::JoinPredicate;
+        let a = items(400, 0.0);
+        let b = items(400, 3.0);
+        let (ta, tb) = (build(&a), build(&b));
+        let cfg = JoinConfig::default();
+        let plan = JoinPlan::sj4().with_predicate(JoinPredicate::WithinDistance(4.0));
+        let seq = crate::spatial_join(&ta, &tb, plan, &cfg);
+        let par = parallel_spatial_join(&ta, &tb, plan, &cfg, 3);
+        assert_eq!(sorted_pairs(&par), sorted_pairs(&seq));
+    }
+}

@@ -1,0 +1,95 @@
+//! Join statistics and estimated execution time.
+
+use rsj_storage::{CostModel, IoStats};
+
+/// Everything the paper measures about one join run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Floating-point comparisons spent checking join conditions —
+    /// restriction scans, sweep advancement and pair tests. This is the
+    /// paper's "join" comparison count (Tables 2–4).
+    pub join_comparisons: u64,
+    /// Floating-point comparisons spent sorting entry sequences for the
+    /// plane sweep. Reported separately like the "sorting" rows of Table 4.
+    pub sort_comparisons: u64,
+    /// Page accesses: disk accesses (the headline metric of Tables 2, 5–7),
+    /// path-buffer hits and LRU hits.
+    pub io: IoStats,
+    /// Number of result pairs (rectangle intersections).
+    pub result_pairs: u64,
+    /// Page size of the participating trees, for transfer-cost estimates.
+    pub page_bytes: usize,
+}
+
+impl JoinStats {
+    /// Comparisons of both kinds.
+    pub fn total_comparisons(&self) -> u64 {
+        self.join_comparisons + self.sort_comparisons
+    }
+
+    /// The paper's linear execution-time estimate, split into I/O and CPU
+    /// (Figures 2 and 8).
+    pub fn time(&self, model: &CostModel) -> TimeSplit {
+        TimeSplit {
+            io_s: model.io_time(self.io.disk_accesses, self.page_bytes),
+            cpu_s: model.cpu_time(self.total_comparisons()),
+        }
+    }
+}
+
+/// Estimated execution time decomposed into I/O and CPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeSplit {
+    /// Seconds spent positioning + transferring pages.
+    pub io_s: f64,
+    /// Seconds spent on floating-point comparisons.
+    pub cpu_s: f64,
+}
+
+impl TimeSplit {
+    /// Total estimated seconds.
+    pub fn total(&self) -> f64 {
+        self.io_s + self.cpu_s
+    }
+
+    /// I/O share of the total, in `[0, 1]` (0.5 when both are zero).
+    pub fn io_fraction(&self) -> f64 {
+        let t = self.total();
+        if t > 0.0 {
+            self.io_s / t
+        } else {
+            0.5
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let s = JoinStats {
+            join_comparisons: 1_000_000,
+            sort_comparisons: 500_000,
+            io: IoStats { disk_accesses: 100, path_hits: 5, lru_hits: 7 },
+            result_pairs: 42,
+            page_bytes: 1024,
+        };
+        assert_eq!(s.total_comparisons(), 1_500_000);
+        let t = s.time(&CostModel::default());
+        // 100 accesses * 20 ms = 2 s; 1.5M cmp * 3.9 µs = 5.85 s.
+        assert!((t.io_s - 2.0).abs() < 1e-9);
+        assert!((t.cpu_s - 5.85).abs() < 1e-9);
+        assert!((t.total() - 7.85).abs() < 1e-9);
+        assert!(t.io_fraction() > 0.25 && t.io_fraction() < 0.26);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = JoinStats::default();
+        let t = s.time(&CostModel::default());
+        assert_eq!(t.total(), 0.0);
+        assert_eq!(t.io_fraction(), 0.5);
+    }
+}

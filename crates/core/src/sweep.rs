@@ -1,0 +1,209 @@
+//! Spatial sorting and the plane-sweep pair enumeration.
+//!
+//! §4.2 "Spatial sorting and plane sweep": both entry sequences are sorted
+//! by the lower x-coordinate of their rectangles; a sweep-line then moves
+//! over the union of both sequences. For the rectangle `t` with the lowest
+//! `xl` value, the *other* sequence is scanned forward from its first
+//! unprocessed rectangle until one starts beyond `t.xu`; every scanned
+//! rectangle that also overlaps in y forms a result pair. The algorithm
+//! needs no auxiliary data structure and runs in O(n + m + k_x) where k_x
+//! counts x-interval intersections — the paper argues this beats the
+//! asymptotically optimal computational-geometry solutions for node-sized
+//! inputs ("their overhead is too high for a rather small problem size").
+//!
+//! Crucially, the pairs are produced in **sweep order**, which doubles as
+//! the SJ3/SJ4 read schedule (§4.3 "Local plane-sweep order").
+
+use rsj_geom::{CmpCounter, Rect};
+
+/// Sorts `index` (indices into `rects`) ascending by `xl`, charging the
+/// comparator invocations to `cmp` — sorting cost is accounted separately
+/// from join cost in the paper's Table 4.
+pub fn sort_indices_by_xl(rects: &[Rect], index: &mut [usize], cmp: &mut CmpCounter) {
+    index.sort_by(|&a, &b| {
+        cmp.bump();
+        rects[a].xl.partial_cmp(&rects[b].xl).expect("rect coordinates must not be NaN")
+    });
+}
+
+/// The `SortedIntersectionTest` of §4.2.
+///
+/// `rseq` and `sseq` are indices into `rrects`/`srects`, each sorted
+/// ascending by `xl`. Appends every intersecting pair `(r_index, s_index)`
+/// to `out` in sweep order. Comparisons (sweep-line selection, forward-scan
+/// bound checks, y-tests) are charged to `cmp`.
+pub fn sorted_intersection_test(
+    rrects: &[Rect],
+    rseq: &[usize],
+    srects: &[Rect],
+    sseq: &[usize],
+    cmp: &mut CmpCounter,
+    out: &mut Vec<(usize, usize)>,
+) {
+    debug_assert!(is_sorted_by_xl(rrects, rseq), "rseq must be sorted by xl");
+    debug_assert!(is_sorted_by_xl(srects, sseq), "sseq must be sorted by xl");
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < rseq.len() && j < sseq.len() {
+        let r = &rrects[rseq[i]];
+        let s = &srects[sseq[j]];
+        if cmp.lt(r.xl, s.xl) {
+            // t = r_i: scan S forward from j.
+            internal_loop::<false>(r, rseq[i], srects, sseq, j, cmp, out);
+            i += 1;
+        } else {
+            // t = s_j: scan R forward from i.
+            internal_loop::<true>(s, sseq[j], rrects, rseq, i, cmp, out);
+            j += 1;
+        }
+    }
+}
+
+/// The `InternalLoop` of the paper: scans `seq` from `unmarked` while the
+/// x-projections can still intersect `t`, testing y-projections.
+///
+/// `SWAPPED = false` means `t` is from R and `seq` is S (pairs are
+/// `(t, seq[k])`); `SWAPPED = true` means the converse.
+fn internal_loop<const SWAPPED: bool>(
+    t: &Rect,
+    t_index: usize,
+    rects: &[Rect],
+    seq: &[usize],
+    unmarked: usize,
+    cmp: &mut CmpCounter,
+    out: &mut Vec<(usize, usize)>,
+) {
+    let mut k = unmarked;
+    // Loop condition `seq[k].xl <= t.xu` costs one comparison per
+    // evaluation, including the failing one.
+    while k < seq.len() && cmp.le(rects[seq[k]].xl, t.xu) {
+        let other = &rects[seq[k]];
+        // Y-intersection: (t.yl <= other.yu) && (t.yu >= other.yl), with
+        // short-circuit — at most two comparisons.
+        if cmp.le(t.yl, other.yu) && cmp.le(other.yl, t.yu) {
+            if SWAPPED {
+                out.push((seq[k], t_index));
+            } else {
+                out.push((t_index, seq[k]));
+            }
+        }
+        k += 1;
+    }
+}
+
+fn is_sorted_by_xl(rects: &[Rect], seq: &[usize]) -> bool {
+    seq.windows(2).all(|w| rects[w[0]].xl <= rects[w[1]].xl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rects(spec: &[(f64, f64, f64, f64)]) -> Vec<Rect> {
+        spec.iter().map(|&(a, b, c, d)| Rect::from_corners(a, b, c, d)).collect()
+    }
+
+    fn run_sweep(r: &[Rect], s: &[Rect]) -> (Vec<(usize, usize)>, u64) {
+        let mut cmp = CmpCounter::new();
+        let mut ri: Vec<usize> = (0..r.len()).collect();
+        let mut si: Vec<usize> = (0..s.len()).collect();
+        let mut sort_cmp = CmpCounter::new();
+        sort_indices_by_xl(r, &mut ri, &mut sort_cmp);
+        sort_indices_by_xl(s, &mut si, &mut sort_cmp);
+        let mut out = Vec::new();
+        sorted_intersection_test(r, &ri, s, &si, &mut cmp, &mut out);
+        (out, cmp.get())
+    }
+
+    fn quadratic(r: &[Rect], s: &[Rect]) -> Vec<(usize, usize)> {
+        let mut v = Vec::new();
+        for (i, a) in r.iter().enumerate() {
+            for (j, b) in s.iter().enumerate() {
+                if a.intersects(b) {
+                    v.push((i, j));
+                }
+            }
+        }
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn paper_figure_5_example() {
+        // Figure 5: the sweep stops at r1, s1, r2, s2, r3 and tests
+        // r1↔s1, s1↔r2, r2↔s2, r2↔s3, (s2: none), r3↔s3.
+        let r = rects(&[(0.0, 2.0, 2.5, 4.0), (2.0, 0.5, 5.0, 2.5), (6.0, 2.0, 8.0, 4.0)]);
+        let s = rects(&[(1.0, 0.0, 3.0, 1.5), (4.0, 1.0, 6.5, 3.0), (6.0, 0.0, 8.5, 1.5)]);
+        let (pairs, _) = run_sweep(&r, &s);
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, quadratic(&r, &s));
+    }
+
+    #[test]
+    fn sweep_order_is_by_x() {
+        // Pairs must come out ordered by the sweep position, not by input
+        // index: build reversed input.
+        let r = rects(&[(10.0, 0.0, 11.0, 1.0), (0.0, 0.0, 1.0, 1.0)]);
+        let s = rects(&[(10.5, 0.0, 11.5, 1.0), (0.5, 0.0, 1.5, 1.0)]);
+        let (pairs, _) = run_sweep(&r, &s);
+        assert_eq!(pairs, vec![(1, 1), (0, 0)], "left pair first");
+    }
+
+    #[test]
+    fn disjoint_inputs_cost_linear_comparisons() {
+        // n + m rectangles in two interleaved but y-disjoint rows still pay
+        // the x-scans; just check no pairs and bounded comparisons.
+        let r: Vec<Rect> =
+            (0..50).map(|i| Rect::from_corners(i as f64, 0.0, i as f64 + 0.4, 1.0)).collect();
+        let s: Vec<Rect> =
+            (0..50).map(|i| Rect::from_corners(i as f64 + 0.2, 5.0, i as f64 + 0.6, 6.0)).collect();
+        let (pairs, cmps) = run_sweep(&r, &s);
+        assert!(pairs.is_empty());
+        assert!(cmps < 1000, "sweep should be near-linear, used {cmps}");
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let r = rects(&[(0., 0., 1., 1.)]);
+        let (pairs, _) = run_sweep(&r, &[]);
+        assert!(pairs.is_empty());
+        let (pairs, _) = run_sweep(&[], &r);
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn identical_xl_values_are_handled() {
+        let r = rects(&[(0., 0., 1., 1.), (0., 2., 1., 3.)]);
+        let s = rects(&[(0., 0., 1., 5.), (0., 4., 1., 6.)]);
+        let (pairs, _) = run_sweep(&r, &s);
+        let mut sorted = pairs;
+        sorted.sort_unstable();
+        assert_eq!(sorted, quadratic(&r, &s));
+    }
+
+    #[test]
+    fn duplicate_rectangles() {
+        let r = rects(&[(0., 0., 2., 2.), (0., 0., 2., 2.)]);
+        let s = rects(&[(1., 1., 3., 3.), (1., 1., 3., 3.)]);
+        let (pairs, _) = run_sweep(&r, &s);
+        assert_eq!(pairs.len(), 4);
+    }
+
+    #[test]
+    fn touching_rectangles_count() {
+        let r = rects(&[(0., 0., 1., 1.)]);
+        let s = rects(&[(1., 1., 2., 2.)]); // corner touch
+        let (pairs, _) = run_sweep(&r, &s);
+        assert_eq!(pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn sort_indices_counts_comparisons() {
+        let r = rects(&[(3., 0., 4., 1.), (1., 0., 2., 1.), (2., 0., 3., 1.)]);
+        let mut idx = vec![0, 1, 2];
+        let mut cmp = CmpCounter::new();
+        sort_indices_by_xl(&r, &mut idx, &mut cmp);
+        assert_eq!(idx, vec![1, 2, 0]);
+        assert!(cmp.get() >= 2);
+    }
+}

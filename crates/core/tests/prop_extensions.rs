@@ -1,0 +1,94 @@
+//! Property tests for the extension joins: the parallel join must be
+//! result-equivalent to the sequential one, and the multi-way join must
+//! match its recursive brute-force definition, on arbitrary inputs.
+
+use proptest::prelude::*;
+use rsj_core::{multiway_join, parallel_spatial_join, spatial_join, JoinConfig, JoinPlan};
+use rsj_geom::Rect;
+use rsj_rtree::{DataId, InsertPolicy, RTree, RTreeParams};
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0.0..400.0f64, 0.0..400.0f64, 0.0..50.0f64, 0.0..50.0f64)
+        .prop_map(|(x, y, w, h)| Rect::from_corners(x, y, x + w, y + h))
+}
+
+fn build(items: &[(Rect, u64)]) -> RTree {
+    let mut t = RTree::new(RTreeParams::explicit(200, 10, 4, InsertPolicy::RStar));
+    for &(r, id) in items {
+        t.insert(r, DataId(id));
+    }
+    t
+}
+
+fn with_ids(rects: Vec<Rect>) -> Vec<(Rect, u64)> {
+    rects.into_iter().enumerate().map(|(i, r)| (r, i as u64)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn parallel_equals_sequential(
+        ra in prop::collection::vec(arb_rect(), 0..200),
+        rb in prop::collection::vec(arb_rect(), 0..200),
+        workers in 1usize..9,
+        buf_pages in 0usize..16,
+    ) {
+        let a = with_ids(ra);
+        let b = with_ids(rb);
+        let (ta, tb) = (build(&a), build(&b));
+        let cfg = JoinConfig::with_buffer(buf_pages * 200);
+        let seq = spatial_join(&ta, &tb, JoinPlan::sj4(), &cfg);
+        let par = parallel_spatial_join(&ta, &tb, JoinPlan::sj4(), &cfg, workers);
+        let mut s: Vec<(u64, u64)> = seq.pairs.iter().map(|&(x, y)| (x.0, y.0)).collect();
+        let mut p: Vec<(u64, u64)> = par.pairs.iter().map(|&(x, y)| (x.0, y.0)).collect();
+        s.sort_unstable();
+        p.sort_unstable();
+        prop_assert_eq!(s, p);
+        prop_assert_eq!(seq.stats.result_pairs, par.stats.result_pairs);
+    }
+
+    #[test]
+    fn three_way_matches_recursive_brute_force(
+        ra in prop::collection::vec(arb_rect(), 1..60),
+        rb in prop::collection::vec(arb_rect(), 1..60),
+        rc in prop::collection::vec(arb_rect(), 1..60),
+    ) {
+        let a = with_ids(ra);
+        let b = with_ids(rb);
+        let c = with_ids(rc);
+        let (ta, tb, tc) = (build(&a), build(&b), build(&c));
+        let res = multiway_join(&[&ta, &tb, &tc], JoinPlan::sj4(), &JoinConfig::default());
+        let mut got: Vec<Vec<u64>> =
+            res.tuples.iter().map(|t| t.iter().map(|d| d.0).collect()).collect();
+        got.sort_unstable();
+        let mut want = Vec::new();
+        for &(x, ix) in &a {
+            for &(y, iy) in &b {
+                let Some(xy) = x.intersection(&y) else { continue };
+                for &(z, iz) in &c {
+                    if xy.intersects(&z) {
+                        want.push(vec![ix, iy, iz]);
+                    }
+                }
+            }
+        }
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn multiway_comparisons_and_io_are_positive_when_tuples_exist(
+        ra in prop::collection::vec(arb_rect(), 5..50),
+        rb in prop::collection::vec(arb_rect(), 5..50),
+        rc in prop::collection::vec(arb_rect(), 5..50),
+    ) {
+        let a = with_ids(ra);
+        let b = with_ids(rb);
+        let c = with_ids(rc);
+        let (ta, tb, tc) = (build(&a), build(&b), build(&c));
+        let res = multiway_join(&[&ta, &tb, &tc], JoinPlan::sj4(), &JoinConfig::default());
+        prop_assert!(res.comparisons > 0);
+        prop_assert!(res.io.disk_accesses >= 2, "roots are read");
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests: every join plan must compute exactly the nested-loop
+//! result on arbitrary inputs, and the cost counters must behave sanely.
+
+use proptest::prelude::*;
+use rsj_core::{baseline, spatial_join, DiffHeightPolicy, JoinConfig, JoinPlan};
+use rsj_geom::Rect;
+use rsj_rtree::{DataId, InsertPolicy, RTree, RTreeParams};
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0.0..500.0f64, 0.0..500.0f64, 0.0..40.0f64, 0.0..40.0f64)
+        .prop_map(|(x, y, w, h)| Rect::from_corners(x, y, x + w, y + h))
+}
+
+fn build(items: &[(Rect, u64)]) -> RTree {
+    let mut t = RTree::new(RTreeParams::explicit(200, 10, 4, InsertPolicy::RStar));
+    for &(r, id) in items {
+        t.insert(r, DataId(id));
+    }
+    t
+}
+
+fn with_ids(rects: Vec<Rect>) -> Vec<(Rect, u64)> {
+    rects.into_iter().enumerate().map(|(i, r)| (r, i as u64)).collect()
+}
+
+fn plans() -> Vec<JoinPlan> {
+    let mut v = vec![
+        JoinPlan::sj1(),
+        JoinPlan::sj2(),
+        JoinPlan::sj3(),
+        JoinPlan::sj4(),
+        JoinPlan::sj5(),
+        JoinPlan::sweep_unrestricted(),
+    ];
+    for policy in [DiffHeightPolicy::PerPair, DiffHeightPolicy::SweepPinned] {
+        v.push(JoinPlan { diff_height: policy, ..JoinPlan::sj4() });
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_plan_equals_nested_loop(
+        ra in prop::collection::vec(arb_rect(), 0..120),
+        rb in prop::collection::vec(arb_rect(), 0..120),
+        buf_pages in 0usize..20,
+    ) {
+        let a = with_ids(ra);
+        let b = with_ids(rb);
+        let (mut want, _) = baseline::nested_loop_join(&a, &b);
+        want.sort_unstable();
+        let (ta, tb) = (build(&a), build(&b));
+        let cfg = JoinConfig::with_buffer(buf_pages * 200);
+        for plan in plans() {
+            let res = spatial_join(&ta, &tb, plan, &cfg);
+            let mut got: Vec<(u64, u64)> = res.pairs.iter().map(|&(x, y)| (x.0, y.0)).collect();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &want, "plan {}", plan.name());
+            prop_assert_eq!(res.stats.result_pairs as usize, want.len());
+        }
+    }
+
+    #[test]
+    fn unbalanced_heights_equal_nested_loop(
+        ra in prop::collection::vec(arb_rect(), 150..400),
+        rb in prop::collection::vec(arb_rect(), 1..25),
+        policy_idx in 0usize..3,
+    ) {
+        let a = with_ids(ra);
+        let b = with_ids(rb);
+        let (ta, tb) = (build(&a), build(&b));
+        prop_assume!(ta.height() > tb.height());
+        let policy = [DiffHeightPolicy::PerPair, DiffHeightPolicy::Batched, DiffHeightPolicy::SweepPinned][policy_idx];
+        let plan = JoinPlan { diff_height: policy, ..JoinPlan::sj4() };
+        let (mut want, _) = baseline::nested_loop_join(&a, &b);
+        want.sort_unstable();
+        let res = spatial_join(&ta, &tb, plan, &JoinConfig::default());
+        let mut got: Vec<(u64, u64)> = res.pairs.iter().map(|&(x, y)| (x.0, y.0)).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn buffer_monotonicity_for_fixed_schedules(
+        ra in prop::collection::vec(arb_rect(), 30..200),
+        rb in prop::collection::vec(arb_rect(), 30..200),
+        small in 0usize..6,
+        extra in 1usize..20,
+    ) {
+        // For a fixed read schedule (no pinning — pinning changes the
+        // schedule only, never the request stream... it *does* alter
+        // residency, so restrict to SJ1/SJ3), LRU inclusion implies
+        // monotonicity.
+        let a = with_ids(ra);
+        let b = with_ids(rb);
+        let (ta, tb) = (build(&a), build(&b));
+        for plan in [JoinPlan::sj1(), JoinPlan::sj3()] {
+            let lo = spatial_join(&ta, &tb, plan, &JoinConfig::with_buffer(small * 200));
+            let hi = spatial_join(&ta, &tb, plan, &JoinConfig::with_buffer((small + extra) * 200));
+            prop_assert!(
+                hi.stats.io.disk_accesses <= lo.stats.io.disk_accesses,
+                "plan {}: {} pages {} vs {} pages {}",
+                plan.name(), small + extra, hi.stats.io.disk_accesses, small, lo.stats.io.disk_accesses
+            );
+        }
+    }
+
+    #[test]
+    fn comparison_counts_are_schedule_invariant(
+        ra in prop::collection::vec(arb_rect(), 20..150),
+        rb in prop::collection::vec(arb_rect(), 20..150),
+    ) {
+        // SJ3/SJ4 differ only in read schedule; CPU cost must be identical.
+        let a = with_ids(ra);
+        let b = with_ids(rb);
+        let (ta, tb) = (build(&a), build(&b));
+        let s3 = spatial_join(&ta, &tb, JoinPlan::sj3(), &JoinConfig::default());
+        let s4 = spatial_join(&ta, &tb, JoinPlan::sj4(), &JoinConfig::default());
+        prop_assert_eq!(s3.stats.join_comparisons, s4.stats.join_comparisons);
+        prop_assert_eq!(s3.stats.sort_comparisons, s4.stats.sort_comparisons);
+    }
+
+    #[test]
+    fn stats_io_totals_consistent(
+        ra in prop::collection::vec(arb_rect(), 10..120),
+        rb in prop::collection::vec(arb_rect(), 10..120),
+        buf in 0usize..10,
+    ) {
+        let a = with_ids(ra);
+        let b = with_ids(rb);
+        let (ta, tb) = (build(&a), build(&b));
+        let res = spatial_join(&ta, &tb, JoinPlan::sj4(), &JoinConfig::with_buffer(buf * 200));
+        let io = res.stats.io;
+        prop_assert_eq!(io.total_accesses(), io.disk_accesses + io.path_hits + io.lru_hits);
+        prop_assert!(io.disk_accesses >= 2, "roots are always read");
+    }
+}

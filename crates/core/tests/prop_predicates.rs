@@ -1,0 +1,155 @@
+//! Property tests for the non-intersection join operators of §2.1:
+//! containment, within, and within-distance joins must match their naive
+//! definitions on arbitrary inputs, under every algorithm and also when
+//! tree heights differ.
+
+use proptest::prelude::*;
+use rsj_core::{spatial_join, JoinConfig, JoinPlan};
+use rsj_core::plan::JoinPredicate;
+use rsj_geom::Rect;
+use rsj_rtree::{DataId, InsertPolicy, RTree, RTreeParams};
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0.0..300.0f64, 0.0..300.0f64, 0.0..60.0f64, 0.0..60.0f64)
+        .prop_map(|(x, y, w, h)| Rect::from_corners(x, y, x + w, y + h))
+}
+
+fn build(items: &[(Rect, u64)]) -> RTree {
+    let mut t = RTree::new(RTreeParams::explicit(200, 10, 4, InsertPolicy::RStar));
+    for &(r, id) in items {
+        t.insert(r, DataId(id));
+    }
+    t
+}
+
+fn with_ids(rects: Vec<Rect>) -> Vec<(Rect, u64)> {
+    rects.into_iter().enumerate().map(|(i, r)| (r, i as u64)).collect()
+}
+
+fn naive(
+    a: &[(Rect, u64)],
+    b: &[(Rect, u64)],
+    pred: impl Fn(&Rect, &Rect) -> bool,
+) -> Vec<(u64, u64)> {
+    let mut v = Vec::new();
+    for &(ra, ia) in a {
+        for &(rb, ib) in b {
+            if pred(&ra, &rb) {
+                v.push((ia, ib));
+            }
+        }
+    }
+    v.sort_unstable();
+    v
+}
+
+fn run(a: &RTree, b: &RTree, plan: JoinPlan) -> Vec<(u64, u64)> {
+    let res = spatial_join(a, b, plan, &JoinConfig::with_buffer(8 * 200));
+    let mut got: Vec<(u64, u64)> = res.pairs.iter().map(|&(x, y)| (x.0, y.0)).collect();
+    got.sort_unstable();
+    got
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn containment_join_matches_naive(
+        ra in prop::collection::vec(arb_rect(), 0..100),
+        rb in prop::collection::vec(arb_rect(), 0..100),
+    ) {
+        let a = with_ids(ra);
+        let b = with_ids(rb);
+        let (ta, tb) = (build(&a), build(&b));
+        let want = naive(&a, &b, |x, y| x.contains(y));
+        for base in [JoinPlan::sj1(), JoinPlan::sj2(), JoinPlan::sj4()] {
+            let got = run(&ta, &tb, base.with_predicate(JoinPredicate::Contains));
+            prop_assert_eq!(&got, &want, "plan {}", base.name());
+        }
+    }
+
+    #[test]
+    fn within_join_is_transposed_containment(
+        ra in prop::collection::vec(arb_rect(), 0..80),
+        rb in prop::collection::vec(arb_rect(), 0..80),
+    ) {
+        let a = with_ids(ra);
+        let b = with_ids(rb);
+        let (ta, tb) = (build(&a), build(&b));
+        let within = run(&ta, &tb, JoinPlan::sj4().with_predicate(JoinPredicate::Within));
+        let mut contains_t: Vec<(u64, u64)> = run(&tb, &ta, JoinPlan::sj4().with_predicate(JoinPredicate::Contains))
+            .into_iter()
+            .map(|(x, y)| (y, x))
+            .collect();
+        contains_t.sort_unstable();
+        prop_assert_eq!(within, contains_t);
+    }
+
+    #[test]
+    fn distance_join_matches_naive(
+        ra in prop::collection::vec(arb_rect(), 0..100),
+        rb in prop::collection::vec(arb_rect(), 0..100),
+        eps in 0.0..50.0f64,
+    ) {
+        let a = with_ids(ra);
+        let b = with_ids(rb);
+        let (ta, tb) = (build(&a), build(&b));
+        let want = naive(&a, &b, |x, y| x.linf_distance(y) <= eps);
+        for base in [JoinPlan::sj1(), JoinPlan::sj3(), JoinPlan::sj5()] {
+            let got = run(&ta, &tb, base.with_predicate(JoinPredicate::WithinDistance(eps)));
+            prop_assert_eq!(&got, &want, "plan {} eps {}", base.name(), eps);
+        }
+    }
+
+    #[test]
+    fn distance_zero_equals_intersection(
+        ra in prop::collection::vec(arb_rect(), 0..80),
+        rb in prop::collection::vec(arb_rect(), 0..80),
+    ) {
+        let a = with_ids(ra);
+        let b = with_ids(rb);
+        let (ta, tb) = (build(&a), build(&b));
+        let plain = run(&ta, &tb, JoinPlan::sj4());
+        let dist0 = run(&ta, &tb, JoinPlan::sj4().with_predicate(JoinPredicate::WithinDistance(0.0)));
+        prop_assert_eq!(plain, dist0);
+    }
+
+    #[test]
+    fn distance_join_is_monotone_in_eps(
+        ra in prop::collection::vec(arb_rect(), 1..60),
+        rb in prop::collection::vec(arb_rect(), 1..60),
+        eps in 0.0..30.0f64,
+        extra in 0.0..30.0f64,
+    ) {
+        let a = with_ids(ra);
+        let b = with_ids(rb);
+        let (ta, tb) = (build(&a), build(&b));
+        let small = run(&ta, &tb, JoinPlan::sj4().with_predicate(JoinPredicate::WithinDistance(eps)));
+        let large = run(&ta, &tb, JoinPlan::sj4().with_predicate(JoinPredicate::WithinDistance(eps + extra)));
+        let small_set: std::collections::HashSet<_> = small.iter().collect();
+        let large_set: std::collections::HashSet<_> = large.iter().collect();
+        prop_assert!(small_set.is_subset(&large_set));
+    }
+
+    #[test]
+    fn predicates_work_across_different_heights(
+        ra in prop::collection::vec(arb_rect(), 150..350),
+        rb in prop::collection::vec(arb_rect(), 1..20),
+        eps in 0.0..20.0f64,
+    ) {
+        let a = with_ids(ra);
+        let b = with_ids(rb);
+        let (ta, tb) = (build(&a), build(&b));
+        prop_assume!(ta.height() > tb.height());
+        let want = naive(&a, &b, |x, y| x.linf_distance(y) <= eps);
+        let got = run(&ta, &tb, JoinPlan::sj4().with_predicate(JoinPredicate::WithinDistance(eps)));
+        prop_assert_eq!(got, want);
+        let want_c = naive(&a, &b, |x, y| x.contains(y));
+        let got_c = run(&ta, &tb, JoinPlan::sj4().with_predicate(JoinPredicate::Contains));
+        prop_assert_eq!(got_c, want_c);
+        // Swapped heights too.
+        let want_w = naive(&b, &a, |x, y| y.contains(x));
+        let got_w = run(&tb, &ta, JoinPlan::sj4().with_predicate(JoinPredicate::Within));
+        prop_assert_eq!(got_w, want_w);
+    }
+}

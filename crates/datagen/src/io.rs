@@ -1,0 +1,213 @@
+//! Reading and writing relations as WKT — the adoption path for real data.
+//!
+//! The evaluation uses synthetic stand-ins, but anyone with the actual
+//! TIGER/Line extracts (or any other map) can run the full experiment
+//! suite on them: export is one object per line, `id <TAB> WKT`, with
+//! `LINESTRING (x y, x y, …)` for line objects and
+//! `POLYGON ((x y, x y, …))` for regions (outer ring only, unclosed or
+//! closed both accepted). Parsing is strict enough to catch data bugs and
+//! lenient about whitespace.
+
+use crate::objects::{Geometry, SpatialObject};
+use rsj_geom::{Point, Polygon, Polyline};
+
+/// A line-oriented parse error with context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes objects, one `id <TAB> WKT` record per line.
+pub fn to_wkt(objects: &[SpatialObject]) -> String {
+    let mut out = String::new();
+    for o in objects {
+        out.push_str(&o.id.to_string());
+        out.push('\t');
+        match &o.geometry {
+            Geometry::Line(l) => {
+                out.push_str("LINESTRING (");
+                push_coords(&mut out, l.points());
+                out.push(')');
+            }
+            Geometry::Region(p) => {
+                out.push_str("POLYGON ((");
+                push_coords(&mut out, p.ring());
+                // Close the ring explicitly, WKT convention.
+                if let Some(first) = p.ring().first() {
+                    out.push_str(&format!(", {} {}", first.x, first.y));
+                }
+                out.push_str("))");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn push_coords(out: &mut String, pts: &[Point]) {
+    for (i, p) in pts.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{} {}", p.x, p.y));
+    }
+}
+
+/// Parses the format written by [`to_wkt`]. Empty lines and `#` comments
+/// are skipped.
+pub fn from_wkt(text: &str) -> Result<Vec<SpatialObject>, ParseError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| ParseError { line: lineno, message };
+        let (id_s, wkt) = line
+            .split_once('\t')
+            .or_else(|| line.split_once(' '))
+            .ok_or_else(|| err("expected `id<TAB>WKT`".into()))?;
+        let id: u64 = id_s.trim().parse().map_err(|e| err(format!("bad id {id_s:?}: {e}")))?;
+        let wkt = wkt.trim();
+        let upper = wkt.to_ascii_uppercase();
+        let geometry = if let Some(rest) = upper.strip_prefix("LINESTRING") {
+            let pts = parse_coords(strip_parens(rest, 1).map_err(&err)?).map_err(&err)?;
+            if pts.len() < 2 {
+                return Err(err("LINESTRING needs at least 2 points".into()));
+            }
+            Geometry::Line(Polyline::new(pts))
+        } else if let Some(rest) = upper.strip_prefix("POLYGON") {
+            let mut pts = parse_coords(strip_parens(rest, 2).map_err(&err)?).map_err(&err)?;
+            // Accept both closed and unclosed rings.
+            if pts.len() >= 2 && pts.first() == pts.last() {
+                pts.pop();
+            }
+            if pts.len() < 3 {
+                return Err(err("POLYGON needs at least 3 distinct points".into()));
+            }
+            Geometry::Region(Polygon::new(pts))
+        } else {
+            return Err(err(format!("unsupported WKT type in {wkt:?}")));
+        };
+        out.push(SpatialObject::new(id, geometry));
+    }
+    Ok(out)
+}
+
+/// Strips `depth` layers of balanced parentheses around the payload.
+fn strip_parens(s: &str, depth: usize) -> Result<&str, String> {
+    let mut s = s.trim();
+    for _ in 0..depth {
+        s = s
+            .strip_prefix('(')
+            .and_then(|t| t.strip_suffix(')'))
+            .ok_or_else(|| format!("expected {depth} pairs of parentheses"))?
+            .trim();
+    }
+    Ok(s)
+}
+
+fn parse_coords(s: &str) -> Result<Vec<Point>, String> {
+    s.split(',')
+        .map(|pair| {
+            let mut it = pair.split_whitespace();
+            let x: f64 = it
+                .next()
+                .ok_or("missing x coordinate")?
+                .parse()
+                .map_err(|e| format!("bad x: {e}"))?;
+            let y: f64 = it
+                .next()
+                .ok_or("missing y coordinate")?
+                .parse()
+                .map_err(|e| format!("bad y: {e}"))?;
+            if it.next().is_some() {
+                return Err("more than 2 coordinates per point".into());
+            }
+            if !x.is_finite() || !y.is_finite() {
+                return Err(format!("non-finite coordinate ({x}, {y})"));
+            }
+            Ok(Point::new(x, y))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lines::streets;
+    use crate::regions::regions;
+
+    #[test]
+    fn roundtrip_lines_and_regions() {
+        let mut objs = streets(50, 3);
+        let mut regs = regions(30, 4);
+        for (k, r) in regs.iter_mut().enumerate() {
+            r.id = 1000 + k as u64; // keep ids unique across the mix
+        }
+        objs.append(&mut regs);
+        let text = to_wkt(&objs);
+        let back = from_wkt(&text).unwrap();
+        assert_eq!(back.len(), objs.len());
+        for (a, b) in objs.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.mbr, b.mbr);
+            assert_eq!(a.geometry, b.geometry);
+        }
+    }
+
+    #[test]
+    fn parses_hand_written_records() {
+        let text = "\
+# a comment
+7\tLINESTRING (0 0, 1 2, 3 1)
+
+8\tPOLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))
+9 LINESTRING (5 5, 6 6)
+";
+        let objs = from_wkt(text).unwrap();
+        assert_eq!(objs.len(), 3);
+        assert_eq!(objs[0].id, 7);
+        match &objs[1].geometry {
+            Geometry::Region(p) => assert_eq!(p.ring().len(), 4, "closing point dropped"),
+            _ => panic!("expected polygon"),
+        }
+        assert_eq!(objs[2].id, 9);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for (bad, what) in [
+            ("LINESTRING (0 0, 1 1)", "missing id"),
+            ("1\tTRIANGLE (0 0, 1 1, 0 1)", "unknown type"),
+            ("1\tLINESTRING (0 0)", "too few points"),
+            ("1\tLINESTRING 0 0, 1 1", "missing parens"),
+            ("1\tLINESTRING (0 zero, 1 1)", "bad number"),
+            ("1\tPOLYGON ((0 0, 1 1))", "degenerate ring"),
+            ("1\tLINESTRING (0 0 0, 1 1 1)", "3d coords"),
+            ("1\tLINESTRING (0 inf, 1 1)", "non-finite"),
+        ] {
+            assert!(from_wkt(bad).is_err(), "{what}: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let text = "1\tLINESTRING (0 0, 1 1)\nbroken line\n";
+        let err = from_wkt(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Spatial objects: identifier, exact geometry, MBR.
+
+use rsj_geom::Rect;
+pub use rsj_geom::Geometry;
+
+/// The data space all generators draw from. A fixed frame keeps z-order and
+/// Hilbert keys comparable across relations, like the common coordinate
+/// system of the paper's California maps.
+pub const WORLD: Rect = Rect { xl: 0.0, yl: 0.0, xu: 1000.0, yu: 1000.0 };
+
+/// One object of a spatial relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialObject {
+    /// Unique id within its relation.
+    pub id: u64,
+    /// Exact geometry.
+    pub geometry: Geometry,
+    /// Cached MBR of the geometry.
+    pub mbr: Rect,
+}
+
+impl SpatialObject {
+    /// Builds an object, caching the MBR.
+    pub fn new(id: u64, geometry: Geometry) -> Self {
+        let mbr = geometry.mbr();
+        SpatialObject { id, geometry, mbr }
+    }
+}
+
+/// Extracts `(mbr, id)` pairs — the raw form consumed by the R-tree
+/// loaders (which wrap the id in their own `DataId` new-type).
+pub fn mbr_items(objects: &[SpatialObject]) -> Vec<(Rect, u64)> {
+    objects.iter().map(|o| (o.mbr, o.id)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsj_geom::{Point, Polyline};
+
+    #[test]
+    fn object_caches_its_mbr() {
+        let line = Polyline::new(vec![Point::new(0., 0.), Point::new(3., 4.)]);
+        let o = SpatialObject::new(7, Geometry::Line(line));
+        assert_eq!(o.mbr, Rect::from_corners(0., 0., 3., 4.));
+        assert_eq!(o.id, 7);
+    }
+
+    #[test]
+    fn mbr_items_preserves_order_and_ids() {
+        let objs: Vec<SpatialObject> = (0..5)
+            .map(|i| {
+                let p = Point::new(i as f64, 0.0);
+                SpatialObject::new(i, Geometry::Line(Polyline::new(vec![p, Point::new(i as f64 + 1.0, 1.0)])))
+            })
+            .collect();
+        let items = mbr_items(&objs);
+        assert_eq!(items.len(), 5);
+        for (k, (r, id)) in items.iter().enumerate() {
+            assert_eq!(*id, k as u64);
+            assert_eq!(*r, objs[k].mbr);
+        }
+    }
+}

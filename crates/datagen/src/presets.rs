@@ -1,0 +1,174 @@
+//! The paper's test suite (A)–(E) at original cardinalities.
+//!
+//! Table 8:
+//!
+//! | test | relation R                  | relation S                   | intersections |
+//! |------|-----------------------------|------------------------------|---------------|
+//! | (A)  | 131,461 streets             | 128,971 rivers & railways    | 86,094        |
+//! | (B)  | 131,461 streets             | 131,192 streets              | 154,262       |
+//! | (C)  | 598,677 streets             | 128,971 rivers & railways    | 395,189       |
+//! | (D)  | 128,971 rivers & railways   | 128,971 rivers & railways    | 505,583       |
+//! | (E)  | 67,527 region data          | 33,696 region data           | 543,069       |
+//!
+//! Test (D) joins *two identical* relations ("our algorithms treated the
+//! R\*-trees as if they would be different"); the preset returns the same
+//! generated objects for both sides. A `scale` factor shrinks all
+//! cardinalities proportionally for development runs — the experiment
+//! binaries default to a laptop-friendly scale and accept `--scale 1.0` for
+//! the full reproduction.
+
+use crate::lines::{rivers_and_rails_in, streets_paired};
+use crate::objects::{SpatialObject, WORLD};
+use crate::regions::regions_in;
+use rsj_geom::Rect;
+
+/// Identifies one of the paper's tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestId {
+    /// Streets × rivers & railways — the running example of §4.
+    A,
+    /// Streets × streets.
+    B,
+    /// Large street map × rivers (trees of different height, §4.4).
+    C,
+    /// Rivers joined with an identical copy of themselves.
+    D,
+    /// Region data × region data.
+    E,
+}
+
+impl TestId {
+    /// All five tests in paper order.
+    pub const ALL: [TestId; 5] = [TestId::A, TestId::B, TestId::C, TestId::D, TestId::E];
+
+    /// Paper cardinalities `(‖R‖dat, ‖S‖dat)`.
+    pub fn paper_cardinalities(self) -> (usize, usize) {
+        match self {
+            TestId::A => (131_461, 128_971),
+            TestId::B => (131_461, 131_192),
+            TestId::C => (598_677, 128_971),
+            TestId::D => (128_971, 128_971),
+            TestId::E => (67_527, 33_696),
+        }
+    }
+
+    /// The intersection count the paper reports (Table 8) — for
+    /// paper-vs-measured reporting, not for assertions.
+    pub fn paper_intersections(self) -> usize {
+        match self {
+            TestId::A => 86_094,
+            TestId::B => 154_262,
+            TestId::C => 395_189,
+            TestId::D => 505_583,
+            TestId::E => 543_069,
+        }
+    }
+}
+
+impl std::fmt::Display for TestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({})", match self {
+            TestId::A => "A",
+            TestId::B => "B",
+            TestId::C => "C",
+            TestId::D => "D",
+            TestId::E => "E",
+        })
+    }
+}
+
+/// The two generated relations of a preset.
+#[derive(Debug, Clone)]
+pub struct PresetData {
+    /// Which test this is.
+    pub test: TestId,
+    /// Relation R.
+    pub r: Vec<SpatialObject>,
+    /// Relation S.
+    pub s: Vec<SpatialObject>,
+}
+
+/// Generates test data for `test` at `scale` (1.0 = paper cardinalities).
+///
+/// The world shrinks with √scale so that object *density* — and with it the
+/// per-object join selectivity and the tree/buffer interplay — matches the
+/// full-scale run. Seeds are fixed per test and relation so every run of the
+/// suite sees the same data.
+pub fn preset(test: TestId, scale: f64) -> PresetData {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1], got {scale}");
+    let (nr, ns) = test.paper_cardinalities();
+    let nr = ((nr as f64 * scale) as usize).max(1);
+    let ns = ((ns as f64 * scale) as usize).max(1);
+    let world = scaled_world(scale);
+    // Street relations share town seed 0xA0: the paper's street maps all
+    // cover the same geography (California), so different street files are
+    // spatially correlated.
+    let (r, s) = match test {
+        TestId::A => (
+            streets_paired(nr, 0xA0, 0xD0, &world),
+            rivers_and_rails_in(ns, 0xA1, &world),
+        ),
+        TestId::B => (
+            streets_paired(nr, 0xA0, 0xD0, &world),
+            streets_paired(ns, 0xA0, 0xD1, &world),
+        ),
+        TestId::C => (
+            streets_paired(nr, 0xA0, 0xD2, &world),
+            rivers_and_rails_in(ns, 0xA1, &world),
+        ),
+        TestId::D => {
+            let rivers = rivers_and_rails_in(nr, 0xA1, &world);
+            (rivers.clone(), rivers)
+        }
+        TestId::E => (regions_in(nr, 0xE0, &world), regions_in(ns, 0xE1, &world)),
+    };
+    PresetData { test, r, s }
+}
+
+/// The default world shrunk to `scale` of its area (side × √scale).
+pub fn scaled_world(scale: f64) -> Rect {
+    let side_x = WORLD.width() * scale.sqrt();
+    let side_y = WORLD.height() * scale.sqrt();
+    Rect::from_corners(WORLD.xl, WORLD.yl, WORLD.xl + side_x, WORLD.yl + side_y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_cardinalities() {
+        let p = preset(TestId::A, 0.01);
+        assert_eq!(p.r.len(), 1314);
+        assert_eq!(p.s.len(), 1289);
+    }
+
+    #[test]
+    fn test_d_is_a_self_join() {
+        let p = preset(TestId::D, 0.005);
+        assert_eq!(p.r.len(), p.s.len());
+        for (a, b) in p.r.iter().zip(&p.s) {
+            assert_eq!(a.mbr, b.mbr);
+        }
+    }
+
+    #[test]
+    fn all_tests_generate() {
+        for t in TestId::ALL {
+            let p = preset(t, 0.002);
+            assert!(!p.r.is_empty() && !p.s.is_empty(), "{t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in")]
+    fn zero_scale_rejected() {
+        let _ = preset(TestId::A, 0.0);
+    }
+
+    #[test]
+    fn paper_numbers_are_recorded() {
+        assert_eq!(TestId::A.paper_cardinalities(), (131_461, 128_971));
+        assert_eq!(TestId::E.paper_intersections(), 543_069);
+    }
+}

@@ -1,0 +1,135 @@
+//! Region-data generator.
+//!
+//! Test (E) of the paper joins two region maps (the EU "Regions" dataset,
+//! 67,527 × 33,696 objects) and produces 543,069 intersections — roughly 16
+//! per object of the sparser relation, far above the line-data tests.
+//! Region MBRs are large relative to their spacing and overlap heavily.
+//!
+//! The generator draws mildly clustered centres and builds a convex-ish
+//! polygon blob around each; blob radii follow a heavy-ish-tailed
+//! distribution so a minority of big regions drives most intersections, as
+//! administrative regions do. Radii derive from the *density* (world area
+//! per region), so shrinking the world with the preset scale keeps the
+//! overlap rate stable.
+
+use crate::objects::{Geometry, SpatialObject, WORLD};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rsj_geom::{Point, Polygon, Rect};
+
+/// Generates `n` polygonal region objects in the default [`WORLD`].
+pub fn regions(n: usize, seed: u64) -> Vec<SpatialObject> {
+    regions_in(n, seed, &WORLD)
+}
+
+/// Generates `n` polygonal region objects in `world`.
+pub fn regions_in(n: usize, seed: u64, world: &Rect) -> Vec<SpatialObject> {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x94D0_49BB_1331_11EB).wrapping_add(3));
+    let mut out = Vec::with_capacity(n);
+    // Density-derived base radius: with n regions in the world, the mean
+    // per-region cell has area |W|/n; blob radii are multiples of the cell
+    // size so that neighbours overlap.
+    let cell = (world.area() / n.max(1) as f64).sqrt();
+    let max_radius = world.width().min(world.height()) * 0.2;
+    while out.len() < n {
+        // Heavy-ish tail: a few large regions dominate. Calibrated so that
+        // the preset (E) produces an intersection rate per object of the
+        // same order as the paper's Table 8 (≈ 8 per object of the denser
+        // relation).
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let radius = (cell * (0.35 + u.powi(3) * 2.0)).min(max_radius).max(cell * 0.1);
+        // Keep the centre far enough from the boundary that the blob never
+        // needs clamping (clamping can collapse a boundary polygon).
+        let margin = radius * 1.3;
+        let (lo_x, hi_x) = (world.xl + margin, world.xu - margin);
+        let (lo_y, hi_y) = (world.yl + margin, world.yu - margin);
+        let (cx, cy) = if lo_x < hi_x && lo_y < hi_y {
+            if rng.gen_bool(0.5) {
+                (rng.gen_range(lo_x..hi_x), rng.gen_range(lo_y..hi_y))
+            } else {
+                // Pull towards one of 8 fixed attractor points.
+                let k = rng.gen_range(0..8u32);
+                let ax = world.xl + world.width() * ((k % 4) as f64 + 0.5) / 4.0;
+                let ay = world.yl + world.height() * ((k / 4) as f64 + 0.5) / 2.0;
+                (
+                    (ax + rng.gen_range(-0.2..0.2) * world.width()).clamp(lo_x, hi_x),
+                    (ay + rng.gen_range(-0.2..0.2) * world.height()).clamp(lo_y, hi_y),
+                )
+            }
+        } else {
+            (world.center().x, world.center().y)
+        };
+        let vertices = rng.gen_range(6..=10);
+        let mut ring = Vec::with_capacity(vertices);
+        for k in 0..vertices {
+            let angle =
+                std::f64::consts::TAU * (k as f64 + rng.gen_range(-0.3..0.3)) / vertices as f64;
+            let r = radius * rng.gen_range(0.7..1.3);
+            ring.push(Point::new(
+                (cx + r * angle.cos()).clamp(world.xl, world.xu),
+                (cy + r * angle.sin()).clamp(world.yl, world.yu),
+            ));
+        }
+        out.push(SpatialObject::new(out.len() as u64, Geometry::Region(Polygon::new(ring))));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_count_within_world() {
+        for n in [1usize, 8, 500] {
+            let v = regions(n, 7);
+            assert_eq!(v.len(), n);
+            for o in &v {
+                assert!(WORLD.contains(&o.mbr));
+            }
+        }
+    }
+
+    #[test]
+    fn regions_overlap_heavily() {
+        let v = regions(800, 5);
+        let mut pairs = 0usize;
+        for (i, a) in v.iter().enumerate() {
+            for b in &v[i + 1..] {
+                if a.mbr.intersects(&b.mbr) {
+                    pairs += 1;
+                }
+            }
+        }
+        let per_obj = pairs as f64 / v.len() as f64;
+        assert!(per_obj > 2.0, "regions too sparse: {per_obj} intersections/object");
+    }
+
+    #[test]
+    fn polygons_are_nondegenerate() {
+        for o in regions(200, 2) {
+            match &o.geometry {
+                Geometry::Region(p) => {
+                    assert!(p.ring().len() >= 6);
+                    assert!(o.mbr.area() > 0.0, "degenerate region {:?}", o.mbr);
+                }
+                _ => panic!("regions must be polygons"),
+            }
+        }
+    }
+
+    #[test]
+    fn small_world_stays_in_bounds() {
+        let world = Rect::from_corners(10.0, 10.0, 60.0, 60.0);
+        for o in regions_in(300, 6, &world) {
+            assert!(world.contains(&o.mbr));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = regions(100, 11);
+        let b = regions(100, 11);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,111 @@
+//! Plain synthetic rectangle distributions.
+//!
+//! Uniform and Neyman–Scott cluster processes over bare rectangles. These
+//! are not part of the paper's evaluation (which uses real maps) but are the
+//! standard micro-workloads for unit tests, property tests and ablations —
+//! and the paper itself notes that analytical results exist mostly "for
+//! uniformly distributed data very rarely occurring in real applications",
+//! which makes the uniform baseline a useful contrast in the benches.
+
+use crate::objects::{Geometry, SpatialObject, WORLD};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rsj_geom::{Point, Polyline, Rect};
+
+/// `n` uniformly placed rectangles with edge lengths drawn from
+/// `0..max_extent`.
+pub fn uniform_rects(n: usize, max_extent: f64, seed: u64) -> Vec<SpatialObject> {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0xD6E8_FEB8_6659_FD93).wrapping_add(4));
+    (0..n)
+        .map(|i| {
+            let x = rng.gen_range(WORLD.xl..WORLD.xu);
+            let y = rng.gen_range(WORLD.yl..WORLD.yu);
+            let (w, h) = extents(&mut rng, max_extent);
+            rect_object(i as u64, x, y, w, h)
+        })
+        .collect()
+}
+
+fn extents(rng: &mut SmallRng, max_extent: f64) -> (f64, f64) {
+    if max_extent > 0.0 {
+        (rng.gen_range(0.0..max_extent), rng.gen_range(0.0..max_extent))
+    } else {
+        (0.0, 0.0)
+    }
+}
+
+/// `n` rectangles in a Neyman–Scott cluster process: `clusters` parent
+/// points, offspring scattered with the given `spread`, rectangle extents
+/// up to `max_extent`.
+pub fn clustered_rects(
+    n: usize,
+    clusters: usize,
+    spread: f64,
+    max_extent: f64,
+    seed: u64,
+) -> Vec<SpatialObject> {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0xA24B_AED4_963E_E407).wrapping_add(5));
+    let parents: Vec<(f64, f64)> = (0..clusters.max(1))
+        .map(|_| (rng.gen_range(WORLD.xl..WORLD.xu), rng.gen_range(WORLD.yl..WORLD.yu)))
+        .collect();
+    (0..n)
+        .map(|i| {
+            let &(px, py) = &parents[rng.gen_range(0..parents.len())];
+            let x = px + rng.gen_range(-spread..spread);
+            let y = py + rng.gen_range(-spread..spread);
+            let (w, h) = extents(&mut rng, max_extent);
+            rect_object(i as u64, x, y, w, h)
+        })
+        .collect()
+}
+
+/// Wraps a rectangle as a degenerate "line object" (its diagonal), so the
+/// synthetic workloads carry usable exact geometry too.
+fn rect_object(id: u64, x: f64, y: f64, w: f64, h: f64) -> SpatialObject {
+    let x = x.clamp(WORLD.xl, WORLD.xu - w.min(WORLD.width()));
+    let y = y.clamp(WORLD.yl, WORLD.yu - h.min(WORLD.height()));
+    let r = Rect::from_corners(x, y, (x + w).min(WORLD.xu), (y + h).min(WORLD.yu));
+    let diag = Polyline::new(vec![Point::new(r.xl, r.yl), Point::new(r.xu, r.yu)]);
+    SpatialObject::new(id, Geometry::Line(diag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_counts_and_bounds() {
+        let v = uniform_rects(300, 10.0, 1);
+        assert_eq!(v.len(), 300);
+        for o in &v {
+            assert!(WORLD.contains(&o.mbr));
+            assert!(o.mbr.width() <= 10.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn clustered_is_denser_than_uniform() {
+        let uni = uniform_rects(1000, 5.0, 2);
+        let clu = clustered_rects(1000, 10, 20.0, 5.0, 2);
+        let pair_count = |v: &[SpatialObject]| {
+            let mut c = 0;
+            for (i, a) in v.iter().enumerate() {
+                for b in &v[i + 1..] {
+                    if a.mbr.intersects(&b.mbr) {
+                        c += 1;
+                    }
+                }
+            }
+            c
+        };
+        assert!(pair_count(&clu) > pair_count(&uni) * 2);
+    }
+
+    #[test]
+    fn zero_extent_rects_are_points() {
+        let v = uniform_rects(50, 0.0, 3);
+        for o in &v {
+            assert_eq!(o.mbr.area(), 0.0);
+        }
+    }
+}

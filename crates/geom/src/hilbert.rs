@@ -1,0 +1,151 @@
+//! Hilbert curve ordering.
+//!
+//! Not used by the paper's algorithms (SJ5 uses z-order), but provided as an
+//! extension: Hilbert ordering has strictly better locality than z-order and
+//! is the standard key for Hilbert-packed bulk loading of R-trees, which the
+//! `rsj-rtree` crate offers alongside STR. Including it also lets the
+//! benchmark suite ablate "z-order vs Hilbert" as a read-schedule key.
+
+use crate::rect::{Point, Rect};
+
+/// Maximum refinement level: `2 * 31` bits fit in `u64`.
+pub const MAX_LEVEL: u32 = 31;
+
+/// Maps grid coordinates `(x, y)` on a `2^level` grid to their index along
+/// the Hilbert curve of that order.
+///
+/// Classic bit-twiddling formulation (Hamilton's algorithm): walk from the
+/// most significant bit down, rotating/reflecting the quadrant frame.
+pub fn xy_to_d(level: u32, mut x: u32, mut y: u32) -> u64 {
+    let level = level.min(MAX_LEVEL);
+    let mut d: u64 = 0;
+    let mut s: u32 = if level == 0 { 0 } else { 1 << (level - 1) };
+    while s > 0 {
+        let rx = u32::from((x & s) > 0);
+        let ry = u32::from((y & s) > 0);
+        d += (s as u64) * (s as u64) * ((3 * rx) ^ ry) as u64;
+        // Rotate the quadrant.
+        if ry == 0 {
+            if rx == 1 {
+                x = s.wrapping_sub(1).wrapping_sub(x) & (s.wrapping_mul(2).wrapping_sub(1));
+                y = s.wrapping_sub(1).wrapping_sub(y) & (s.wrapping_mul(2).wrapping_sub(1));
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+/// Inverse of [`xy_to_d`]: Hilbert index back to grid coordinates.
+pub fn d_to_xy(level: u32, d: u64) -> (u32, u32) {
+    let level = level.min(MAX_LEVEL);
+    let (mut x, mut y) = (0u32, 0u32);
+    let mut t = d;
+    let mut s: u64 = 1;
+    while s < (1u64 << level) {
+        let rx = 1 & (t / 2) as u32;
+        let ry = 1 & ((t as u32) ^ rx);
+        // Rotate.
+        if ry == 0 {
+            if rx == 1 {
+                x = (s as u32 - 1).wrapping_sub(x);
+                y = (s as u32 - 1).wrapping_sub(y);
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        x += (s as u32) * rx;
+        y += (s as u32) * ry;
+        t /= 4;
+        s *= 2;
+    }
+    (x, y)
+}
+
+/// Hilbert index of a point quantized into a `2^level` grid over `frame`.
+/// Out-of-frame points clamp to boundary cells.
+pub fn hilbert_value(p: &Point, frame: &Rect, level: u32) -> u64 {
+    let level = level.min(MAX_LEVEL);
+    let cells = 1u64 << level;
+    let gx = quantize(p.x, frame.xl, frame.xu, cells);
+    let gy = quantize(p.y, frame.yl, frame.yu, cells);
+    xy_to_d(level, gx, gy)
+}
+
+/// Hilbert index of a rectangle's centre.
+pub fn hilbert_center(r: &Rect, frame: &Rect, level: u32) -> u64 {
+    hilbert_value(&r.center(), frame, level)
+}
+
+#[inline]
+fn quantize(v: f64, lo: f64, hi: f64, cells: u64) -> u32 {
+    if hi <= lo {
+        return 0;
+    }
+    let t = (v - lo) / (hi - lo);
+    (t * cells as f64).floor().clamp(0.0, (cells - 1) as f64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_1_curve() {
+        // Order-1 Hilbert curve visits (0,0) (0,1) (1,1) (1,0).
+        assert_eq!(xy_to_d(1, 0, 0), 0);
+        assert_eq!(xy_to_d(1, 0, 1), 1);
+        assert_eq!(xy_to_d(1, 1, 1), 2);
+        assert_eq!(xy_to_d(1, 1, 0), 3);
+    }
+
+    #[test]
+    fn roundtrip_small_grids() {
+        for level in 1..=6u32 {
+            let n = 1u32 << level;
+            for x in 0..n {
+                for y in 0..n {
+                    let d = xy_to_d(level, x, y);
+                    assert_eq!(d_to_xy(level, d), (x, y), "level {level} ({x},{y})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn curve_is_a_bijection_on_order_4() {
+        let level = 4;
+        let n = 1u32 << level;
+        let mut seen = vec![false; (n * n) as usize];
+        for x in 0..n {
+            for y in 0..n {
+                let d = xy_to_d(level, x, y) as usize;
+                assert!(!seen[d]);
+                seen[d] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn consecutive_indices_are_grid_neighbours() {
+        // The defining property of the Hilbert curve: steps move one cell.
+        let level = 5;
+        let n = 1u64 << (2 * level);
+        let mut prev = d_to_xy(level, 0);
+        for d in 1..n {
+            let cur = d_to_xy(level, d);
+            let dist = (cur.0 as i64 - prev.0 as i64).abs() + (cur.1 as i64 - prev.1 as i64).abs();
+            assert_eq!(dist, 1, "jump at d={d}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn hilbert_value_clamps() {
+        let frame = Rect::from_corners(0.0, 0.0, 1.0, 1.0);
+        let v = hilbert_value(&Point::new(-3.0, 0.5), &frame, 8);
+        let w = hilbert_value(&Point::new(0.0, 0.5), &frame, 8);
+        assert_eq!(v, w);
+    }
+}

@@ -1,0 +1,33 @@
+//! Geometry kernel for R-tree spatial joins.
+//!
+//! This crate provides the geometric substrate of the SIGMOD'93 spatial-join
+//! reproduction:
+//!
+//! * [`Rect`] — axis-parallel ("rectilinear", in the paper's terms) rectangles
+//!   with the full algebra the R\*-tree needs: intersection, union, area,
+//!   margin, overlap, enlargement.
+//! * [`CmpCounter`] — the paper measures CPU time in *number of floating-point
+//!   comparisons*; every hot-path predicate has a counted variant that
+//!   increments a counter exactly as often as the paper's accounting demands
+//!   (≤ 4 comparisons per rectangle intersection test, exactly 4 when the
+//!   rectangles do intersect, see §4 of the paper).
+//! * [`zorder`] / [`hilbert`] — space-filling curves. Z-ordering (the
+//!   Peano curve of §4.3, "Local z-order") drives the SJ5 read schedule;
+//!   Hilbert ordering is provided as an extension for bulk loading.
+//! * [`poly`] — exact polyline/polygon geometry for the *refinement step* of
+//!   the ID- and object-spatial-joins (§2.1): the MBR join is only the filter
+//!   step, candidates must then be tested on their exact geometry.
+//!
+//! Everything is `f64`, deterministic, and free of external dependencies.
+
+pub mod counter;
+pub mod geometry;
+pub mod hilbert;
+pub mod poly;
+pub mod rect;
+pub mod zorder;
+
+pub use counter::CmpCounter;
+pub use geometry::Geometry;
+pub use poly::{Polygon, Polyline, Segment};
+pub use rect::{Point, Rect};

@@ -1,0 +1,146 @@
+//! Z-ordering (Peano curve).
+//!
+//! §4.3 of the paper ("Local z-order") sorts the intersection rectangles of
+//! two directory nodes by the z-order value of their centres to derive the
+//! SJ5 read schedule: "The basic idea is to decompose the underlying space
+//! into cells of equal size and provide an ordering on this set of cells."
+//!
+//! We quantize a point into a `2^level × 2^level` grid over a reference
+//! frame and interleave the bits of the two grid coordinates (x bit in the
+//! lower position), which yields the classic Morton/z code.
+
+use crate::rect::{Point, Rect};
+
+/// Maximum supported grid refinement; 31 keeps `2 * level` bits within `u64`
+/// while allowing per-axis coordinates to fit in `u32`.
+pub const MAX_LEVEL: u32 = 31;
+
+/// Spreads the low 32 bits of `v` so that bit `i` moves to bit `2 i`.
+#[inline]
+fn spread_bits(v: u32) -> u64 {
+    let mut x = v as u64;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`spread_bits`]: collects every second bit.
+#[inline]
+fn collect_bits(v: u64) -> u32 {
+    let mut x = v & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x as u32
+}
+
+/// Interleaves two grid coordinates into a z (Morton) code.
+///
+/// `x` contributes the even bit positions, `y` the odd ones, so the curve
+/// first splits along y then x — the orientation is irrelevant for its use
+/// as a spatial sort key.
+#[inline]
+pub fn interleave(x: u32, y: u32) -> u64 {
+    spread_bits(x) | (spread_bits(y) << 1)
+}
+
+/// Splits a z code back into its grid coordinates `(x, y)`.
+#[inline]
+pub fn deinterleave(z: u64) -> (u32, u32) {
+    (collect_bits(z), collect_bits(z >> 1))
+}
+
+/// Quantizes point `p` into the `2^level` grid over `frame` and returns its
+/// z code. Points outside the frame are clamped to the boundary cells, so
+/// the function is total.
+///
+/// A degenerate frame axis (zero extent) maps every coordinate on that axis
+/// to cell 0.
+pub fn z_value(p: &Point, frame: &Rect, level: u32) -> u64 {
+    let level = level.min(MAX_LEVEL);
+    let cells = 1u64 << level;
+    let gx = quantize(p.x, frame.xl, frame.xu, cells);
+    let gy = quantize(p.y, frame.yl, frame.yu, cells);
+    interleave(gx, gy)
+}
+
+/// Z code of the centre of a rectangle — the SJ5 sort key (§4.3: "we sort
+/// the rectangles according to the spatial location of their centers").
+pub fn z_center(r: &Rect, frame: &Rect, level: u32) -> u64 {
+    z_value(&r.center(), frame, level)
+}
+
+#[inline]
+fn quantize(v: f64, lo: f64, hi: f64, cells: u64) -> u32 {
+    if hi <= lo {
+        return 0;
+    }
+    let t = (v - lo) / (hi - lo);
+    let cell = (t * cells as f64).floor();
+    // Clamp: the upper frame boundary and out-of-frame points map to edge cells.
+    cell.clamp(0.0, (cells - 1) as f64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleave_small_values() {
+        // x=0b11, y=0b00 -> bits 0 and 2 set.
+        assert_eq!(interleave(0b11, 0b00), 0b0101);
+        // x=0b00, y=0b11 -> bits 1 and 3 set.
+        assert_eq!(interleave(0b00, 0b11), 0b1010);
+        assert_eq!(interleave(1, 1), 0b11);
+    }
+
+    #[test]
+    fn interleave_roundtrip() {
+        for &(x, y) in &[(0u32, 0u32), (1, 2), (12345, 54321), (u32::MAX, 0), (0x8000_0000, 0x7FFF_FFFF)] {
+            assert_eq!(deinterleave(interleave(x, y)), (x, y));
+        }
+    }
+
+    #[test]
+    fn z_order_of_quadrants() {
+        // Classic Z shape on a 2x2 grid: (0,0) < (1,0) < (0,1) < (1,1).
+        let frame = Rect::from_corners(0.0, 0.0, 1.0, 1.0);
+        let z = |x, y| z_value(&Point::new(x, y), &frame, 1);
+        let ll = z(0.25, 0.25);
+        let lr = z(0.75, 0.25);
+        let ul = z(0.25, 0.75);
+        let ur = z(0.75, 0.75);
+        assert!(ll < lr && lr < ul && ul < ur);
+    }
+
+    #[test]
+    fn out_of_frame_points_are_clamped() {
+        let frame = Rect::from_corners(0.0, 0.0, 1.0, 1.0);
+        let below = z_value(&Point::new(-5.0, -5.0), &frame, 8);
+        let above = z_value(&Point::new(5.0, 5.0), &frame, 8);
+        assert_eq!(below, 0);
+        assert_eq!(above, interleave(255, 255));
+    }
+
+    #[test]
+    fn degenerate_frame_is_total() {
+        let frame = Rect::from_corners(2.0, 0.0, 2.0, 1.0);
+        assert_eq!(z_value(&Point::new(2.0, 0.5), &frame, 4), z_value(&Point::new(7.0, 0.5), &frame, 4));
+    }
+
+    #[test]
+    fn locality_coarse_check() {
+        // Points in the same quadrant share the top bit pair of their z code.
+        let frame = Rect::from_corners(0.0, 0.0, 1.0, 1.0);
+        let a = z_value(&Point::new(0.1, 0.1), &frame, 16);
+        let b = z_value(&Point::new(0.4, 0.4), &frame, 16);
+        let c = z_value(&Point::new(0.9, 0.9), &frame, 16);
+        assert_eq!(a >> 30, b >> 30);
+        assert_ne!(a >> 30, c >> 30);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the geometry kernel.
+
+use proptest::prelude::*;
+use rsj_geom::{hilbert, zorder, CmpCounter, Point, Rect, Segment};
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (-1000.0..1000.0f64, -1000.0..1000.0f64, 0.0..100.0f64, 0.0..100.0f64)
+        .prop_map(|(x, y, w, h)| Rect::from_corners(x, y, x + w, y + h))
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1000.0..1000.0f64, -1000.0..1000.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn intersection_is_symmetric(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        prop_assert_eq!(a.overlap_area(&b), b.overlap_area(&a));
+    }
+
+    #[test]
+    fn counted_matches_uncounted(a in arb_rect(), b in arb_rect()) {
+        let mut c = CmpCounter::new();
+        prop_assert_eq!(a.intersects(&b), a.intersects_counted(&b, &mut c));
+    }
+
+    #[test]
+    fn counted_cost_bounds(a in arb_rect(), b in arb_rect()) {
+        let mut c = CmpCounter::new();
+        let hit = a.intersects_counted(&b, &mut c);
+        let n = c.get();
+        prop_assert!((1..=4).contains(&n));
+        if hit {
+            prop_assert_eq!(n, 4);
+        }
+    }
+
+    #[test]
+    fn intersection_consistent_with_predicate(a in arb_rect(), b in arb_rect()) {
+        match a.intersection(&b) {
+            Some(i) => {
+                prop_assert!(a.intersects(&b));
+                prop_assert!(a.contains(&i));
+                prop_assert!(b.contains(&i));
+                prop_assert!((i.area() - a.overlap_area(&b)).abs() < 1e-9);
+            }
+            None => prop_assert!(!a.intersects(&b)),
+        }
+    }
+
+    #[test]
+    fn union_covers_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains(&a));
+        prop_assert!(u.contains(&b));
+        prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn enlargement_nonnegative(a in arb_rect(), b in arb_rect()) {
+        prop_assert!(a.enlargement(&b) >= -1e-9);
+    }
+
+    #[test]
+    fn containment_implies_intersection(a in arb_rect(), b in arb_rect()) {
+        if a.contains(&b) {
+            prop_assert!(a.intersects(&b));
+            prop_assert!(a.area() >= b.area() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn mbr_of_contains_all(rects in prop::collection::vec(arb_rect(), 1..20)) {
+        let m = Rect::mbr_of(&rects);
+        for r in &rects {
+            prop_assert!(m.contains(r));
+        }
+    }
+
+    #[test]
+    fn zorder_roundtrip(x in any::<u32>(), y in any::<u32>()) {
+        prop_assert_eq!(zorder::deinterleave(zorder::interleave(x, y)), (x, y));
+    }
+
+    #[test]
+    fn zorder_total_on_any_point(p in arb_point()) {
+        let frame = Rect::from_corners(-1000.0, -1000.0, 1000.0, 1000.0);
+        let z = zorder::z_value(&p, &frame, 16);
+        prop_assert!(z < (1u64 << 32));
+    }
+
+    #[test]
+    fn hilbert_roundtrip(level in 1u32..12, d in any::<u64>()) {
+        let n = 1u64 << (2 * level);
+        let d = d % n;
+        let (x, y) = hilbert::d_to_xy(level, d);
+        prop_assert_eq!(hilbert::xy_to_d(level, x, y), d);
+    }
+
+    #[test]
+    fn segment_intersection_symmetric(
+        ax in -100.0..100.0f64, ay in -100.0..100.0f64,
+        bx in -100.0..100.0f64, by in -100.0..100.0f64,
+        cx in -100.0..100.0f64, cy in -100.0..100.0f64,
+        dx in -100.0..100.0f64, dy in -100.0..100.0f64,
+    ) {
+        let s = Segment::new(Point::new(ax, ay), Point::new(bx, by));
+        let t = Segment::new(Point::new(cx, cy), Point::new(dx, dy));
+        prop_assert_eq!(s.intersects(&t), t.intersects(&s));
+    }
+
+    #[test]
+    fn segment_intersection_implies_mbr_overlap(
+        ax in -100.0..100.0f64, ay in -100.0..100.0f64,
+        bx in -100.0..100.0f64, by in -100.0..100.0f64,
+        cx in -100.0..100.0f64, cy in -100.0..100.0f64,
+        dx in -100.0..100.0f64, dy in -100.0..100.0f64,
+    ) {
+        let s = Segment::new(Point::new(ax, ay), Point::new(bx, by));
+        let t = Segment::new(Point::new(cx, cy), Point::new(dx, dy));
+        if s.intersects(&t) {
+            prop_assert!(s.mbr().intersects(&t.mbr()));
+        }
+    }
+
+    #[test]
+    fn segment_self_intersection(
+        ax in -100.0..100.0f64, ay in -100.0..100.0f64,
+        bx in -100.0..100.0f64, by in -100.0..100.0f64,
+    ) {
+        let s = Segment::new(Point::new(ax, ay), Point::new(bx, by));
+        prop_assert!(s.intersects(&s));
+    }
+}

@@ -1,0 +1,211 @@
+//! k-nearest-neighbour queries (extension).
+//!
+//! Not part of the 1993 join paper, but a staple R\*-tree operation and a
+//! natural companion to the distance join: best-first branch-and-bound
+//! search (Hjaltason & Samet style) using the minimum squared Euclidean
+//! distance between the query point and an entry's MBR as the bound.
+//!
+//! MBR distance is a *lower bound* on true object distance, so for the
+//! MBR-level trees in this crate the result is exact in MBR space and a
+//! candidate filter in object space — exactly parallel to the
+//! filter/refinement split of the joins.
+
+use crate::node::{ChildRef, DataId};
+use crate::tree::RTree;
+use rsj_geom::{CmpCounter, Point, Rect};
+use rsj_storage::PageId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A k-NN result: data entry plus its squared MBR distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// The data entry's MBR.
+    pub rect: Rect,
+    /// The data entry's id.
+    pub id: DataId,
+    /// Squared Euclidean distance from the query point to `rect`.
+    pub dist2: f64,
+}
+
+/// Priority-queue element: min-heap on distance via reversed ordering.
+enum QueueItem {
+    Node(PageId, f64),
+    Data(Rect, DataId, f64),
+}
+
+impl QueueItem {
+    fn dist2(&self) -> f64 {
+        match self {
+            QueueItem::Node(_, d) | QueueItem::Data(_, _, d) => *d,
+        }
+    }
+}
+
+impl PartialEq for QueueItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist2() == other.dist2()
+    }
+}
+impl Eq for QueueItem {}
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; distances are finite by construction.
+        other
+            .dist2()
+            .partial_cmp(&self.dist2())
+            .expect("distances must not be NaN")
+            // Tie-break data before nodes so exact results pop first.
+            .then_with(|| match (self, other) {
+                (QueueItem::Data(..), QueueItem::Node(..)) => Ordering::Greater,
+                (QueueItem::Node(..), QueueItem::Data(..)) => Ordering::Less,
+                _ => Ordering::Equal,
+            })
+    }
+}
+
+impl RTree {
+    /// The `k` data entries whose MBRs are nearest to `query` (squared
+    /// Euclidean MBR distance), ascending. Fewer than `k` if the tree is
+    /// smaller.
+    pub fn nearest_neighbors(&self, query: &Point, k: usize) -> Vec<Neighbor> {
+        let mut cmp = CmpCounter::new();
+        self.nearest_neighbors_counted(query, k, &mut cmp, &mut |_, _| {})
+    }
+
+    /// [`RTree::nearest_neighbors`] with comparison counting and a page
+    /// access hook, matching the accounting style of the join crate.
+    ///
+    /// Each distance evaluation is charged as two comparisons (one per
+    /// axis clamp) — a pragmatic extension of the paper's counting scheme,
+    /// which predates distance queries.
+    pub fn nearest_neighbors_counted(
+        &self,
+        query: &Point,
+        k: usize,
+        cmp: &mut CmpCounter,
+        on_access: &mut dyn FnMut(PageId, u32),
+    ) -> Vec<Neighbor> {
+        let mut out = Vec::with_capacity(k.min(self.len()));
+        if k == 0 || self.is_empty() {
+            return out;
+        }
+        let mut heap = BinaryHeap::new();
+        heap.push(QueueItem::Node(self.root(), 0.0));
+        while let Some(item) = heap.pop() {
+            match item {
+                QueueItem::Data(rect, id, dist2) => {
+                    out.push(Neighbor { rect, id, dist2 });
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                QueueItem::Node(page, _) => {
+                    let node = self.node(page);
+                    on_access(page, node.level);
+                    for e in &node.entries {
+                        cmp.add(2);
+                        let d = e.rect.dist2_to_point(query);
+                        match e.child {
+                            ChildRef::Page(p) => heap.push(QueueItem::Node(p, d)),
+                            ChildRef::Data(id) => heap.push(QueueItem::Data(e.rect, id, d)),
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{InsertPolicy, RTreeParams};
+
+    fn grid_tree(n: u64) -> RTree {
+        let mut t = RTree::new(RTreeParams::explicit(200, 10, 4, InsertPolicy::RStar));
+        for i in 0..n {
+            let x = (i % 20) as f64 * 10.0;
+            let y = (i / 20) as f64 * 10.0;
+            t.insert(Rect::from_corners(x, y, x + 2.0, y + 2.0), DataId(i));
+        }
+        t
+    }
+
+    fn naive_knn(t: &RTree, q: &Point, k: usize) -> Vec<(f64, u64)> {
+        let mut v: Vec<(f64, u64)> = t
+            .data_entries()
+            .into_iter()
+            .map(|(r, id)| (r.dist2_to_point(q), id.0))
+            .collect();
+        v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        v.truncate(k);
+        v
+    }
+
+    #[test]
+    fn knn_matches_naive_scan() {
+        let t = grid_tree(300);
+        for q in [Point::new(55.0, 77.0), Point::new(0.0, 0.0), Point::new(500.0, 500.0)] {
+            for k in [1usize, 5, 17] {
+                let got = t.nearest_neighbors(&q, k);
+                let want = naive_knn(&t, &q, k);
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    // Ties can reorder ids; distances must agree.
+                    assert!((g.dist2 - w.0).abs() < 1e-9, "q {q:?} k {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_sorted_ascending() {
+        let t = grid_tree(200);
+        let res = t.nearest_neighbors(&Point::new(42.0, 42.0), 25);
+        for w in res.windows(2) {
+            assert!(w[0].dist2 <= w[1].dist2);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_tree_returns_everything() {
+        let t = grid_tree(12);
+        let res = t.nearest_neighbors(&Point::new(0.0, 0.0), 100);
+        assert_eq!(res.len(), 12);
+    }
+
+    #[test]
+    fn k_zero_and_empty_tree() {
+        let t = grid_tree(10);
+        assert!(t.nearest_neighbors(&Point::new(0.0, 0.0), 0).is_empty());
+        let empty = RTree::new(RTreeParams::explicit(200, 10, 4, InsertPolicy::RStar));
+        assert!(empty.nearest_neighbors(&Point::new(0.0, 0.0), 3).is_empty());
+    }
+
+    #[test]
+    fn query_inside_a_rect_has_distance_zero() {
+        let t = grid_tree(100);
+        let res = t.nearest_neighbors(&Point::new(1.0, 1.0), 1);
+        assert_eq!(res[0].dist2, 0.0);
+        assert_eq!(res[0].id, DataId(0));
+    }
+
+    #[test]
+    fn counted_variant_charges_and_visits() {
+        let t = grid_tree(300);
+        let mut cmp = CmpCounter::new();
+        let mut pages = 0usize;
+        let res =
+            t.nearest_neighbors_counted(&Point::new(95.0, 95.0), 3, &mut cmp, &mut |_, _| pages += 1);
+        assert_eq!(res.len(), 3);
+        assert!(cmp.get() > 0);
+        assert!(pages >= 1 && pages <= t.live_page_count(), "visited {pages}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Tree parameters derived from the page size.
+
+/// Bytes of one node entry as laid out in the paper's experiments: an MBR of
+/// four 4-byte floating-point coordinates plus a 4-byte page/object
+/// reference. Table 1's node capacities (M = 51/102/204/409 for pages of
+/// 1/2/4/8 KByte) follow from ⌊page_bytes / 20⌋.
+pub const ENTRY_BYTES: usize = 20;
+
+/// Which insertion algorithm maintains the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertPolicy {
+    /// R\*-tree insertion: overlap-minimizing ChooseSubtree, forced
+    /// reinsertion, topological split (Beckmann et al., §3.2 of the paper).
+    RStar,
+    /// Guttman's original insertion with the quadratic-cost split.
+    GuttmanQuadratic,
+    /// Guttman's original insertion with the linear-cost split.
+    GuttmanLinear,
+}
+
+/// Structural parameters of a tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RTreeParams {
+    /// Page size in bytes; determines node capacity and transfer cost.
+    pub page_bytes: usize,
+    /// Maximum entries per node, M.
+    pub max_entries: usize,
+    /// Minimum entries per node, m (`2 <= m <= M/2`, §3.1).
+    pub min_entries: usize,
+    /// Entries removed by one forced-reinsertion pass (R\*: 30 % of M).
+    pub reinsert_count: usize,
+    /// Insertion algorithm.
+    pub policy: InsertPolicy,
+}
+
+impl RTreeParams {
+    /// Derives the paper's parameters for a page size: M = ⌊page/20⌋,
+    /// m = 40 % of M (the R\*-paper's recommendation), reinsert p = 30 % of M.
+    ///
+    /// # Panics
+    /// If the page is too small to hold five entries (M ≥ 5 keeps
+    /// `2 ≤ m ≤ M/2` satisfiable with m ≥ 2).
+    pub fn for_page_size(page_bytes: usize) -> Self {
+        let max_entries = page_bytes / ENTRY_BYTES;
+        assert!(max_entries >= 5, "page of {page_bytes} B holds only {max_entries} entries; need >= 5");
+        let min_entries = ((max_entries as f64 * 0.4) as usize).clamp(2, max_entries / 2);
+        let reinsert_count = ((max_entries as f64 * 0.3) as usize).max(1);
+        RTreeParams {
+            page_bytes,
+            max_entries,
+            min_entries,
+            reinsert_count,
+            policy: InsertPolicy::RStar,
+        }
+    }
+
+    /// Same derivation with an explicit insertion policy.
+    pub fn with_policy(page_bytes: usize, policy: InsertPolicy) -> Self {
+        RTreeParams { policy, ..Self::for_page_size(page_bytes) }
+    }
+
+    /// Explicit capacities — for tests exercising tiny nodes.
+    ///
+    /// # Panics
+    /// If `2 <= min <= max/2` is violated.
+    pub fn explicit(page_bytes: usize, max: usize, min: usize, policy: InsertPolicy) -> Self {
+        assert!(min >= 2 && min <= max / 2, "need 2 <= m <= M/2, got m={min}, M={max}");
+        RTreeParams {
+            page_bytes,
+            max_entries: max,
+            min_entries: min,
+            reinsert_count: ((max as f64 * 0.3) as usize).max(1),
+            policy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacities_match_table_1() {
+        assert_eq!(RTreeParams::for_page_size(1024).max_entries, 51);
+        assert_eq!(RTreeParams::for_page_size(2048).max_entries, 102);
+        assert_eq!(RTreeParams::for_page_size(4096).max_entries, 204);
+        assert_eq!(RTreeParams::for_page_size(8192).max_entries, 409);
+    }
+
+    #[test]
+    fn derived_bounds_are_legal() {
+        for &sz in &[128usize, 256, 1024, 2048, 4096, 8192, 16384] {
+            let p = RTreeParams::for_page_size(sz);
+            assert!(p.min_entries >= 2);
+            assert!(p.min_entries <= p.max_entries / 2);
+            assert!(p.reinsert_count >= 1);
+            assert!(p.reinsert_count < p.max_entries);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need >= 5")]
+    fn tiny_page_rejected() {
+        let _ = RTreeParams::for_page_size(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "2 <= m <= M/2")]
+    fn explicit_validates_bounds() {
+        let _ = RTreeParams::explicit(1024, 8, 5, InsertPolicy::RStar);
+    }
+}

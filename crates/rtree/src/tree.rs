@@ -1,0 +1,174 @@
+//! The tree handle.
+
+use crate::node::{Node, ChildRef, DataId, Entry};
+use crate::params::RTreeParams;
+use rsj_geom::Rect;
+use rsj_storage::{PageId, PageStore};
+
+/// A paged R-tree: a root page, a page store holding one node per page, and
+/// the structural parameters.
+///
+/// All mutation goes through the insertion/deletion modules; queries and the
+/// join crate use [`RTree::node`] for charge-free borrows and do their own
+/// buffer accounting against the page ids.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    pub(crate) store: PageStore<Node>,
+    pub(crate) root: PageId,
+    pub(crate) params: RTreeParams,
+    pub(crate) len: usize,
+}
+
+impl RTree {
+    /// Creates an empty tree (a single empty leaf as root).
+    pub fn new(params: RTreeParams) -> Self {
+        let mut store = PageStore::new(params.page_bytes);
+        let root = store.alloc(Node::leaf());
+        RTree { store, root, params, len: 0 }
+    }
+
+    /// The root page.
+    #[inline]
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// The structural parameters.
+    #[inline]
+    pub fn params(&self) -> &RTreeParams {
+        &self.params
+    }
+
+    /// Number of data entries stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no data entry is stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree in levels (a single leaf root has height 1).
+    pub fn height(&self) -> u32 {
+        self.node(self.root).level + 1
+    }
+
+    /// Depth (distance from the root) of a node given its level; used for
+    /// path-buffer bookkeeping, where the root is depth 0.
+    #[inline]
+    pub fn depth_of_level(&self, level: u32) -> usize {
+        (self.height() - 1 - level) as usize
+    }
+
+    /// Borrows a node without charging I/O (see `PageStore::peek`).
+    #[inline]
+    pub fn node(&self, id: PageId) -> &Node {
+        self.store.peek(id)
+    }
+
+    /// MBR of the whole tree ([`Rect::empty`] if the tree is empty).
+    pub fn mbr(&self) -> Rect {
+        self.node(self.root).mbr()
+    }
+
+    /// The underlying page store.
+    #[inline]
+    pub fn page_store(&self) -> &PageStore<Node> {
+        &self.store
+    }
+
+    /// Number of pages allocated, including pages freed by merges (the
+    /// simulated disk does not reuse pages; see [`RTree::live_page_count`]
+    /// for reachable pages).
+    #[inline]
+    pub fn allocated_pages(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Number of pages reachable from the root.
+    pub fn live_page_count(&self) -> usize {
+        let mut n = 0;
+        self.for_each_node(|_, _| n += 1);
+        n
+    }
+
+    /// Visits every reachable node top-down, passing `(page, node)`.
+    pub fn for_each_node(&self, mut f: impl FnMut(PageId, &Node)) {
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            let node = self.node(page);
+            f(page, node);
+            if !node.is_leaf() {
+                for e in &node.entries {
+                    stack.push(e.child.page().expect("directory entry must point to a page"));
+                }
+            }
+        }
+    }
+
+    /// Iterates over all data entries `(rect, id)` in an unspecified order.
+    pub fn data_entries(&self) -> Vec<(Rect, DataId)> {
+        let mut out = Vec::with_capacity(self.len);
+        self.for_each_node(|_, node| {
+            if node.is_leaf() {
+                for e in &node.entries {
+                    out.push((e.rect, e.child.data().expect("leaf entry must point to data")));
+                }
+            }
+        });
+        out
+    }
+
+    pub(crate) fn node_mut(&mut self, id: PageId) -> &mut Node {
+        self.store.peek_mut(id)
+    }
+
+    pub(crate) fn alloc_node(&mut self, node: Node) -> PageId {
+        self.store.alloc(node)
+    }
+
+    /// Installs a brand-new root with the given entries at `level`.
+    pub(crate) fn grow_root(&mut self, entries: Vec<Entry>, level: u32) {
+        let root = self.alloc_node(Node { level, entries });
+        self.root = root;
+    }
+
+    /// Child page of a directory entry, panicking on leaf entries — a
+    /// convenience for traversal code (used heavily by the join crate).
+    pub fn child_page(entry: &Entry) -> PageId {
+        match entry.child {
+            ChildRef::Page(p) => p,
+            ChildRef::Data(_) => panic!("expected a directory entry"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::InsertPolicy;
+
+    fn params() -> RTreeParams {
+        RTreeParams::explicit(1024, 8, 3, InsertPolicy::RStar)
+    }
+
+    #[test]
+    fn fresh_tree_is_a_single_empty_leaf() {
+        let t = RTree::new(params());
+        assert_eq!(t.height(), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.mbr().is_empty());
+        assert_eq!(t.live_page_count(), 1);
+        assert_eq!(t.depth_of_level(0), 0);
+    }
+
+    #[test]
+    fn data_entries_of_empty_tree() {
+        let t = RTree::new(params());
+        assert!(t.data_entries().is_empty());
+    }
+}

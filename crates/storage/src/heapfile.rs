@@ -1,0 +1,169 @@
+//! A slotted-page heap file for exact object geometry.
+//!
+//! §3.1: "A leaf node contains entries of the form (ref, rect) where ref
+//! refers to a spatial object in the database". The leaf entries of our
+//! R\*-trees carry [`RecordId`]s into a heap file holding the exact
+//! geometry; the *refinement step* of the ID-/object-spatial-join (§2) reads
+//! these records, and each page it touches is charged like any other page.
+//!
+//! Records are assigned to pages by a simple first-fit-in-appending-order
+//! policy using a caller-provided size estimate, so spatially contiguous
+//! insertion orders yield spatially clustered pages — the generators insert
+//! in generation order, which is spatially correlated, mirroring how a
+//! loaded GIS database would be clustered.
+
+use crate::page::PageId;
+
+/// Address of a record: page plus slot within the page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId {
+    /// Heap-file page holding the record.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+#[derive(Debug, Clone)]
+struct HeapPage<T> {
+    records: Vec<T>,
+    used_bytes: usize,
+}
+
+/// An append-only heap file of variable-size records packed into
+/// fixed-size pages.
+#[derive(Debug, Clone)]
+pub struct HeapFile<T> {
+    pages: Vec<HeapPage<T>>,
+    page_bytes: usize,
+    reads: u64,
+}
+
+impl<T> HeapFile<T> {
+    /// Creates a heap file with the given page size.
+    pub fn new(page_bytes: usize) -> Self {
+        assert!(page_bytes > 0, "page size must be positive");
+        HeapFile { pages: Vec::new(), page_bytes, reads: 0 }
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub fn page_bytes(&self) -> usize {
+        self.page_bytes
+    }
+
+    /// Number of pages.
+    #[inline]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total number of records.
+    pub fn record_count(&self) -> usize {
+        self.pages.iter().map(|p| p.records.len()).sum()
+    }
+
+    /// Appends a record whose on-disk footprint is `record_bytes`, opening a
+    /// new page when the current one is full. Oversized records get a page
+    /// of their own (spanning is not modelled — the paper's data objects are
+    /// polyline fragments well below page size).
+    pub fn append(&mut self, record: T, record_bytes: usize) -> RecordId {
+        let needs_new = match self.pages.last() {
+            Some(p) => p.used_bytes + record_bytes > self.page_bytes && !p.records.is_empty(),
+            None => true,
+        };
+        if needs_new {
+            self.pages.push(HeapPage { records: Vec::new(), used_bytes: 0 });
+        }
+        let page_idx = self.pages.len() - 1;
+        let page = &mut self.pages[page_idx];
+        let slot = u16::try_from(page.records.len()).expect("slot overflow");
+        page.records.push(record);
+        page.used_bytes += record_bytes;
+        RecordId { page: PageId(page_idx as u32), slot }
+    }
+
+    /// Reads a record, charging one page read. The caller is responsible
+    /// for buffering (see [`crate::BufferPool`]); use [`HeapFile::peek`]
+    /// after a buffer hit.
+    pub fn read(&mut self, id: RecordId) -> &T {
+        self.reads += 1;
+        &self.pages[id.page.index()].records[id.slot as usize]
+    }
+
+    /// Borrows a record without charging I/O.
+    pub fn peek(&self, id: RecordId) -> &T {
+        &self.pages[id.page.index()].records[id.slot as usize]
+    }
+
+    /// Page reads charged so far.
+    #[inline]
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Resets the read counter.
+    pub fn reset_io(&mut self) {
+        self.reads = 0;
+    }
+
+    /// Iterates over all `(RecordId, &T)` pairs in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (RecordId, &T)> + '_ {
+        self.pages.iter().enumerate().flat_map(|(pi, page)| {
+            page.records.iter().enumerate().map(move |(si, r)| {
+                (RecordId { page: PageId(pi as u32), slot: si as u16 }, r)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packs_records_until_page_is_full() {
+        let mut h = HeapFile::new(100);
+        let a = h.append("a", 40);
+        let b = h.append("b", 40);
+        let c = h.append("c", 40); // does not fit page 0
+        assert_eq!(a.page, PageId(0));
+        assert_eq!(b.page, PageId(0));
+        assert_eq!(c.page, PageId(1));
+        assert_eq!((a.slot, b.slot, c.slot), (0, 1, 0));
+        assert_eq!(h.page_count(), 2);
+        assert_eq!(h.record_count(), 3);
+    }
+
+    #[test]
+    fn oversized_record_gets_own_page() {
+        let mut h = HeapFile::new(100);
+        let a = h.append("big", 500);
+        assert_eq!(a.page, PageId(0));
+        let b = h.append("next", 10);
+        assert_eq!(b.page, PageId(1));
+    }
+
+    #[test]
+    fn read_charges_peek_does_not() {
+        let mut h = HeapFile::new(64);
+        let a = h.append(42u64, 8);
+        assert_eq!(*h.read(a), 42);
+        assert_eq!(h.reads(), 1);
+        assert_eq!(*h.peek(a), 42);
+        assert_eq!(h.reads(), 1);
+        h.reset_io();
+        assert_eq!(h.reads(), 0);
+    }
+
+    #[test]
+    fn iter_yields_everything_in_order() {
+        let mut h = HeapFile::new(24);
+        let ids: Vec<_> = (0..10).map(|i| h.append(i, 8)).collect();
+        let seen: Vec<_> = h.iter().map(|(id, &v)| (id, v)).collect();
+        assert_eq!(seen.len(), 10);
+        for (k, (id, v)) in seen.iter().enumerate() {
+            assert_eq!(*v, k as i32);
+            assert_eq!(*id, ids[k]);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Paged storage substrate for the SIGMOD'93 spatial-join reproduction.
+//!
+//! The paper measures I/O cost in the *number of disk accesses* needed to
+//! fetch R\*-tree pages into a bounded buffer (§4.1, §4.3). This crate
+//! provides exactly that machinery, deterministic and in-memory:
+//!
+//! * [`PageStore`] — a simulated disk of fixed-size pages; every read that
+//!   misses the buffers is charged as one disk access.
+//! * [`LruBuffer`] — the system buffer of §4.1 ("LRU-buffer, follows the
+//!   last recently used policy") with the *pinning* extension of §4.3 that
+//!   SJ4/SJ5 rely on: a pinned page is never chosen as eviction victim.
+//! * [`PathBuffer`] — the tree-private buffer of §4.1 ("a so-called path
+//!   buffer accommodating all nodes of the path which was accessed last").
+//! * [`BufferPool`] — composes the two lookup layers (path buffer first,
+//!   then LRU, then "disk") and tallies [`IoStats`].
+//! * [`CostModel`] — the paper's linear execution-time estimate: 15 ms
+//!   positioning per access, 5 ms per KByte transferred, 3.9 µs per
+//!   floating-point comparison (§4.1, Figure 2).
+//! * [`HeapFile`] — a slotted-page heap file for exact object geometry,
+//!   used by the refinement step of the ID-/object-spatial-joins.
+//!
+//! Pages carry arbitrary payloads (`PageStore<T>`); the R\*-tree crate
+//! instantiates `T = Node`. Since the metric of interest is page *accesses*,
+//! not bytes moved, payloads are not serialized — the page-size parameter
+//! only determines node capacity and transfer cost.
+
+pub mod cost;
+pub mod heapfile;
+pub mod lru;
+pub mod page;
+pub mod path;
+pub mod pool;
+
+pub use cost::CostModel;
+pub use heapfile::{HeapFile, RecordId};
+pub use lru::{Access, EvictionPolicy, LruBuffer};
+pub use page::{PageId, PageStore};
+pub use path::PathBuffer;
+pub use pool::{BufKey, BufferPool, IoStats};

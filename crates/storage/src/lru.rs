@@ -1,0 +1,533 @@
+//! The system LRU buffer with pinning.
+//!
+//! §4.1: "an additional buffer is used for single pages, not complete paths
+//! […] The buffer, called LRU-buffer, follows the last recently used
+//! policy." §4.3 adds *pinning* for SJ4/SJ5: "we pin the page in the buffer
+//! whose corresponding rectangle has a maximal degree" — a pinned page must
+//! not be evicted until it is unpinned.
+//!
+//! The implementation is a classic O(1) LRU: a hash map from buffer keys to
+//! slab slots plus an intrusive doubly-linked recency list. Eviction scans
+//! from the LRU end, skipping pinned pages. Pinned pages may keep the buffer
+//! above its nominal capacity (in particular with a zero-size buffer, where
+//! the pinned page is the only resident page); unpinned overflow is trimmed
+//! immediately.
+
+use crate::page::PageId;
+
+/// Identifies a page across several [`crate::PageStore`]s sharing one
+/// buffer — the spatial join runs over *two* R\*-trees that compete for the
+/// same system buffer (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufKey {
+    /// Which store (tree) the page belongs to.
+    pub store: u8,
+    /// The page within that store.
+    pub page: PageId,
+}
+
+impl BufKey {
+    /// Creates a key.
+    #[inline]
+    pub const fn new(store: u8, page: PageId) -> Self {
+        BufKey { store, page }
+    }
+}
+
+/// Outcome of a buffer access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The page was resident; no disk access required.
+    Hit,
+    /// The page was not resident; the caller fetched it from disk and it is
+    /// now the most recently used resident page (unless capacity is zero and
+    /// it is not pinned).
+    Miss,
+}
+
+const NIL: usize = usize::MAX;
+
+/// Which page is chosen as the eviction victim.
+///
+/// The paper's experiments use LRU ("the LRU-buffer follows the last
+/// recently used policy", §4.1); FIFO and Clock (second chance) are
+/// provided for the buffer-policy ablation bench — read schedules built on
+/// spatial locality interact differently with each policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict the least recently used page.
+    #[default]
+    Lru,
+    /// Evict the page resident for the longest time, ignoring re-use.
+    Fifo,
+    /// Second-chance approximation of LRU with one reference bit per page.
+    Clock,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    key: BufKey,
+    prev: usize,
+    next: usize,
+    pins: u32,
+    referenced: bool,
+}
+
+/// A bounded page buffer with LRU replacement and pinning.
+#[derive(Debug, Clone)]
+pub struct LruBuffer {
+    cap: usize,
+    policy: EvictionPolicy,
+    map: std::collections::HashMap<BufKey, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Most recently used slot.
+    head: usize,
+    /// Least recently used slot.
+    tail: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl LruBuffer {
+    /// Creates a buffer holding at most `cap_pages` unpinned pages.
+    ///
+    /// A capacity of zero models the paper's "buffer size = 0" experiments:
+    /// every unpinned access is a miss, but pinning still retains pages.
+    pub fn new(cap_pages: usize) -> Self {
+        Self::with_policy(cap_pages, EvictionPolicy::Lru)
+    }
+
+    /// Creates a buffer with an explicit eviction policy.
+    pub fn with_policy(cap_pages: usize, policy: EvictionPolicy) -> Self {
+        LruBuffer {
+            cap: cap_pages,
+            policy,
+            map: std::collections::HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Capacity in pages.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// The eviction policy.
+    #[inline]
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Number of resident pages (may exceed capacity only due to pins).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is resident.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// True if `key` is resident.
+    #[inline]
+    pub fn contains(&self, key: BufKey) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Accesses `key`: on a hit the page becomes most recently used; on a
+    /// miss it is brought in (evicting the LRU unpinned page if necessary).
+    pub fn access(&mut self, key: BufKey) -> Access {
+        if let Some(&slot) = self.map.get(&key) {
+            self.hits += 1;
+            match self.policy {
+                EvictionPolicy::Lru => {
+                    self.detach(slot);
+                    self.push_front(slot);
+                }
+                EvictionPolicy::Fifo => {}
+                EvictionPolicy::Clock => self.slots[slot].referenced = true,
+            }
+            return Access::Hit;
+        }
+        self.misses += 1;
+        self.insert(key, 0);
+        Access::Miss
+    }
+
+    /// Pins `key`, preventing its eviction. If the page is not resident it
+    /// is inserted (the caller has it in memory already — pinning happens
+    /// right after the page was processed). Pins nest.
+    pub fn pin(&mut self, key: BufKey) {
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot].pins += 1;
+        } else {
+            self.insert(key, 1);
+        }
+    }
+
+    /// Releases one pin of `key`. Unpinned pages in excess of the capacity
+    /// are evicted immediately (LRU first). No-op if not resident.
+    pub fn unpin(&mut self, key: BufKey) {
+        if let Some(&slot) = self.map.get(&key) {
+            let pins = &mut self.slots[slot].pins;
+            *pins = pins.saturating_sub(1);
+            self.trim();
+        }
+    }
+
+    /// True if `key` is resident and pinned.
+    pub fn is_pinned(&self, key: BufKey) -> bool {
+        self.map.get(&key).is_some_and(|&s| self.slots[s].pins > 0)
+    }
+
+    /// Drops everything, keeping the capacity. Counters are preserved.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Hits recorded so far.
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded so far.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Evictions recorded so far.
+    #[inline]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Resident keys from most to least recently used — for tests and
+    /// debugging.
+    pub fn recency_order(&self) -> Vec<BufKey> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(self.slots[cur].key);
+            cur = self.slots[cur].next;
+        }
+        out
+    }
+
+    fn insert(&mut self, key: BufKey, pins: u32) {
+        let slot = if let Some(s) = self.free.pop() {
+            self.slots[s] = Slot { key, prev: NIL, next: NIL, pins, referenced: false };
+            s
+        } else {
+            self.slots.push(Slot { key, prev: NIL, next: NIL, pins, referenced: false });
+            self.slots.len() - 1
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+        self.trim();
+    }
+
+    /// Evicts LRU unpinned pages until the number of *unpinned* residents
+    /// fits the capacity budget left over by pinned residents.
+    fn trim(&mut self) {
+        while self.map.len() > self.cap {
+            let Some(victim) = self.pick_victim() else {
+                // Everything resident is pinned; allow the overflow.
+                break;
+            };
+            let key = self.slots[victim].key;
+            self.detach(victim);
+            self.map.remove(&key);
+            self.free.push(victim);
+            self.evictions += 1;
+        }
+    }
+
+    /// Victim selection per policy; `None` if everything is pinned.
+    fn pick_victim(&mut self) -> Option<usize> {
+        match self.policy {
+            // LRU and FIFO both take the oldest unpinned entry of the
+            // recency list (FIFO never reorders on hit, so "oldest" means
+            // insertion order there).
+            EvictionPolicy::Lru | EvictionPolicy::Fifo => self.oldest_unpinned(),
+            EvictionPolicy::Clock => {
+                // Scan from the tail; referenced pages get a second chance
+                // (bit cleared, moved to the front).
+                loop {
+                    let victim = self.oldest_unpinned()?;
+                    if self.slots[victim].referenced {
+                        self.slots[victim].referenced = false;
+                        self.detach(victim);
+                        self.push_front(victim);
+                    } else {
+                        return Some(victim);
+                    }
+                }
+            }
+        }
+    }
+
+    fn oldest_unpinned(&self) -> Option<usize> {
+        let mut cur = self.tail;
+        while cur != NIL {
+            if self.slots[cur].pins == 0 {
+                return Some(cur);
+            }
+            cur = self.slots[cur].prev;
+        }
+        None
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(n: u32) -> BufKey {
+        BufKey::new(0, PageId(n))
+    }
+
+    #[test]
+    fn zero_capacity_never_retains_unpinned() {
+        let mut b = LruBuffer::new(0);
+        assert_eq!(b.access(k(1)), Access::Miss);
+        assert_eq!(b.access(k(1)), Access::Miss);
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.misses(), 2);
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut b = LruBuffer::new(2);
+        assert_eq!(b.access(k(1)), Access::Miss);
+        assert_eq!(b.access(k(1)), Access::Hit);
+        assert_eq!((b.hits(), b.misses()), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut b = LruBuffer::new(2);
+        b.access(k(1));
+        b.access(k(2));
+        b.access(k(1)); // 1 is now MRU
+        b.access(k(3)); // evicts 2
+        assert!(b.contains(k(1)));
+        assert!(!b.contains(k(2)));
+        assert!(b.contains(k(3)));
+        assert_eq!(b.evictions(), 1);
+        assert_eq!(b.recency_order(), vec![k(3), k(1)]);
+    }
+
+    #[test]
+    fn pinned_page_survives_eviction_pressure() {
+        let mut b = LruBuffer::new(2);
+        b.access(k(1));
+        b.pin(k(1));
+        b.access(k(2));
+        b.access(k(3)); // must evict 2, not pinned 1
+        assert!(b.contains(k(1)));
+        assert!(!b.contains(k(2)));
+        assert!(b.contains(k(3)));
+    }
+
+    #[test]
+    fn pin_on_zero_capacity_buffer_retains() {
+        let mut b = LruBuffer::new(0);
+        b.access(k(1));
+        b.pin(k(1));
+        assert!(b.contains(k(1)));
+        assert_eq!(b.access(k(1)), Access::Hit);
+        b.unpin(k(1));
+        assert!(!b.contains(k(1)), "unpinned overflow must be trimmed");
+    }
+
+    #[test]
+    fn pins_nest() {
+        let mut b = LruBuffer::new(1);
+        b.access(k(1));
+        b.pin(k(1));
+        b.pin(k(1));
+        b.unpin(k(1));
+        b.access(k(2)); // 1 still pinned; 2 overflows and gets trimmed first
+        assert!(b.contains(k(1)));
+        b.unpin(k(1));
+        b.access(k(3));
+        assert!(!b.contains(k(1)));
+    }
+
+    #[test]
+    fn all_pinned_allows_overflow() {
+        let mut b = LruBuffer::new(1);
+        b.access(k(1));
+        b.pin(k(1));
+        b.access(k(2));
+        b.pin(k(2));
+        assert_eq!(b.len(), 2); // over capacity, both pinned
+        b.unpin(k(2));
+        assert_eq!(b.len(), 1);
+        assert!(b.contains(k(1)));
+    }
+
+    #[test]
+    fn clear_drops_residents_keeps_counters() {
+        let mut b = LruBuffer::new(4);
+        b.access(k(1));
+        b.access(k(2));
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.misses(), 2);
+        assert_eq!(b.access(k(1)), Access::Miss);
+    }
+
+    #[test]
+    fn stores_are_distinguished() {
+        let mut b = LruBuffer::new(4);
+        b.access(BufKey::new(0, PageId(7)));
+        assert_eq!(b.access(BufKey::new(1, PageId(7))), Access::Miss);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn recency_order_tracks_touches() {
+        let mut b = LruBuffer::new(3);
+        b.access(k(1));
+        b.access(k(2));
+        b.access(k(3));
+        b.access(k(2));
+        assert_eq!(b.recency_order(), vec![k(2), k(3), k(1)]);
+    }
+
+    #[test]
+    fn unpin_of_absent_key_is_noop() {
+        let mut b = LruBuffer::new(1);
+        b.unpin(k(9));
+        assert!(b.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+
+    fn k(n: u32) -> BufKey {
+        BufKey::new(0, PageId(n))
+    }
+
+    #[test]
+    fn fifo_does_not_promote_on_hit() {
+        let mut b = LruBuffer::with_policy(2, EvictionPolicy::Fifo);
+        b.access(k(1));
+        b.access(k(2));
+        assert_eq!(b.access(k(1)), Access::Hit); // no reorder under FIFO
+        b.access(k(3)); // evicts 1, the oldest arrival, despite its hit
+        assert!(!b.contains(k(1)));
+        assert!(b.contains(k(2)));
+        assert!(b.contains(k(3)));
+    }
+
+    #[test]
+    fn lru_promotes_on_hit_where_fifo_does_not() {
+        let mut b = LruBuffer::with_policy(2, EvictionPolicy::Lru);
+        b.access(k(1));
+        b.access(k(2));
+        b.access(k(1));
+        b.access(k(3)); // evicts 2 under LRU
+        assert!(b.contains(k(1)));
+        assert!(!b.contains(k(2)));
+    }
+
+    #[test]
+    fn clock_gives_second_chance() {
+        let mut b = LruBuffer::with_policy(2, EvictionPolicy::Clock);
+        b.access(k(1));
+        b.access(k(2));
+        assert_eq!(b.access(k(1)), Access::Hit); // sets 1's reference bit
+        b.access(k(3)); // victim scan: 1 referenced -> spared; 2 evicted
+        assert!(b.contains(k(1)));
+        assert!(!b.contains(k(2)));
+        assert!(b.contains(k(3)));
+    }
+
+    #[test]
+    fn clock_evicts_after_bits_are_spent() {
+        let mut b = LruBuffer::with_policy(1, EvictionPolicy::Clock);
+        b.access(k(1));
+        b.access(k(1)); // sets 1's reference bit
+        // 1 is spared on the first pressure (bit spent), so the incoming
+        // page is the victim — classic Clock corner.
+        b.access(k(2));
+        assert!(b.contains(k(1)));
+        assert!(!b.contains(k(2)));
+        assert_eq!(b.len(), 1);
+        // The bit is now spent: the next insertion displaces 1.
+        b.access(k(3));
+        assert!(!b.contains(k(1)));
+        assert!(b.contains(k(3)));
+    }
+
+    #[test]
+    fn policies_share_pinning_semantics() {
+        for policy in [EvictionPolicy::Lru, EvictionPolicy::Fifo, EvictionPolicy::Clock] {
+            let mut b = LruBuffer::with_policy(1, policy);
+            b.access(k(1));
+            b.pin(k(1));
+            b.access(k(2));
+            b.access(k(3));
+            assert!(b.contains(k(1)), "{policy:?}");
+            b.unpin(k(1));
+        }
+    }
+
+    #[test]
+    fn policy_accessor() {
+        assert_eq!(LruBuffer::new(4).policy(), EvictionPolicy::Lru);
+        assert_eq!(
+            LruBuffer::with_policy(4, EvictionPolicy::Clock).policy(),
+            EvictionPolicy::Clock
+        );
+    }
+}

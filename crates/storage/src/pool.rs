@@ -1,0 +1,235 @@
+//! The composed buffer hierarchy and I/O statistics.
+//!
+//! A page access during a join resolves in this order (§4.1):
+//!
+//! 1. the owning tree's **path buffer** (free, belongs to the data
+//!    structure);
+//! 2. the shared system **LRU buffer**;
+//! 3. "disk" — charged as one **disk access**, the paper's I/O unit.
+//!
+//! [`BufferPool`] owns the LRU buffer and one path buffer per participating
+//! store/tree, and tallies everything in [`IoStats`]. It deliberately does
+//! *not* own the page payloads — the join algorithms borrow node data from
+//! their `PageStore`s and only report accesses here; this keeps the borrow
+//! structure simple and mirrors the paper's accounting, where the buffer
+//! question is purely "would this access have gone to disk?".
+
+pub use crate::lru::BufKey;
+use crate::lru::{Access, EvictionPolicy, LruBuffer};
+use crate::page::PageId;
+use crate::path::PathBuffer;
+
+/// Running I/O tallies of a join or query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Pages fetched from disk (buffer misses) — the paper's headline metric.
+    pub disk_accesses: u64,
+    /// Accesses served by a path buffer.
+    pub path_hits: u64,
+    /// Accesses served by the LRU buffer.
+    pub lru_hits: u64,
+}
+
+impl IoStats {
+    /// Total page accesses, however they were served.
+    pub fn total_accesses(&self) -> u64 {
+        self.disk_accesses + self.path_hits + self.lru_hits
+    }
+}
+
+/// The buffer hierarchy shared by the trees participating in a join.
+#[derive(Debug, Clone)]
+pub struct BufferPool {
+    lru: LruBuffer,
+    paths: Vec<PathBuffer>,
+    stats: IoStats,
+}
+
+impl BufferPool {
+    /// Creates a pool with an LRU buffer of `buffer_bytes / page_bytes`
+    /// pages (the paper quotes buffer sizes in KBytes) and one path buffer
+    /// per entry of `heights`, sized to the respective tree height.
+    pub fn new(buffer_bytes: usize, page_bytes: usize, heights: &[usize]) -> Self {
+        Self::with_policy(buffer_bytes, page_bytes, heights, EvictionPolicy::Lru)
+    }
+
+    /// [`BufferPool::new`] with an explicit eviction policy for the shared
+    /// page buffer.
+    pub fn with_policy(
+        buffer_bytes: usize,
+        page_bytes: usize,
+        heights: &[usize],
+        policy: EvictionPolicy,
+    ) -> Self {
+        assert!(page_bytes > 0, "page size must be positive");
+        BufferPool {
+            lru: LruBuffer::with_policy(buffer_bytes / page_bytes, policy),
+            paths: heights.iter().map(|&h| PathBuffer::new(h)).collect(),
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Pool with explicit LRU page capacity (mostly for tests).
+    pub fn with_capacity_pages(cap_pages: usize, heights: &[usize]) -> Self {
+        BufferPool {
+            lru: LruBuffer::new(cap_pages),
+            paths: heights.iter().map(|&h| PathBuffer::new(h)).collect(),
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Records an access by tree `store` to `page` at depth `level`
+    /// (0 = root). Returns `true` if the access had to go to disk.
+    pub fn access(&mut self, store: u8, page: PageId, level: usize) -> bool {
+        let key = BufKey::new(store, page);
+        let path = &mut self.paths[store as usize];
+        if path.probe(page) {
+            self.stats.path_hits += 1;
+            // A path-buffered page is still "used": refresh its LRU recency
+            // only if it is resident there — do not force residency, the
+            // path buffer is separate memory owned by the tree.
+            path.install(level, page);
+            return false;
+        }
+        path.install(level, page);
+        match self.lru.access(key) {
+            Access::Hit => {
+                self.stats.lru_hits += 1;
+                false
+            }
+            Access::Miss => {
+                self.stats.disk_accesses += 1;
+                true
+            }
+        }
+    }
+
+    /// Pins `store`'s `page` in the LRU buffer (see
+    /// [`LruBuffer::pin`]).
+    pub fn pin(&mut self, store: u8, page: PageId) {
+        self.lru.pin(BufKey::new(store, page));
+    }
+
+    /// Releases one pin.
+    pub fn unpin(&mut self, store: u8, page: PageId) {
+        self.lru.unpin(BufKey::new(store, page));
+    }
+
+    /// Statistics so far.
+    #[inline]
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// The underlying LRU buffer (for inspection in tests).
+    #[inline]
+    pub fn lru(&self) -> &LruBuffer {
+        &self.lru
+    }
+
+    /// Number of path buffers.
+    #[inline]
+    pub fn store_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Empties all buffers and zeroes the statistics.
+    pub fn reset(&mut self) {
+        self.lru.clear();
+        for p in &mut self.paths {
+            p.clear();
+        }
+        self.stats = IoStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_goes_to_disk() {
+        let mut pool = BufferPool::with_capacity_pages(4, &[2, 2]);
+        assert!(pool.access(0, PageId(1), 0));
+        assert_eq!(pool.stats().disk_accesses, 1);
+    }
+
+    #[test]
+    fn path_buffer_serves_repeat_access() {
+        let mut pool = BufferPool::with_capacity_pages(0, &[2]);
+        pool.access(0, PageId(1), 0);
+        assert!(!pool.access(0, PageId(1), 0), "same path level should hit");
+        let s = pool.stats();
+        assert_eq!(s.disk_accesses, 1);
+        assert_eq!(s.path_hits, 1);
+    }
+
+    #[test]
+    fn sibling_displaces_path_entry() {
+        let mut pool = BufferPool::with_capacity_pages(0, &[2]);
+        pool.access(0, PageId(1), 1);
+        pool.access(0, PageId(2), 1); // sibling at the same level
+        assert!(pool.access(0, PageId(1), 1), "displaced page must re-read");
+        assert_eq!(pool.stats().disk_accesses, 3);
+    }
+
+    #[test]
+    fn lru_serves_when_path_misses() {
+        let mut pool = BufferPool::with_capacity_pages(4, &[2]);
+        pool.access(0, PageId(1), 1);
+        pool.access(0, PageId(2), 1); // 1 leaves path, stays in LRU
+        assert!(!pool.access(0, PageId(1), 1));
+        let s = pool.stats();
+        assert_eq!(s.disk_accesses, 2);
+        assert_eq!(s.lru_hits, 1);
+    }
+
+    #[test]
+    fn stores_have_independent_path_buffers() {
+        let mut pool = BufferPool::with_capacity_pages(0, &[1, 1]);
+        pool.access(0, PageId(1), 0);
+        assert!(pool.access(1, PageId(1), 0), "other store's page is distinct");
+        assert_eq!(pool.stats().disk_accesses, 2);
+    }
+
+    #[test]
+    fn pin_keeps_page_resident() {
+        let mut pool = BufferPool::with_capacity_pages(1, &[1]);
+        pool.access(0, PageId(1), 0);
+        pool.pin(0, PageId(1));
+        // Different level so the path buffer doesn't shortcut.
+        pool.access(0, PageId(2), 0);
+        pool.access(0, PageId(3), 0);
+        // Page 1 still resident in LRU despite capacity 1.
+        assert!(pool.lru().contains(BufKey::new(0, PageId(1))));
+        pool.unpin(0, PageId(1));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut pool = BufferPool::with_capacity_pages(2, &[1]);
+        pool.access(0, PageId(1), 0);
+        pool.reset();
+        assert_eq!(pool.stats(), IoStats::default());
+        assert!(pool.access(0, PageId(1), 0));
+    }
+
+    #[test]
+    fn total_accesses_adds_up() {
+        let mut pool = BufferPool::with_capacity_pages(8, &[2]);
+        pool.access(0, PageId(1), 0);
+        pool.access(0, PageId(1), 0);
+        pool.access(0, PageId(2), 1);
+        let s = pool.stats();
+        assert_eq!(s.total_accesses(), 3);
+        assert_eq!(s.disk_accesses + s.path_hits + s.lru_hits, 3);
+    }
+
+    #[test]
+    fn buffer_bytes_to_pages_conversion() {
+        let pool = BufferPool::new(32 * 1024, 4 * 1024, &[3]);
+        assert_eq!(pool.lru().capacity(), 8);
+        let pool0 = BufferPool::new(0, 1024, &[3]);
+        assert_eq!(pool0.lru().capacity(), 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the storage substrate: the LRU buffer must behave
+//! like its reference specification under arbitrary access/pin sequences.
+
+use proptest::prelude::*;
+use rsj_storage::{Access, BufKey, BufferPool, LruBuffer, PageId};
+
+/// Reference model: a vector ordered MRU-first plus pin counts.
+#[derive(Default)]
+struct ModelLru {
+    cap: usize,
+    order: Vec<BufKey>, // MRU first
+    pins: std::collections::HashMap<BufKey, u32>,
+}
+
+impl ModelLru {
+    fn new(cap: usize) -> Self {
+        ModelLru { cap, ..Default::default() }
+    }
+
+    fn pinned(&self, k: &BufKey) -> bool {
+        self.pins.get(k).copied().unwrap_or(0) > 0
+    }
+
+    fn trim(&mut self) {
+        while self.order.len() > self.cap {
+            // Remove the last (LRU) unpinned entry, if any.
+            let Some(pos) = self.order.iter().rposition(|k| !self.pinned(k)) else {
+                break;
+            };
+            self.order.remove(pos);
+        }
+    }
+
+    fn access(&mut self, k: BufKey) -> Access {
+        if let Some(pos) = self.order.iter().position(|&x| x == k) {
+            self.order.remove(pos);
+            self.order.insert(0, k);
+            Access::Hit
+        } else {
+            self.order.insert(0, k);
+            self.trim();
+            Access::Miss
+        }
+    }
+
+    fn pin(&mut self, k: BufKey) {
+        if !self.order.contains(&k) {
+            self.order.insert(0, k);
+        }
+        *self.pins.entry(k).or_insert(0) += 1;
+        self.trim();
+    }
+
+    fn unpin(&mut self, k: BufKey) {
+        if self.order.contains(&k) {
+            if let Some(p) = self.pins.get_mut(&k) {
+                *p = p.saturating_sub(1);
+            }
+            self.trim();
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Access(u32),
+    Pin(u32),
+    Unpin(u32),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..12).prop_map(Op::Access),
+            (0u32..12).prop_map(Op::Pin),
+            (0u32..12).prop_map(Op::Unpin),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn lru_matches_reference_model(cap in 0usize..6, ops in arb_ops()) {
+        let mut real = LruBuffer::new(cap);
+        let mut model = ModelLru::new(cap);
+        for op in ops {
+            match op {
+                Op::Access(n) => {
+                    let k = BufKey::new(0, PageId(n));
+                    prop_assert_eq!(real.access(k), model.access(k));
+                }
+                Op::Pin(n) => {
+                    let k = BufKey::new(0, PageId(n));
+                    real.pin(k);
+                    model.pin(k);
+                }
+                Op::Unpin(n) => {
+                    let k = BufKey::new(0, PageId(n));
+                    real.unpin(k);
+                    model.unpin(k);
+                }
+            }
+            prop_assert_eq!(real.recency_order(), model.order.clone());
+        }
+    }
+
+    #[test]
+    fn resident_set_never_exceeds_cap_plus_pins(cap in 0usize..5, ops in arb_ops()) {
+        let mut b = LruBuffer::new(cap);
+        let mut pinned = std::collections::HashMap::<u32, i64>::new();
+        for op in ops {
+            match op {
+                Op::Access(n) => {
+                    b.access(BufKey::new(0, PageId(n)));
+                }
+                Op::Pin(n) => {
+                    b.pin(BufKey::new(0, PageId(n)));
+                    *pinned.entry(n).or_insert(0) += 1;
+                }
+                Op::Unpin(n) => {
+                    let k = BufKey::new(0, PageId(n));
+                    if b.is_pinned(k) {
+                        b.unpin(k);
+                        *pinned.entry(n).or_insert(0) -= 1;
+                    }
+                }
+            }
+            let pinned_count = pinned.values().filter(|&&v| v > 0).count();
+            prop_assert!(b.len() <= cap.max(pinned_count));
+        }
+    }
+
+    #[test]
+    fn pool_stats_are_consistent(cap in 0usize..8, pages in prop::collection::vec((0u8..2, 0u32..20, 0usize..3), 0..150)) {
+        let mut pool = BufferPool::with_capacity_pages(cap, &[3, 3]);
+        for (touches, (store, page, level)) in pages.into_iter().enumerate() {
+            pool.access(store, PageId(page), level);
+            let s = pool.stats();
+            prop_assert_eq!(s.total_accesses(), touches as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn bigger_buffer_never_more_disk_accesses(
+        trace in prop::collection::vec((0u8..2, 0u32..30, 0usize..3), 1..200),
+        small in 0usize..4,
+        extra in 1usize..8,
+    ) {
+        // LRU is a stack algorithm: inclusion property implies monotonicity.
+        let mut a = BufferPool::with_capacity_pages(small, &[3, 3]);
+        let mut b = BufferPool::with_capacity_pages(small + extra, &[3, 3]);
+        for &(s, p, l) in &trace {
+            a.access(s, PageId(p), l);
+            b.access(s, PageId(p), l);
+        }
+        prop_assert!(b.stats().disk_accesses <= a.stats().disk_accesses);
+    }
+}

@@ -1,0 +1,67 @@
+//! # rsj — R-tree Spatial Joins
+//!
+//! A faithful, from-scratch Rust reproduction of
+//!
+//! > Thomas Brinkhoff, Hans-Peter Kriegel, Bernhard Seeger:
+//! > *Efficient Processing of Spatial Joins Using R-trees.*
+//! > SIGMOD 1993, pp. 237–246.
+//!
+//! This facade crate re-exports the full stack:
+//!
+//! * [`geom`] — rectangles with counted comparisons, space-filling curves,
+//!   exact polyline/polygon geometry;
+//! * [`storage`] — simulated paged disk, LRU buffer with pinning, path
+//!   buffers, the paper's cost model, a slotted-page heap file;
+//! * [`rtree`] — the R\*-tree (plus Guttman baselines and bulk loading);
+//! * [`join`] — the spatial-join algorithms SJ1–SJ5, different-height
+//!   policies, baselines, and the ID-/object-join refinement step;
+//! * [`datagen`] — deterministic synthetic stand-ins for the paper's
+//!   TIGER/Line and region datasets.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rsj::prelude::*;
+//!
+//! // Two relations of rectangles (here: generated test data at tiny scale).
+//! let data = rsj::datagen::preset(TestId::A, 0.005);
+//!
+//! // Index both with R*-trees on 1-KByte pages (M = 51, like the paper).
+//! let mut r = RTree::new(RTreeParams::for_page_size(1024));
+//! for o in &data.r {
+//!     r.insert(o.mbr, DataId(o.id));
+//! }
+//! let mut s = RTree::new(RTreeParams::for_page_size(1024));
+//! for o in &data.s {
+//!     s.insert(o.mbr, DataId(o.id));
+//! }
+//!
+//! // Join them with SJ4 (plane sweep + pinning) and a 128-KByte buffer.
+//! let result = spatial_join(&r, &s, JoinPlan::sj4(), &JoinConfig::default());
+//! println!(
+//!     "{} intersecting pairs, {} disk accesses, {} comparisons",
+//!     result.stats.result_pairs,
+//!     result.stats.io.disk_accesses,
+//!     result.stats.total_comparisons(),
+//! );
+//! # assert!(result.stats.result_pairs > 0);
+//! ```
+
+pub use rsj_core as join;
+pub use rsj_datagen as datagen;
+pub use rsj_geom as geom;
+pub use rsj_rtree as rtree;
+pub use rsj_storage as storage;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use rsj_core::{
+        id_join, multiway_join, object_join, parallel_spatial_join, spatial_join,
+        DiffHeightPolicy, JoinConfig, JoinPlan, JoinPredicate, JoinResult, JoinStats,
+        MultiwayResult, ObjectRelation,
+    };
+    pub use rsj_datagen::TestId;
+    pub use rsj_geom::{CmpCounter, Geometry, Point, Rect};
+    pub use rsj_rtree::{DataId, InsertPolicy, Neighbor, RTree, RTreeParams};
+    pub use rsj_storage::{CostModel, EvictionPolicy};
+}
