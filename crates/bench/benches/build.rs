@@ -15,9 +15,11 @@ fn bench_build(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1_build");
     g.sample_size(10);
     for page in [1024usize, 2048, 4096, 8192] {
-        g.bench_with_input(BenchmarkId::new("rstar_insert", page / 1024), &page, |b, &page| {
-            b.iter(|| build_rstar(&items, page))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("rstar_insert", page / 1024),
+            &page,
+            |b, &page| b.iter(|| build_rstar(&items, page)),
+        );
     }
     g.bench_function("guttman_quadratic_4k", |b| {
         b.iter(|| build_with_policy(&items, 4096, InsertPolicy::GuttmanQuadratic))

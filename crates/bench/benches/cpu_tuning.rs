@@ -15,7 +15,11 @@ fn bench_cpu(c: &mut Criterion) {
     for page in [1024usize, 8192] {
         let r = w.tree_r(page);
         let s = w.tree_s(page);
-        let cfg = JoinConfig { buffer_bytes: 128 * 1024, collect_pairs: false, ..Default::default() };
+        let cfg = JoinConfig {
+            buffer_bytes: 128 * 1024,
+            collect_pairs: false,
+            ..Default::default()
+        };
         for (name, plan) in [
             ("sj1_nested", JoinPlan::sj1()),
             ("sj2_restrict", JoinPlan::sj2()),

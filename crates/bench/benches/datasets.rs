@@ -11,15 +11,21 @@ const SCALE: f64 = 0.01;
 fn bench_datasets(c: &mut Criterion) {
     let mut g = c.benchmark_group("table8_figure10_datasets");
     g.sample_size(20);
-    let cfg = JoinConfig { buffer_bytes: 128 * 1024, collect_pairs: false, ..Default::default() };
+    let cfg = JoinConfig {
+        buffer_bytes: 128 * 1024,
+        collect_pairs: false,
+        ..Default::default()
+    };
     for test in TestId::ALL {
         let mut w = Workbench::new(test, SCALE);
         let r = w.tree_r(4096);
         let s = w.tree_s(4096);
         for (name, plan) in [("sj1", JoinPlan::sj1()), ("sj4", JoinPlan::sj4())] {
-            g.bench_with_input(BenchmarkId::new(name, format!("{test}")), &plan, |b, plan| {
-                b.iter(|| spatial_join(&r, &s, *plan, &cfg))
-            });
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("{test}")),
+                &plan,
+                |b, plan| b.iter(|| spatial_join(&r, &s, *plan, &cfg)),
+            );
         }
     }
     g.finish();

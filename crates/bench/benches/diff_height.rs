@@ -15,8 +15,15 @@ fn bench_diff_height(c: &mut Criterion) {
     let mut w = Workbench::new(TestId::C, SCALE);
     let r = w.tree_r(2048);
     let s = w.tree_s(2048);
-    assert!(r.height() > s.height(), "fixture must have differing heights");
-    let cfg = JoinConfig { buffer_bytes: 32 * 1024, collect_pairs: false, ..Default::default() };
+    assert!(
+        r.height() > s.height(),
+        "fixture must have differing heights"
+    );
+    let cfg = JoinConfig {
+        buffer_bytes: 32 * 1024,
+        collect_pairs: false,
+        ..Default::default()
+    };
     let mut g = c.benchmark_group("table7_diff_height");
     g.sample_size(20);
     for (name, policy) in [
@@ -24,7 +31,10 @@ fn bench_diff_height(c: &mut Criterion) {
         ("b_batched", DiffHeightPolicy::Batched),
         ("c_sweep_pinned", DiffHeightPolicy::SweepPinned),
     ] {
-        let plan = JoinPlan { diff_height: policy, ..JoinPlan::sj4() };
+        let plan = JoinPlan {
+            diff_height: policy,
+            ..JoinPlan::sj4()
+        };
         g.bench_function(name, |b| b.iter(|| spatial_join(&r, &s, plan, &cfg)));
     }
     g.finish();

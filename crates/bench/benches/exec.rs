@@ -1,0 +1,88 @@
+//! Old recursive driver vs streaming `JoinCursor`: throughput in result
+//! pairs per second on preset (A), counting-only (no materialization on
+//! either path). Alongside the criterion timings, the measured comparison
+//! is recorded in `BENCH_exec.json` at the repo root.
+
+use std::io::Write;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsj_bench::Workbench;
+use rsj_core::exec::{recursive_spatial_join, JoinCursor};
+use rsj_core::{JoinConfig, JoinPlan};
+use rsj_datagen::TestId;
+use rsj_rtree::RTree;
+use rsj_storage::BufferPool;
+
+const SCALE: f64 = 0.02;
+
+fn run_recursive(r: &RTree, s: &RTree, cfg: &JoinConfig) -> u64 {
+    recursive_spatial_join(r, s, JoinPlan::sj4(), cfg)
+        .stats
+        .result_pairs
+}
+
+fn run_cursor(r: &RTree, s: &RTree, cfg: &JoinConfig) -> u64 {
+    let pool = BufferPool::with_policy(
+        cfg.buffer_bytes,
+        r.params().page_bytes,
+        &[r.height() as usize, s.height() as usize],
+        cfg.eviction,
+    );
+    let mut cursor = JoinCursor::new(r, s, JoinPlan::sj4(), pool);
+    for _ in &mut cursor {}
+    cursor.stats().result_pairs
+}
+
+/// Times `f` over `iters` runs and returns (pairs per run, seconds per run).
+fn measure(f: impl Fn() -> u64, iters: u32) -> (u64, f64) {
+    let pairs = f(); // warm-up, and the pair count
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    (pairs, start.elapsed().as_secs_f64() / f64::from(iters))
+}
+
+fn bench_exec(c: &mut Criterion) {
+    let mut w = Workbench::new(TestId::A, SCALE);
+    let r = w.tree_r(1024);
+    let s = w.tree_s(1024);
+    let cfg = JoinConfig {
+        collect_pairs: false,
+        ..Default::default()
+    };
+
+    let mut g = c.benchmark_group("exec_streaming_vs_recursive");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::new("recursive", "sj4"), &cfg, |b, cfg| {
+        b.iter(|| run_recursive(&r, &s, cfg))
+    });
+    g.bench_with_input(BenchmarkId::new("cursor", "sj4"), &cfg, |b, cfg| {
+        b.iter(|| run_cursor(&r, &s, cfg))
+    });
+    g.finish();
+
+    // Record the pairs/sec comparison for the repo.
+    let iters = 10;
+    let (pairs_a, secs_recursive) = measure(|| run_recursive(&r, &s, &cfg), iters);
+    let (pairs_b, secs_cursor) = measure(|| run_cursor(&r, &s, &cfg), iters);
+    assert_eq!(
+        pairs_a, pairs_b,
+        "executors must agree before comparing speed"
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"exec_streaming_vs_recursive\",\n  \"preset\": \"A\",\n  \"scale\": {SCALE},\n  \"plan\": \"SJ4\",\n  \"result_pairs\": {pairs_a},\n  \"iterations\": {iters},\n  \"recursive\": {{ \"secs_per_join\": {secs_recursive:.6}, \"pairs_per_sec\": {:.0} }},\n  \"cursor\": {{ \"secs_per_join\": {secs_cursor:.6}, \"pairs_per_sec\": {:.0} }},\n  \"cursor_over_recursive\": {:.4}\n}}\n",
+        pairs_a as f64 / secs_recursive,
+        pairs_b as f64 / secs_cursor,
+        secs_recursive / secs_cursor,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exec.json");
+    let mut file = std::fs::File::create(path).expect("write BENCH_exec.json");
+    file.write_all(json.as_bytes())
+        .expect("write BENCH_exec.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_exec);
+criterion_main!(benches);

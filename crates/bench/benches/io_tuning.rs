@@ -15,15 +15,21 @@ fn bench_io(c: &mut Criterion) {
     let s = w.tree_s(4096);
     let mut g = c.benchmark_group("table5_table6_io");
     for buf_kb in [0usize, 128] {
-        let cfg = JoinConfig { buffer_bytes: buf_kb * 1024, collect_pairs: false, ..Default::default() };
+        let cfg = JoinConfig {
+            buffer_bytes: buf_kb * 1024,
+            collect_pairs: false,
+            ..Default::default()
+        };
         for (name, plan) in [
             ("sj3_sweep", JoinPlan::sj3()),
             ("sj4_pinned", JoinPlan::sj4()),
             ("sj5_zorder", JoinPlan::sj5()),
         ] {
-            g.bench_with_input(BenchmarkId::new(name, format!("buf{buf_kb}k")), &plan, |b, plan| {
-                b.iter(|| spatial_join(&r, &s, *plan, &cfg))
-            });
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("buf{buf_kb}k")),
+                &plan,
+                |b, plan| b.iter(|| spatial_join(&r, &s, *plan, &cfg)),
+            );
         }
     }
     g.finish();

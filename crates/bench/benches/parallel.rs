@@ -12,13 +12,19 @@ fn bench_parallel(c: &mut Criterion) {
     let mut w = Workbench::new(TestId::A, SCALE);
     let r = w.tree_r(4096);
     let s = w.tree_s(4096);
-    let cfg = JoinConfig { buffer_bytes: 128 * 1024, collect_pairs: false, ..Default::default() };
+    let cfg = JoinConfig {
+        buffer_bytes: 128 * 1024,
+        collect_pairs: false,
+        ..Default::default()
+    };
     let mut g = c.benchmark_group("extension_parallel_join");
     g.sample_size(20);
     for workers in [1usize, 2, 4, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &workers| {
-            b.iter(|| parallel_spatial_join(&r, &s, JoinPlan::sj4(), &cfg, workers))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| b.iter(|| parallel_spatial_join(&r, &s, JoinPlan::sj4(), &cfg, workers)),
+        );
     }
     g.finish();
 }

@@ -16,7 +16,11 @@ fn bench_sj1(c: &mut Criterion) {
         let s = w.tree_s(page);
         for buf_kb in [0usize, 32, 512] {
             let id = BenchmarkId::new(format!("page{}k", page / 1024), format!("buf{buf_kb}k"));
-            let cfg = JoinConfig { buffer_bytes: buf_kb * 1024, collect_pairs: false, ..Default::default() };
+            let cfg = JoinConfig {
+                buffer_bytes: buf_kb * 1024,
+                collect_pairs: false,
+                ..Default::default()
+            };
             g.bench_with_input(id, &cfg, |b, cfg| {
                 b.iter(|| spatial_join(&r, &s, JoinPlan::sj1(), cfg))
             });

@@ -10,14 +10,20 @@ const SCALE: f64 = 0.01;
 
 fn bench_speedup(c: &mut Criterion) {
     let mut w = Workbench::new(TestId::A, SCALE);
-    let cfg = JoinConfig { buffer_bytes: 128 * 1024, collect_pairs: false, ..Default::default() };
+    let cfg = JoinConfig {
+        buffer_bytes: 128 * 1024,
+        collect_pairs: false,
+        ..Default::default()
+    };
     let mut g = c.benchmark_group("figure8_figure9_speedup");
     for page in [1024usize, 2048, 4096, 8192] {
         let r = w.tree_r(page);
         let s = w.tree_s(page);
-        for (name, plan) in
-            [("sj1", JoinPlan::sj1()), ("sj2", JoinPlan::sj2()), ("sj4", JoinPlan::sj4())]
-        {
+        for (name, plan) in [
+            ("sj1", JoinPlan::sj1()),
+            ("sj2", JoinPlan::sj2()),
+            ("sj4", JoinPlan::sj4()),
+        ] {
             g.bench_with_input(
                 BenchmarkId::new(name, format!("page{}k", page / 1024)),
                 &plan,

@@ -15,7 +15,11 @@ fn bench_tree_quality(c: &mut Criterion) {
     let data = preset(TestId::A, SCALE);
     let items_r = rsj_datagen::mbr_items(&data.r);
     let items_s = rsj_datagen::mbr_items(&data.s);
-    let cfg = JoinConfig { buffer_bytes: 128 * 1024, collect_pairs: false, ..Default::default() };
+    let cfg = JoinConfig {
+        buffer_bytes: 128 * 1024,
+        collect_pairs: false,
+        ..Default::default()
+    };
     let mut g = c.benchmark_group("ablation_tree_quality_join");
     let variants: Vec<(&str, rsj_rtree::RTree, rsj_rtree::RTree)> = vec![
         (
@@ -33,10 +37,16 @@ fn bench_tree_quality(c: &mut Criterion) {
             build_with_policy(&items_r, PAGE, InsertPolicy::GuttmanLinear),
             build_with_policy(&items_s, PAGE, InsertPolicy::GuttmanLinear),
         ),
-        ("str_bulk", build_str(&items_r, PAGE), build_str(&items_s, PAGE)),
+        (
+            "str_bulk",
+            build_str(&items_r, PAGE),
+            build_str(&items_s, PAGE),
+        ),
     ];
     for (name, r, s) in &variants {
-        g.bench_function(*name, |b| b.iter(|| spatial_join(r, s, JoinPlan::sj4(), &cfg)));
+        g.bench_function(*name, |b| {
+            b.iter(|| spatial_join(r, s, JoinPlan::sj4(), &cfg))
+        });
     }
     g.finish();
 }

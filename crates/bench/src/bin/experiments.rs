@@ -26,8 +26,12 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
-                let v = args.next().unwrap_or_else(|| usage("missing value after --scale"));
-                scale = v.parse().unwrap_or_else(|_| usage("--scale expects a float in (0, 1]"));
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing value after --scale"));
+                scale = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--scale expects a float in (0, 1]"));
             }
             "--help" | "-h" => usage(""),
             other => targets.push(other.to_string()),
@@ -40,15 +44,32 @@ fn main() {
     let want = |name: &str| all || targets.iter().any(|t| t == name);
 
     let out = &mut std::io::stdout();
-    writeln!(out, "# SIGMOD'93 spatial-join reproduction — experiment run").unwrap();
-    writeln!(out, "scale = {scale} (paper cardinality x scale, world shrunk by sqrt(scale))\n")
-        .unwrap();
+    writeln!(
+        out,
+        "# SIGMOD'93 spatial-join reproduction — experiment run"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "scale = {scale} (paper cardinality x scale, world shrunk by sqrt(scale))\n"
+    )
+    .unwrap();
 
     // Test (A) trees are shared by Tables 1-6 and Figures 2, 8, 9.
-    let needs_a = ["table1", "table2", "figure2", "table3", "table4", "table5", "table6",
-        "figure8", "figure9", "extensions"]
-        .iter()
-        .any(|n| want(n));
+    let needs_a = [
+        "table1",
+        "table2",
+        "figure2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "figure8",
+        "figure9",
+        "extensions",
+    ]
+    .iter()
+    .any(|n| want(n));
     let mut wa = needs_a.then(|| Workbench::new(TestId::A, scale));
 
     if want("table1") {
@@ -85,8 +106,13 @@ fn main() {
     }
     if want("figure9") {
         let sj2 = sj1_io::run_grid(wa.as_mut().unwrap(), JoinPlan::sj2());
-        summary::figure9(sj1_grid.as_ref().unwrap(), &sj2, sj4_grid.as_ref().unwrap(), out)
-            .unwrap();
+        summary::figure9(
+            sj1_grid.as_ref().unwrap(),
+            &sj2,
+            sj4_grid.as_ref().unwrap(),
+            out,
+        )
+        .unwrap();
     }
     if want("table8") || want("figure10") {
         summary::table8_figure10(scale, out).unwrap();

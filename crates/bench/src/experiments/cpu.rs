@@ -15,7 +15,10 @@ use std::io::Write;
 
 /// Prints Table 3. Returns `(sj1, sj2)` comparison counts per page size.
 pub fn table3(w: &mut Workbench, out: &mut dyn Write) -> std::io::Result<Vec<(u64, u64)>> {
-    writeln!(out, "### Table 3: comparisons with/without restricting the search space\n")?;
+    writeln!(
+        out,
+        "### Table 3: comparisons with/without restricting the search space\n"
+    )?;
     write!(out, "| |")?;
     for &page in &PAGE_SIZES {
         write!(out, " {} |", fmt_page(page))?;
@@ -49,7 +52,10 @@ pub fn table4(
     sj_counts: &[(u64, u64)],
     out: &mut dyn Write,
 ) -> std::io::Result<()> {
-    writeln!(out, "### Table 4: comparisons of spatial joins with/without sorting\n")?;
+    writeln!(
+        out,
+        "### Table 4: comparisons of spatial joins with/without sorting\n"
+    )?;
     writeln!(
         out,
         "version (I) = plane sweep without restriction, version (II) = with \
@@ -82,7 +88,11 @@ pub fn table4(
     writeln!(out)?;
     write!(out, "| (I) join-ratio to SJ1 |")?;
     for (s, &(c1, _)) in v1.iter().zip(sj_counts) {
-        write!(out, " {:.2} |", c1 as f64 / s.join_comparisons.max(1) as f64)?;
+        write!(
+            out,
+            " {:.2} |",
+            c1 as f64 / s.join_comparisons.max(1) as f64
+        )?;
     }
     writeln!(out)?;
     write!(out, "| (II) join |")?;
@@ -92,12 +102,20 @@ pub fn table4(
     writeln!(out)?;
     write!(out, "| (II) join-ratio to SJ1 |")?;
     for (s, &(c1, _)) in v2.iter().zip(sj_counts) {
-        write!(out, " {:.2} |", c1 as f64 / s.join_comparisons.max(1) as f64)?;
+        write!(
+            out,
+            " {:.2} |",
+            c1 as f64 / s.join_comparisons.max(1) as f64
+        )?;
     }
     writeln!(out)?;
     write!(out, "| (II) join-ratio to SJ2 |")?;
     for (s, &(_, c2)) in v2.iter().zip(sj_counts) {
-        write!(out, " {:.2} |", c2 as f64 / s.join_comparisons.max(1) as f64)?;
+        write!(
+            out,
+            " {:.2} |",
+            c2 as f64 / s.join_comparisons.max(1) as f64
+        )?;
     }
     writeln!(out)?;
     write!(out, "| sort trees once |")?;

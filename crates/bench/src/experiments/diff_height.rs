@@ -20,8 +20,14 @@ const PAGE: usize = 2048;
 
 /// Prints Table 7.
 pub fn run(scale: f64, out: &mut dyn Write) -> std::io::Result<()> {
-    writeln!(out, "### Table 7: I/O-performance for R*-trees of different height")?;
-    writeln!(out, "(test (C): large street relation x rivers, 2 KByte pages)\n")?;
+    writeln!(
+        out,
+        "### Table 7: I/O-performance for R*-trees of different height"
+    )?;
+    writeln!(
+        out,
+        "(test (C): large street relation x rivers, 2 KByte pages)\n"
+    )?;
     // Find a scale at which the heights differ.
     let mut use_scale = scale;
     let (wb, hr, hs) = loop {
@@ -41,9 +47,15 @@ pub fn run(scale: f64, out: &mut dyn Write) -> std::io::Result<()> {
         fmt_count(wb.data.s.len() as u64),
     )?;
     if hr == hs {
-        writeln!(out, "WARNING: could not produce trees of different height; policies coincide.\n")?;
+        writeln!(
+            out,
+            "WARNING: could not produce trees of different height; policies coincide.\n"
+        )?;
     }
-    writeln!(out, "| LRU buffer | (a) per pair | (b) batched | (c) sweep+pin |")?;
+    writeln!(
+        out,
+        "| LRU buffer | (a) per pair | (b) batched | (c) sweep+pin |"
+    )?;
     writeln!(out, "|---|---|---|---|")?;
     let r = wb.tree_r(PAGE);
     let s = wb.tree_s(PAGE);
@@ -54,7 +66,10 @@ pub fn run(scale: f64, out: &mut dyn Write) -> std::io::Result<()> {
             DiffHeightPolicy::Batched,
             DiffHeightPolicy::SweepPinned,
         ] {
-            let plan = JoinPlan { diff_height: policy, ..JoinPlan::sj4() };
+            let plan = JoinPlan {
+                diff_height: policy,
+                ..JoinPlan::sj4()
+            };
             row.push(run_join(&r, &s, plan, buf).io.disk_accesses);
         }
         writeln!(
@@ -80,6 +95,9 @@ mod tests {
         run(0.01, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("Table 7"));
-        assert!(!text.contains("WARNING"), "expected differing heights:\n{text}");
+        assert!(
+            !text.contains("WARNING"),
+            "expected differing heights:\n{text}"
+        );
     }
 }

@@ -24,16 +24,31 @@ const BUFFER: usize = 128 * 1024;
 
 /// Join cost by tree construction method (ablation).
 pub fn tree_quality(w: &mut Workbench, out: &mut dyn Write) -> std::io::Result<()> {
-    writeln!(out, "### Extension: tree quality vs join cost (SJ4, 4 KByte pages, 128 KByte buffer)\n")?;
-    writeln!(out, "| construction | disk accesses | comparisons | result pairs |")?;
+    writeln!(
+        out,
+        "### Extension: tree quality vs join cost (SJ4, 4 KByte pages, 128 KByte buffer)\n"
+    )?;
+    writeln!(
+        out,
+        "| construction | disk accesses | comparisons | result pairs |"
+    )?;
     writeln!(out, "|---|---|---|---|")?;
     let items_r = rsj_datagen::mbr_items(&w.data.r);
     let items_s = rsj_datagen::mbr_items(&w.data.s);
     type Builder = Box<dyn Fn(&[(rsj_geom::Rect, u64)]) -> rsj_rtree::RTree>;
     let builds: Vec<(&str, Builder)> = vec![
-        ("R*-tree", Box::new(|i| build_with_policy(i, PAGE, InsertPolicy::RStar))),
-        ("Guttman quadratic", Box::new(|i| build_with_policy(i, PAGE, InsertPolicy::GuttmanQuadratic))),
-        ("Guttman linear", Box::new(|i| build_with_policy(i, PAGE, InsertPolicy::GuttmanLinear))),
+        (
+            "R*-tree",
+            Box::new(|i| build_with_policy(i, PAGE, InsertPolicy::RStar)),
+        ),
+        (
+            "Guttman quadratic",
+            Box::new(|i| build_with_policy(i, PAGE, InsertPolicy::GuttmanQuadratic)),
+        ),
+        (
+            "Guttman linear",
+            Box::new(|i| build_with_policy(i, PAGE, InsertPolicy::GuttmanLinear)),
+        ),
         ("STR bulk load", Box::new(|i| build_str(i, PAGE))),
     ];
     for (name, build) in &builds {
@@ -55,8 +70,14 @@ pub fn tree_quality(w: &mut Workbench, out: &mut dyn Write) -> std::io::Result<(
 /// SJ4 vs the baseline join strategies.
 pub fn baselines(w: &mut Workbench, out: &mut dyn Write) -> std::io::Result<()> {
     let model = CostModel::default();
-    writeln!(out, "### Extension: baselines (4 KByte pages, 128 KByte buffer)\n")?;
-    writeln!(out, "| strategy | disk accesses | comparisons | est. time |")?;
+    writeln!(
+        out,
+        "### Extension: baselines (4 KByte pages, 128 KByte buffer)\n"
+    )?;
+    writeln!(
+        out,
+        "| strategy | disk accesses | comparisons | est. time |"
+    )?;
     writeln!(out, "|---|---|---|---|")?;
     let sj4 = run_on(w, PAGE, JoinPlan::sj4(), BUFFER);
     writeln!(
@@ -79,8 +100,14 @@ pub fn baselines(w: &mut Workbench, out: &mut dyn Write) -> std::io::Result<()> 
     // Flat nested loop: comparisons only (no index I/O model); cap the size
     // so `experiments all` stays fast at large scales.
     let cap = 20_000;
-    let items_r: Vec<_> = rsj_datagen::mbr_items(&w.data.r).into_iter().take(cap).collect();
-    let items_s: Vec<_> = rsj_datagen::mbr_items(&w.data.s).into_iter().take(cap).collect();
+    let items_r: Vec<_> = rsj_datagen::mbr_items(&w.data.r)
+        .into_iter()
+        .take(cap)
+        .collect();
+    let items_s: Vec<_> = rsj_datagen::mbr_items(&w.data.s)
+        .into_iter()
+        .take(cap)
+        .collect();
     let (_, cmps) = baseline::nested_loop_join(&items_r, &items_s);
     writeln!(
         out,
@@ -98,7 +125,10 @@ pub fn baselines(w: &mut Workbench, out: &mut dyn Write) -> std::io::Result<()> 
 /// under SJ1 (no schedule help) and SJ4 (spatially local schedule).
 pub fn buffer_policies(w: &mut Workbench, out: &mut dyn Write) -> std::io::Result<()> {
     use rsj_storage::EvictionPolicy;
-    writeln!(out, "### Extension: buffer replacement policy (4 KByte pages, disk accesses)\n")?;
+    writeln!(
+        out,
+        "### Extension: buffer replacement policy (4 KByte pages, disk accesses)\n"
+    )?;
     writeln!(out, "| algorithm | buffer | LRU | FIFO | Clock |")?;
     writeln!(out, "|---|---|---|---|---|")?;
     let r = w.tree_r(PAGE);
@@ -106,13 +136,22 @@ pub fn buffer_policies(w: &mut Workbench, out: &mut dyn Write) -> std::io::Resul
     for (name, plan) in [("SJ1", JoinPlan::sj1()), ("SJ4", JoinPlan::sj4())] {
         for buf in [32 * 1024usize, 128 * 1024] {
             let mut row = Vec::new();
-            for policy in [EvictionPolicy::Lru, EvictionPolicy::Fifo, EvictionPolicy::Clock] {
+            for policy in [
+                EvictionPolicy::Lru,
+                EvictionPolicy::Fifo,
+                EvictionPolicy::Clock,
+            ] {
                 let cfg = rsj_core::JoinConfig {
                     buffer_bytes: buf,
                     collect_pairs: false,
                     eviction: policy,
                 };
-                row.push(rsj_core::spatial_join(&r, &s, plan, &cfg).stats.io.disk_accesses);
+                row.push(
+                    rsj_core::spatial_join(&r, &s, plan, &cfg)
+                        .stats
+                        .io
+                        .disk_accesses,
+                );
             }
             writeln!(
                 out,
@@ -130,7 +169,10 @@ pub fn buffer_policies(w: &mut Workbench, out: &mut dyn Write) -> std::io::Resul
 
 /// The two-step ID-spatial-join: filter + refinement.
 pub fn refinement(scale: f64, out: &mut dyn Write) -> std::io::Result<()> {
-    writeln!(out, "### Extension: ID-spatial-join (filter + refinement)\n")?;
+    writeln!(
+        out,
+        "### Extension: ID-spatial-join (filter + refinement)\n"
+    )?;
     writeln!(
         out,
         "| test | candidates (MBR pairs) | exact pairs | selectivity | filter disk accesses | refinement heap accesses |"
@@ -140,15 +182,16 @@ pub fn refinement(scale: f64, out: &mut dyn Write) -> std::io::Result<()> {
         let mut w = Workbench::new(t, scale);
         let r = w.tree_r(PAGE);
         let s = w.tree_s(PAGE);
-        let robj = ObjectRelation::build(
-            PAGE,
-            w.data.r.iter().map(|o| (o.id, o.geometry.clone())),
+        let robj = ObjectRelation::build(PAGE, w.data.r.iter().map(|o| (o.id, o.geometry.clone())));
+        let sobj = ObjectRelation::build(PAGE, w.data.s.iter().map(|o| (o.id, o.geometry.clone())));
+        let res = id_join(
+            &r,
+            &s,
+            &robj,
+            &sobj,
+            JoinPlan::sj4(),
+            &JoinConfig::with_buffer(BUFFER),
         );
-        let sobj = ObjectRelation::build(
-            PAGE,
-            w.data.s.iter().map(|o| (o.id, o.geometry.clone())),
-        );
-        let res = id_join(&r, &s, &robj, &sobj, JoinPlan::sj4(), &JoinConfig::with_buffer(BUFFER));
         writeln!(
             out,
             "| {t} | {} | {} | {:.2} | {} | {} |",

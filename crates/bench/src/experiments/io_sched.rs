@@ -14,7 +14,10 @@ use std::io::Write;
 /// Prints Table 5 (4-KByte pages).
 pub fn table5(w: &mut Workbench, out: &mut dyn Write) -> std::io::Result<()> {
     const PAGE: usize = 4096;
-    writeln!(out, "### Table 5: disk accesses of SJ3, SJ4 and SJ5 (4 KByte pages)\n")?;
+    writeln!(
+        out,
+        "### Table 5: disk accesses of SJ3, SJ4 and SJ5 (4 KByte pages)\n"
+    )?;
     writeln!(out, "| LRU buffer | SJ3 | SJ4 | SJ5 |")?;
     writeln!(out, "|---|---|---|---|")?;
     for &buf in &BUFFER_SIZES {
@@ -36,7 +39,10 @@ pub fn table5(w: &mut Workbench, out: &mut dyn Write) -> std::io::Result<()> {
 
 /// Prints Table 6 and returns the SJ4 grid (Figures 8/9 reuse it).
 pub fn table6(w: &mut Workbench, sj1: &Grid, out: &mut dyn Write) -> std::io::Result<Grid> {
-    writeln!(out, "### Table 6: I/O-performance of SJ4 (and % of SJ1's accesses)\n")?;
+    writeln!(
+        out,
+        "### Table 6: I/O-performance of SJ4 (and % of SJ1's accesses)\n"
+    )?;
     let sj4 = run_grid(w, JoinPlan::sj4());
     write_access_table(out, &sj4, Some(sj1))?;
     write!(out, "| optimum |")?;
@@ -68,9 +74,13 @@ mod tests {
         assert!(text.contains("Table 5") && text.contains("Table 6"));
         // Individual cells may flip either way (the paper's own Table 6 has
         // cells above 100 %), but in aggregate the SJ4 schedule must win.
-        let total = |g: &Grid| -> u64 {
-            g.stats.iter().flatten().map(|s| s.io.disk_accesses).sum()
-        };
-        assert!(total(&sj4) <= total(&sj1), "SJ4 {} vs SJ1 {}", total(&sj4), total(&sj1));
+        let total =
+            |g: &Grid| -> u64 { g.stats.iter().flatten().map(|s| s.io.disk_accesses).sum() };
+        assert!(
+            total(&sj4) <= total(&sj1),
+            "SJ4 {} vs SJ1 {}",
+            total(&sj4),
+            total(&sj1)
+        );
     }
 }

@@ -19,12 +19,21 @@ use rsj_rtree::RTree;
 
 /// Runs a join in counting-only mode and returns its statistics.
 pub fn run_join(r: &RTree, s: &RTree, plan: JoinPlan, buffer_bytes: usize) -> JoinStats {
-    let cfg = JoinConfig { buffer_bytes, collect_pairs: false, ..Default::default() };
+    let cfg = JoinConfig {
+        buffer_bytes,
+        collect_pairs: false,
+        ..Default::default()
+    };
     spatial_join(r, s, plan, &cfg).stats
 }
 
 /// Runs a join on the workbench's trees for `page_bytes`.
-pub fn run_on(w: &mut Workbench, page_bytes: usize, plan: JoinPlan, buffer_bytes: usize) -> JoinStats {
+pub fn run_on(
+    w: &mut Workbench,
+    page_bytes: usize,
+    plan: JoinPlan,
+    buffer_bytes: usize,
+) -> JoinStats {
     let r = w.tree_r(page_bytes);
     let s = w.tree_s(page_bytes);
     run_join(&r, &s, plan, buffer_bytes)

@@ -22,7 +22,12 @@ pub struct Grid {
 pub fn run_grid(w: &mut Workbench, plan: JoinPlan) -> Grid {
     let stats = BUFFER_SIZES
         .iter()
-        .map(|&buf| PAGE_SIZES.iter().map(|&page| run_on(w, page, plan, buf)).collect())
+        .map(|&buf| {
+            PAGE_SIZES
+                .iter()
+                .map(|&page| run_on(w, page, plan, buf))
+                .collect()
+        })
         .collect();
     Grid { stats }
 }
@@ -30,7 +35,10 @@ pub fn run_grid(w: &mut Workbench, plan: JoinPlan) -> Grid {
 /// Prints Table 2 and returns the SJ1 grid for reuse by later experiments.
 pub fn table2(w: &mut Workbench, out: &mut dyn Write) -> std::io::Result<Grid> {
     let grid = run_grid(w, JoinPlan::sj1());
-    writeln!(out, "### Table 2: disk accesses and comparisons of SpatialJoin1\n")?;
+    writeln!(
+        out,
+        "### Table 2: disk accesses and comparisons of SpatialJoin1\n"
+    )?;
     write_access_table(out, &grid, None)?;
     // Optimum row: every required page read exactly once.
     write!(out, "| optimum |")?;
@@ -48,7 +56,10 @@ pub fn table2(w: &mut Workbench, out: &mut dyn Write) -> std::io::Result<Grid> {
         let c = grid.stats[0][pi].join_comparisons;
         // Comparisons are buffer-independent; check while reporting.
         for row in &grid.stats {
-            assert_eq!(row[pi].join_comparisons, c, "comparisons must not depend on buffer");
+            assert_eq!(
+                row[pi].join_comparisons, c,
+                "comparisons must not depend on buffer"
+            );
         }
         write!(out, " {} |", fmt_count(c))?;
     }
@@ -76,7 +87,12 @@ pub fn write_access_table(
             match baseline {
                 Some(b) => {
                     let base = b.stats[bi][pi].io.disk_accesses.max(1);
-                    write!(out, " {} ({:.1} %) |", fmt_count(a), 100.0 * a as f64 / base as f64)?;
+                    write!(
+                        out,
+                        " {} ({:.1} %) |",
+                        fmt_count(a),
+                        100.0 * a as f64 / base as f64
+                    )?;
                 }
                 None => write!(out, " {} |", fmt_count(a))?,
             }
@@ -89,7 +105,10 @@ pub fn write_access_table(
 /// Prints Figure 2: estimated execution time of SJ1 and its CPU/I-O split.
 pub fn figure2(grid: &Grid, out: &mut dyn Write) -> std::io::Result<()> {
     let model = CostModel::default();
-    writeln!(out, "### Figure 2: estimated execution time of SpatialJoin1\n")?;
+    writeln!(
+        out,
+        "### Figure 2: estimated execution time of SpatialJoin1\n"
+    )?;
     writeln!(out, "Total time (positioning + transfer + comparisons):\n")?;
     write!(out, "| LRU buffer |")?;
     for &page in &PAGE_SIZES {

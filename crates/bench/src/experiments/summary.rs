@@ -19,7 +19,10 @@ use std::io::Write;
 /// Prints Figure 8 from the measured SJ4 grid.
 pub fn figure8(sj4: &Grid, out: &mut dyn Write) -> std::io::Result<()> {
     let model = CostModel::default();
-    writeln!(out, "### Figure 8: total join time of SJ4 and CPU/IO split\n")?;
+    writeln!(
+        out,
+        "### Figure 8: total join time of SJ4 and CPU/IO split\n"
+    )?;
     write!(out, "| LRU buffer |")?;
     for &page in &PAGE_SIZES {
         write!(out, " {} |", fmt_page(page))?;
@@ -29,7 +32,11 @@ pub fn figure8(sj4: &Grid, out: &mut dyn Write) -> std::io::Result<()> {
     for (bi, &buf) in BUFFER_SIZES.iter().enumerate() {
         write!(out, "| {} |", fmt_buffer(buf))?;
         for pi in 0..PAGE_SIZES.len() {
-            write!(out, " {} |", fmt_secs(sj4.stats[bi][pi].time(&model).total()))?;
+            write!(
+                out,
+                " {} |",
+                fmt_secs(sj4.stats[bi][pi].time(&model).total())
+            )?;
         }
         writeln!(out)?;
     }
@@ -54,7 +61,10 @@ pub fn figure8(sj4: &Grid, out: &mut dyn Write) -> std::io::Result<()> {
 /// Prints Figure 9 from measured grids.
 pub fn figure9(sj1: &Grid, sj2: &Grid, sj4: &Grid, out: &mut dyn Write) -> std::io::Result<()> {
     let model = CostModel::default();
-    writeln!(out, "### Figure 9: improvement factor of SJ4 in total join time\n")?;
+    writeln!(
+        out,
+        "### Figure 9: improvement factor of SJ4 in total join time\n"
+    )?;
     for (name, base) in [("SJ1", sj1), ("SJ2", sj2)] {
         writeln!(out, "factor {name} / SJ4:\n")?;
         write!(out, "| LRU buffer |")?;
@@ -79,7 +89,10 @@ pub fn figure9(sj1: &Grid, sj2: &Grid, sj4: &Grid, out: &mut dyn Write) -> std::
 
 /// Prints Table 8 and Figure 10 across tests (A)–(E).
 pub fn table8_figure10(scale: f64, out: &mut dyn Write) -> std::io::Result<()> {
-    writeln!(out, "### Table 8: characteristics of tests (A)-(E), scale {scale}\n")?;
+    writeln!(
+        out,
+        "### Table 8: characteristics of tests (A)-(E), scale {scale}\n"
+    )?;
     writeln!(
         out,
         "| test | ||R||dat | ||S||dat | intersections | paper (x scale) |"
@@ -106,7 +119,10 @@ pub fn table8_figure10(scale: f64, out: &mut dyn Write) -> std::io::Result<()> {
     }
     writeln!(out)?;
 
-    writeln!(out, "### Figure 10: improvement factor SJ4 over SJ1, 128 KByte buffer\n")?;
+    writeln!(
+        out,
+        "### Figure 10: improvement factor SJ4 over SJ1, 128 KByte buffer\n"
+    )?;
     write!(out, "| test |")?;
     for &page in &PAGE_SIZES {
         write!(out, " {} |", fmt_page(page))?;
@@ -119,8 +135,12 @@ pub fn table8_figure10(scale: f64, out: &mut dyn Write) -> std::io::Result<()> {
         for &page in &PAGE_SIZES {
             let r = w.tree_r(page);
             let s = w.tree_s(page);
-            let t1 = run_join(&r, &s, JoinPlan::sj1(), 128 * 1024).time(&model).total();
-            let t4 = run_join(&r, &s, JoinPlan::sj4(), 128 * 1024).time(&model).total();
+            let t1 = run_join(&r, &s, JoinPlan::sj1(), 128 * 1024)
+                .time(&model)
+                .total();
+            let t4 = run_join(&r, &s, JoinPlan::sj4(), 128 * 1024)
+                .time(&model)
+                .total();
             write!(out, " {:.2} |", t1 / t4.max(1e-12))?;
         }
         writeln!(out)?;

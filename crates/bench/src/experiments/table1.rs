@@ -59,7 +59,10 @@ mod tests {
         let totals = run(&mut w, &mut buf).unwrap();
         assert_eq!(totals.len(), PAGE_SIZES.len());
         for pair in totals.windows(2) {
-            assert!(pair[1].1 < pair[0].1, "bigger pages, fewer pages: {totals:?}");
+            assert!(
+                pair[1].1 < pair[0].1,
+                "bigger pages, fewer pages: {totals:?}"
+            );
         }
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("Table 1"));

@@ -41,7 +41,11 @@ pub fn build_with_policy(
 pub fn build_str(items: &[(rsj_geom::Rect, u64)], page_bytes: usize) -> RTree {
     let data: Vec<(rsj_geom::Rect, DataId)> =
         items.iter().map(|&(r, id)| (r, DataId(id))).collect();
-    bulk::str_load(RTreeParams::for_page_size(page_bytes), &data, bulk::DEFAULT_FILL)
+    bulk::str_load(
+        RTreeParams::for_page_size(page_bytes),
+        &data,
+        bulk::DEFAULT_FILL,
+    )
 }
 
 /// Lazily-built tree cache for one preset: experiments share trees across
@@ -57,7 +61,11 @@ pub struct Workbench {
 impl Workbench {
     /// Generates the preset at `scale` (see `rsj_datagen::preset`).
     pub fn new(test: TestId, scale: f64) -> Self {
-        Workbench { data: preset(test, scale), scale, trees: Default::default() }
+        Workbench {
+            data: preset(test, scale),
+            scale,
+            trees: Default::default(),
+        }
     }
 
     /// The R tree at a page size (cached).

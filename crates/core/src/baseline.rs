@@ -20,10 +20,7 @@ use rsj_storage::BufferPool;
 
 /// Brute-force MBR join over plain arrays. Returns the intersecting id
 /// pairs and the number of (counted) comparisons.
-pub fn nested_loop_join(
-    r: &[(Rect, u64)],
-    s: &[(Rect, u64)],
-) -> (Vec<(u64, u64)>, u64) {
+pub fn nested_loop_join(r: &[(Rect, u64)], s: &[(Rect, u64)]) -> (Vec<(u64, u64)>, u64) {
     let mut cmp = CmpCounter::new();
     let mut out = Vec::new();
     for &(ra, ia) in r {
@@ -39,7 +36,11 @@ pub fn nested_loop_join(
 /// Index nested-loop join: scan R's data entries leaf by leaf (sequential
 /// reads of `|R|dat` pages plus the directory path), and probe S with one
 /// window query per entry.
-pub fn index_nested_loop_join(r: &RTree, s: &RTree, cfg: &JoinConfig) -> (Vec<(DataId, DataId)>, JoinStats) {
+pub fn index_nested_loop_join(
+    r: &RTree,
+    s: &RTree,
+    cfg: &JoinConfig,
+) -> (Vec<(DataId, DataId)>, JoinStats) {
     assert_eq!(r.params().page_bytes, s.params().page_bytes);
     let page_bytes = r.params().page_bytes;
     let mut pool = BufferPool::new(
@@ -117,8 +118,16 @@ mod tests {
         let b = items(150, 2.0);
         let (mut nl, cmps) = nested_loop_join(&a, &b);
         nl.sort_unstable();
-        assert!(cmps as usize >= a.len() * b.len(), "at least one cmp per pair test");
-        let res = crate::spatial_join(&build(&a), &build(&b), JoinPlan::sj4(), &JoinConfig::default());
+        assert!(
+            cmps as usize >= a.len() * b.len(),
+            "at least one cmp per pair test"
+        );
+        let res = crate::spatial_join(
+            &build(&a),
+            &build(&b),
+            JoinPlan::sj4(),
+            &JoinConfig::default(),
+        );
         let mut tj: Vec<(u64, u64)> = res.pairs.iter().map(|&(x, y)| (x.0, y.0)).collect();
         tj.sort_unstable();
         assert_eq!(nl, tj);

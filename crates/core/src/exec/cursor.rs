@@ -1,0 +1,831 @@
+//! The streaming join executor.
+//!
+//! [`JoinCursor`] runs the SJ1–SJ5 synchronized traversal as an
+//! explicit-work-stack state machine and yields `(DataId, DataId)` result
+//! pairs incrementally through [`Iterator`], instead of materializing the
+//! whole result like the old recursive driver. Consumers that only count
+//! never allocate the result; consumers that stream (refinement,
+//! pipelined multi-way stages, network sinks) see the first pair after a
+//! single root-to-leaf descent.
+//!
+//! The cursor is generic over [`NodeAccess`], the pluggable page-access
+//! layer: sequential joins plug in a private [`rsj_storage::BufferPool`],
+//! shared-buffer parallel workers plug in a
+//! [`rsj_storage::SharedBufferHandle`], and `&mut A` works for reusing one
+//! accountant across many cursors.
+//!
+//! **Accounting parity.** The state machine replays the recursive driver's
+//! exact sequence of buffer operations — the order of `access`/`pin`/
+//! `unpin` calls is observable through the LRU, so each frame suspends and
+//! resumes precisely where the recursion would. For every sequential plan
+//! the cursor reports bit-identical `disk_accesses`, `join_comparisons`
+//! and `sort_comparisons` to [`crate::exec::recursive_spatial_join`]; the
+//! differential tests in [`crate::exec`] enforce this.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::exec::{TAG_R, TAG_S};
+use crate::plan::{DiffHeightPolicy, Enumerate, JoinPlan};
+use crate::stats::JoinStats;
+use crate::sweep::{sort_indices_by_xl, sorted_intersection_test};
+use rsj_geom::{zorder, CmpCounter, Rect};
+use rsj_rtree::{DataId, Entry, RTree};
+use rsj_storage::{IoStats, NodeAccess, PageId};
+
+/// A scheduled directory pair: entry indices plus the intersection of the
+/// two entry rectangles (the restricted search space passed down).
+#[derive(Debug, Clone, Copy)]
+struct DirPair {
+    ir: usize,
+    js: usize,
+    rect: Rect,
+}
+
+/// Which side of a directory pair is pinned during a drain.
+#[derive(Debug, Clone, Copy)]
+enum PinSide {
+    /// Pin the R-side child; drain pairs with the same `ir`.
+    R(usize),
+    /// Pin the S-side child; drain pairs with the same `js`.
+    S(usize),
+}
+
+/// Resume point of a directory/directory frame.
+#[derive(Debug)]
+enum DirState {
+    /// Find the next unprocessed pair and descend into it.
+    NextOuter,
+    /// The subtree of pair `k` finished; decide on pinning.
+    AfterOuter,
+    /// Draining the pairs selected by the pinned side, from index `l`.
+    Drain {
+        side: PinSide,
+        page: PageId,
+        l: usize,
+    },
+}
+
+/// Suspended directory/directory node pair (the `schedule_pairs` loop of
+/// the recursion, unrolled into a resumable state).
+#[derive(Debug)]
+struct DirFrame {
+    rp: PageId,
+    sp: PageId,
+    pairs: Vec<DirPair>,
+    done: Vec<bool>,
+    k: usize,
+    state: DirState,
+}
+
+/// Suspended leaf/leaf node pair emitting one qualifying entry pair per
+/// step.
+#[derive(Debug)]
+struct LeafFrame {
+    rp: PageId,
+    sp: PageId,
+    pairs: Vec<(usize, usize)>,
+    pos: usize,
+}
+
+/// Resume point of a mixed directory × leaf frame (§4.4 policies).
+#[derive(Debug)]
+enum MixedState {
+    /// Policy (a): one window query per pair, in order.
+    PerPair { i: usize },
+    /// Policy (b): one batched traversal per directory entry, in
+    /// first-occurrence order.
+    Batched {
+        order: Vec<usize>,
+        windows: HashMap<usize, Vec<(usize, Rect)>>,
+        i: usize,
+    },
+    /// Policy (c): sweep order with pinning — the outer loop.
+    SweepOuter { done: Vec<bool>, k: usize },
+    /// Policy (c): draining window queries of the pinned child `id`.
+    SweepDrain {
+        done: Vec<bool>,
+        k: usize,
+        id: usize,
+        page: PageId,
+        l: usize,
+    },
+}
+
+/// Suspended directory × leaf node pair.
+#[derive(Debug)]
+struct MixedFrame {
+    dir_tag: u8,
+    dir_page: PageId,
+    leaf_tag: u8,
+    leaf_page: PageId,
+    /// `(dir entry index, leaf entry index)`, sweep-ordered under
+    /// plane-sweep enumeration.
+    pairs: Vec<(usize, usize)>,
+    state: MixedState,
+}
+
+/// One unit of suspended work on the explicit stack.
+#[derive(Debug)]
+enum Frame {
+    /// A node pair whose pages have been charged but not yet classified.
+    Visit {
+        rp: PageId,
+        sp: PageId,
+        rect: Rect,
+    },
+    Dir(DirFrame),
+    Leaf(LeafFrame),
+    Mixed(MixedFrame),
+}
+
+/// A streaming MBR-spatial-join: yields `(Id(r), Id(s))` pairs one at a
+/// time while charging all I/O to a caller-supplied [`NodeAccess`].
+///
+/// Construct with [`JoinCursor::new`] for a whole-tree join or
+/// [`JoinCursor::with_tasks`] for an explicit task list (the parallel
+/// worker unit), iterate, then read [`JoinCursor::stats`].
+#[derive(Debug)]
+pub struct JoinCursor<'t, A: NodeAccess> {
+    r: &'t RTree,
+    s: &'t RTree,
+    plan: JoinPlan,
+    /// Virtual expansion of R-side rectangles (distance joins), else 0.
+    eps: f64,
+    zframe: Rect,
+    access: A,
+    cmp: CmpCounter,
+    sort_cmp: CmpCounter,
+    emitted: u64,
+    page_bytes: usize,
+    tasks: VecDeque<(PageId, PageId, Rect)>,
+    /// Whether starting a task charges its two page accesses (true for
+    /// explicit task lists; the whole-tree constructor charges the roots
+    /// itself, before the empty/disjoint check, like the recursion).
+    charge_tasks: bool,
+    /// The accountant's tallies at cursor construction: [`JoinCursor::stats`]
+    /// reports the delta, so a borrowed accountant reused across cursors
+    /// (e.g. a worker's `&mut SharedBufferHandle`) is not double-counted.
+    io_baseline: IoStats,
+    stack: Vec<Frame>,
+    pending: VecDeque<(DataId, DataId)>,
+}
+
+impl<'t, A: NodeAccess> JoinCursor<'t, A> {
+    /// Cursor over the full join of `r` and `s` under `plan`, charging all
+    /// page accesses to `access`. Both root pages are charged immediately
+    /// (the recursion hands SpatialJoin1 both root nodes), even when a
+    /// tree is empty or the root MBRs are disjoint.
+    pub fn new(r: &'t RTree, s: &'t RTree, plan: JoinPlan, access: A) -> Self {
+        let mut cursor = Self::empty(r, s, plan, access, false);
+        cursor.charge(TAG_R, r.root());
+        cursor.charge(TAG_S, s.root());
+        if !r.is_empty() && !s.is_empty() {
+            if let Some(rect) = plan.search_space(&r.mbr(), &s.mbr()) {
+                cursor.tasks.push_back((r.root(), s.root(), rect));
+            }
+        }
+        cursor
+    }
+
+    /// Cursor over an explicit list of `(R page, S page, search space)`
+    /// tasks — the worker unit of the parallel join. Each task's two pages
+    /// are charged when the task starts; root accesses are the caller's
+    /// business.
+    pub fn with_tasks(
+        r: &'t RTree,
+        s: &'t RTree,
+        plan: JoinPlan,
+        access: A,
+        tasks: impl IntoIterator<Item = (PageId, PageId, Rect)>,
+    ) -> Self {
+        let mut cursor = Self::empty(r, s, plan, access, true);
+        cursor.tasks.extend(tasks);
+        cursor
+    }
+
+    fn empty(r: &'t RTree, s: &'t RTree, plan: JoinPlan, access: A, charge_tasks: bool) -> Self {
+        assert_eq!(
+            r.params().page_bytes,
+            s.params().page_bytes,
+            "joined trees must share a page size"
+        );
+        let eps = plan.predicate.epsilon();
+        assert!(
+            eps >= 0.0 && eps.is_finite(),
+            "distance-join epsilon must be finite and >= 0"
+        );
+        let io_baseline = access.io_stats();
+        JoinCursor {
+            r,
+            s,
+            plan,
+            eps,
+            zframe: r.mbr().union(&s.mbr()),
+            access,
+            cmp: CmpCounter::new(),
+            sort_cmp: CmpCounter::new(),
+            emitted: 0,
+            page_bytes: r.params().page_bytes,
+            tasks: VecDeque::new(),
+            charge_tasks,
+            io_baseline,
+            stack: Vec::new(),
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Statistics accumulated *by this cursor* so far: I/O is reported
+    /// relative to the accountant's tallies at construction, so reusing
+    /// one accountant across several cursors never double-counts. Totals
+    /// are final once the iterator is exhausted; a cursor dropped
+    /// mid-stream reports the partial work actually performed.
+    pub fn stats(&self) -> JoinStats {
+        let io = self.access.io_stats();
+        JoinStats {
+            join_comparisons: self.cmp.get(),
+            sort_comparisons: self.sort_cmp.get(),
+            io: IoStats {
+                disk_accesses: io.disk_accesses - self.io_baseline.disk_accesses,
+                path_hits: io.path_hits - self.io_baseline.path_hits,
+                lru_hits: io.lru_hits - self.io_baseline.lru_hits,
+            },
+            result_pairs: self.emitted,
+            page_bytes: self.page_bytes,
+        }
+    }
+
+    /// Consumes the cursor, returning the page-access accountant.
+    pub fn into_access(self) -> A {
+        self.access
+    }
+
+    fn tree(&self, tag: u8) -> &'t RTree {
+        if tag == TAG_R {
+            self.r
+        } else {
+            self.s
+        }
+    }
+
+    /// Charges one page access for `tag`/`page` at its path-buffer depth.
+    fn charge(&mut self, tag: u8, page: PageId) {
+        let tree = self.tree(tag);
+        let depth = tree.depth_of_level(tree.node(page).level);
+        self.access.access(tag, page, depth);
+    }
+
+    fn emit(&mut self, rid: DataId, sid: DataId) {
+        self.emitted += 1;
+        self.pending.push_back((rid, sid));
+    }
+
+    /// Entry rectangles of an R-side node, virtually expanded by ε for
+    /// distance joins; a no-op for the other predicates.
+    fn eff_rects(&self, entries: &[Entry]) -> Vec<Rect> {
+        if self.eps > 0.0 {
+            entries.iter().map(|e| e.rect.expanded(self.eps)).collect()
+        } else {
+            entries.iter().map(|e| e.rect).collect()
+        }
+    }
+
+    /// Plain entry rectangles (S side).
+    fn plain_rects(entries: &[Entry]) -> Vec<Rect> {
+        entries.iter().map(|e| e.rect).collect()
+    }
+
+    /// Final data-pair test beyond MBR intersection (see the recursion's
+    /// twin for the predicate-by-predicate rationale).
+    fn leaf_predicate_holds(&mut self, r_rect: &Rect, s_rect: &Rect) -> bool {
+        use crate::plan::JoinPredicate::*;
+        match self.plan.predicate {
+            Intersects | WithinDistance(_) => true,
+            Contains => r_rect.contains_counted(s_rect, &mut self.cmp),
+            Within => s_rect.contains_counted(r_rect, &mut self.cmp),
+        }
+    }
+
+    /// Enumerates qualifying `(index into a, index into b)` pairs —
+    /// identical logic and counting to the recursive driver.
+    fn enumerate_pairs(&mut self, a: &[Rect], b: &[Rect], rect: &Rect) -> Vec<(usize, usize)> {
+        let ai: Vec<usize> = if self.plan.restrict_space {
+            (0..a.len())
+                .filter(|&i| a[i].intersects_counted(rect, &mut self.cmp))
+                .collect()
+        } else {
+            (0..a.len()).collect()
+        };
+        let bi: Vec<usize> = if self.plan.restrict_space {
+            (0..b.len())
+                .filter(|&j| b[j].intersects_counted(rect, &mut self.cmp))
+                .collect()
+        } else {
+            (0..b.len()).collect()
+        };
+        match self.plan.enumerate {
+            Enumerate::NestedLoop => {
+                let mut out = Vec::new();
+                for &j in &bi {
+                    for &i in &ai {
+                        if a[i].intersects_counted(&b[j], &mut self.cmp) {
+                            out.push((i, j));
+                        }
+                    }
+                }
+                out
+            }
+            Enumerate::PlaneSweep => {
+                let mut ai = ai;
+                let mut bi = bi;
+                sort_indices_by_xl(a, &mut ai, &mut self.sort_cmp);
+                sort_indices_by_xl(b, &mut bi, &mut self.sort_cmp);
+                let mut out = Vec::new();
+                sorted_intersection_test(a, &ai, b, &bi, &mut self.cmp, &mut out);
+                out
+            }
+        }
+    }
+
+    /// Advances the machine by one unit of work. Returns `false` when all
+    /// tasks are exhausted.
+    fn step(&mut self) -> bool {
+        let Some(frame) = self.stack.pop() else {
+            let Some((rp, sp, rect)) = self.tasks.pop_front() else {
+                return false;
+            };
+            if self.charge_tasks {
+                self.charge(TAG_R, rp);
+                self.charge(TAG_S, sp);
+            }
+            self.stack.push(Frame::Visit { rp, sp, rect });
+            return true;
+        };
+        match frame {
+            Frame::Visit { rp, sp, rect } => self.visit(rp, sp, rect),
+            Frame::Dir(f) => self.step_dir(f),
+            Frame::Leaf(f) => self.step_leaf(f),
+            Frame::Mixed(f) => self.step_mixed(f),
+        }
+        true
+    }
+
+    /// Classifies a charged node pair and installs the matching frame,
+    /// running the pair enumeration (the recursion does both in one call).
+    fn visit(&mut self, rp: PageId, sp: PageId, rect: Rect) {
+        let rn = self.r.node(rp);
+        let sn = self.s.node(sp);
+        match (rn.is_leaf(), sn.is_leaf()) {
+            (true, true) => {
+                let arects = self.eff_rects(&rn.entries);
+                let brects = Self::plain_rects(&sn.entries);
+                let pairs = self.enumerate_pairs(&arects, &brects, &rect);
+                self.stack.push(Frame::Leaf(LeafFrame {
+                    rp,
+                    sp,
+                    pairs,
+                    pos: 0,
+                }));
+            }
+            (false, false) => {
+                let arects = self.eff_rects(&rn.entries);
+                let brects = Self::plain_rects(&sn.entries);
+                let raw = self.enumerate_pairs(&arects, &brects, &rect);
+                let mut pairs: Vec<DirPair> = raw
+                    .into_iter()
+                    .map(|(ir, js)| DirPair {
+                        ir,
+                        js,
+                        rect: arects[ir]
+                            .intersection(&brects[js])
+                            .expect("qualifying pair must intersect"),
+                    })
+                    .collect();
+                if self.plan.zorders() {
+                    // Local z-order (§4.3); comparator invocations charged
+                    // like a sort, exactly as in the recursion.
+                    let frame = self.zframe;
+                    let keys: Vec<u64> = pairs
+                        .iter()
+                        .map(|p| zorder::z_center(&p.rect, &frame, 16))
+                        .collect();
+                    let mut order: Vec<usize> = (0..pairs.len()).collect();
+                    order.sort_by(|&x, &y| {
+                        self.sort_cmp.bump();
+                        keys[x].cmp(&keys[y])
+                    });
+                    pairs = order.into_iter().map(|k| pairs[k]).collect();
+                }
+                let done = vec![false; pairs.len()];
+                self.stack.push(Frame::Dir(DirFrame {
+                    rp,
+                    sp,
+                    pairs,
+                    done,
+                    k: 0,
+                    state: DirState::NextOuter,
+                }));
+            }
+            // Different heights: the shorter tree bottomed out (§4.4).
+            (false, true) => self.visit_mixed(TAG_R, rp, TAG_S, sp, rect),
+            (true, false) => self.visit_mixed(TAG_S, sp, TAG_R, rp, rect),
+        }
+    }
+
+    fn visit_mixed(
+        &mut self,
+        dir_tag: u8,
+        dir_page: PageId,
+        leaf_tag: u8,
+        leaf_page: PageId,
+        rect: Rect,
+    ) {
+        let dir_node = self.tree(dir_tag).node(dir_page);
+        let leaf_node = self.tree(leaf_tag).node(leaf_page);
+        // R-side rectangles carry the distance-join expansion, whichever
+        // side of the mixed pair they are on.
+        let dir_rects = if dir_tag == TAG_R {
+            self.eff_rects(&dir_node.entries)
+        } else {
+            Self::plain_rects(&dir_node.entries)
+        };
+        let leaf_rects = if leaf_tag == TAG_R {
+            self.eff_rects(&leaf_node.entries)
+        } else {
+            Self::plain_rects(&leaf_node.entries)
+        };
+        let pairs = self.enumerate_pairs(&dir_rects, &leaf_rects, &rect);
+        let state = match self.plan.diff_height {
+            DiffHeightPolicy::PerPair => MixedState::PerPair { i: 0 },
+            DiffHeightPolicy::Batched => {
+                // Group the leaf windows per directory entry, preserving
+                // first-occurrence order.
+                let mut order: Vec<usize> = Vec::new();
+                let mut windows: HashMap<usize, Vec<(usize, Rect)>> = HashMap::new();
+                for &(id, il) in &pairs {
+                    let w = leaf_node.entries[il].rect.expanded(self.eps);
+                    let slot = windows.entry(id).or_default();
+                    if slot.is_empty() {
+                        order.push(id);
+                    }
+                    slot.push((il, w));
+                }
+                MixedState::Batched {
+                    order,
+                    windows,
+                    i: 0,
+                }
+            }
+            DiffHeightPolicy::SweepPinned => MixedState::SweepOuter {
+                done: vec![false; pairs.len()],
+                k: 0,
+            },
+        };
+        self.stack.push(Frame::Mixed(MixedFrame {
+            dir_tag,
+            dir_page,
+            leaf_tag,
+            leaf_page,
+            pairs,
+            state,
+        }));
+    }
+
+    /// Charges the two child pages of a directory pair and pushes the
+    /// child visit (the recursion's `process_dir_pair`). The parent frame
+    /// must already be back on the stack.
+    fn descend(&mut self, rp: PageId, sp: PageId, pair: DirPair) {
+        let cr = RTree::child_page(&self.r.node(rp).entries[pair.ir]);
+        let cs = RTree::child_page(&self.s.node(sp).entries[pair.js]);
+        self.charge(TAG_R, cr);
+        self.charge(TAG_S, cs);
+        self.stack.push(Frame::Visit {
+            rp: cr,
+            sp: cs,
+            rect: pair.rect,
+        });
+    }
+
+    fn step_dir(&mut self, mut f: DirFrame) {
+        match f.state {
+            DirState::NextOuter => {
+                while f.k < f.pairs.len() && f.done[f.k] {
+                    f.k += 1;
+                }
+                if f.k == f.pairs.len() {
+                    return; // frame complete — stays popped
+                }
+                let pair = f.pairs[f.k];
+                let (rp, sp) = (f.rp, f.sp);
+                f.state = DirState::AfterOuter;
+                self.stack.push(Frame::Dir(f));
+                self.descend(rp, sp, pair);
+            }
+            DirState::AfterOuter => {
+                f.done[f.k] = true;
+                if !self.plan.pins() {
+                    f.k += 1;
+                    f.state = DirState::NextOuter;
+                    self.stack.push(Frame::Dir(f));
+                    return;
+                }
+                // Degree of both pages among the unprocessed pairs (§4.3).
+                let DirPair { ir, js, .. } = f.pairs[f.k];
+                let deg_r = count_remaining(&f.pairs, &f.done, f.k, |p| p.ir == ir);
+                let deg_s = count_remaining(&f.pairs, &f.done, f.k, |p| p.js == js);
+                if deg_r == 0 && deg_s == 0 {
+                    f.k += 1;
+                    f.state = DirState::NextOuter;
+                    self.stack.push(Frame::Dir(f));
+                    return;
+                }
+                let (side, page) = if deg_r >= deg_s {
+                    (
+                        PinSide::R(ir),
+                        RTree::child_page(&self.r.node(f.rp).entries[ir]),
+                    )
+                } else {
+                    (
+                        PinSide::S(js),
+                        RTree::child_page(&self.s.node(f.sp).entries[js]),
+                    )
+                };
+                let tag = match side {
+                    PinSide::R(_) => TAG_R,
+                    PinSide::S(_) => TAG_S,
+                };
+                self.access.pin(tag, page);
+                f.state = DirState::Drain {
+                    side,
+                    page,
+                    l: f.k + 1,
+                };
+                self.stack.push(Frame::Dir(f));
+            }
+            DirState::Drain { side, page, mut l } => {
+                let matches = |p: &DirPair| match side {
+                    PinSide::R(ir) => p.ir == ir,
+                    PinSide::S(js) => p.js == js,
+                };
+                while l < f.pairs.len() && (f.done[l] || !matches(&f.pairs[l])) {
+                    l += 1;
+                }
+                if l == f.pairs.len() {
+                    let tag = match side {
+                        PinSide::R(_) => TAG_R,
+                        PinSide::S(_) => TAG_S,
+                    };
+                    self.access.unpin(tag, page);
+                    f.k += 1;
+                    f.state = DirState::NextOuter;
+                    self.stack.push(Frame::Dir(f));
+                    return;
+                }
+                f.done[l] = true;
+                let pair = f.pairs[l];
+                let (rp, sp) = (f.rp, f.sp);
+                f.state = DirState::Drain {
+                    side,
+                    page,
+                    l: l + 1,
+                };
+                self.stack.push(Frame::Dir(f));
+                self.descend(rp, sp, pair);
+            }
+        }
+    }
+
+    fn step_leaf(&mut self, mut f: LeafFrame) {
+        let Some(&(ir, js)) = f.pairs.get(f.pos) else {
+            return; // frame complete
+        };
+        f.pos += 1;
+        let rn = self.r.node(f.rp);
+        let sn = self.s.node(f.sp);
+        let (r_rect, s_rect) = (rn.entries[ir].rect, sn.entries[js].rect);
+        let rid = rn.entries[ir].child.data().expect("leaf entry");
+        let sid = sn.entries[js].child.data().expect("leaf entry");
+        self.stack.push(Frame::Leaf(f));
+        if self.leaf_predicate_holds(&r_rect, &s_rect) {
+            self.emit(rid, sid);
+        }
+    }
+
+    fn step_mixed(&mut self, mut f: MixedFrame) {
+        match f.state {
+            MixedState::PerPair { i } => {
+                let Some(&(id, il)) = f.pairs.get(i) else {
+                    return; // frame complete
+                };
+                f.state = MixedState::PerPair { i: i + 1 };
+                let (dt, dp, lt, lp) = (f.dir_tag, f.dir_page, f.leaf_tag, f.leaf_page);
+                self.stack.push(Frame::Mixed(f));
+                self.window_query_pair(dt, dp, lt, lp, id, il);
+            }
+            MixedState::Batched {
+                order,
+                mut windows,
+                i,
+            } => {
+                let Some(&id) = order.get(i) else {
+                    return; // frame complete
+                };
+                // Each id occurs in `order` exactly once, so its window
+                // batch can be moved out instead of cloned.
+                let ws = windows.remove(&id).expect("window batch present");
+                let (dt, dp, lt, lp) = (f.dir_tag, f.dir_page, f.leaf_tag, f.leaf_page);
+                f.state = MixedState::Batched {
+                    order,
+                    windows,
+                    i: i + 1,
+                };
+                self.stack.push(Frame::Mixed(f));
+                self.multi_window_query(dt, dp, lt, lp, id, &ws);
+            }
+            MixedState::SweepOuter { mut done, mut k } => {
+                while k < f.pairs.len() && done[k] {
+                    k += 1;
+                }
+                if k == f.pairs.len() {
+                    return; // frame complete
+                }
+                let (id, il) = f.pairs[k];
+                done[k] = true;
+                let deg = f
+                    .pairs
+                    .iter()
+                    .zip(done.iter())
+                    .skip(k + 1)
+                    .filter(|(&(pid, _), &d)| !d && pid == id)
+                    .count();
+                let (dt, dp, lt, lp) = (f.dir_tag, f.dir_page, f.leaf_tag, f.leaf_page);
+                // The window query of pair k runs first either way (the
+                // recursion queries, then pins for the drain).
+                if deg == 0 {
+                    f.state = MixedState::SweepOuter { done, k: k + 1 };
+                    self.stack.push(Frame::Mixed(f));
+                    self.window_query_pair(dt, dp, lt, lp, id, il);
+                } else {
+                    let page = RTree::child_page(&self.tree(dt).node(dp).entries[id]);
+                    f.state = MixedState::SweepDrain {
+                        done,
+                        k,
+                        id,
+                        page,
+                        l: k + 1,
+                    };
+                    self.stack.push(Frame::Mixed(f));
+                    self.window_query_pair(dt, dp, lt, lp, id, il);
+                    self.access.pin(dt, page);
+                }
+            }
+            MixedState::SweepDrain {
+                mut done,
+                k,
+                id,
+                page,
+                mut l,
+            } => {
+                while l < f.pairs.len() && (done[l] || f.pairs[l].0 != id) {
+                    l += 1;
+                }
+                if l == f.pairs.len() {
+                    self.access.unpin(f.dir_tag, page);
+                    f.state = MixedState::SweepOuter { done, k: k + 1 };
+                    self.stack.push(Frame::Mixed(f));
+                    return;
+                }
+                let (_, il) = f.pairs[l];
+                done[l] = true;
+                let (dt, dp, lt, lp) = (f.dir_tag, f.dir_page, f.leaf_tag, f.leaf_page);
+                f.state = MixedState::SweepDrain {
+                    done,
+                    k,
+                    id,
+                    page,
+                    l: l + 1,
+                };
+                self.stack.push(Frame::Mixed(f));
+                self.window_query_pair(dt, dp, lt, lp, id, il);
+            }
+        }
+    }
+
+    /// Policy (a)/(c) unit: one window query with the leaf entry's rect
+    /// into the subtree of the directory entry. Hits are emitted through
+    /// the pending queue; I/O and comparisons are charged eagerly, so the
+    /// buffer sees the same sequence as in the recursion.
+    fn window_query_pair(
+        &mut self,
+        dir_tag: u8,
+        dir_page: PageId,
+        leaf_tag: u8,
+        leaf_page: PageId,
+        id: usize,
+        il: usize,
+    ) {
+        let dir_tree = self.tree(dir_tag);
+        let dir_node = dir_tree.node(dir_page);
+        let leaf_entry = &self.tree(leaf_tag).node(leaf_page).entries[il];
+        let leaf_id = leaf_entry.child.data().expect("leaf entry");
+        let child = RTree::child_page(&dir_node.entries[id]);
+        // The ε expansion commutes across sides, so the query window
+        // absorbs it regardless of which tree is the directory side.
+        let window = leaf_entry.rect.expanded(self.eps);
+        let leaf_rect = leaf_entry.rect;
+        let mut hits = Vec::new();
+        dir_tree.window_query_charged(
+            child,
+            &window,
+            &mut self.cmp,
+            dir_tag,
+            &mut self.access,
+            &mut hits,
+        );
+        for (hit_rect, did) in hits {
+            let (r_rect, s_rect) = if dir_tag == TAG_R {
+                (hit_rect, leaf_rect)
+            } else {
+                (leaf_rect, hit_rect)
+            };
+            if !self.leaf_predicate_holds(&r_rect, &s_rect) {
+                continue;
+            }
+            if dir_tag == TAG_R {
+                self.emit(did, leaf_id);
+            } else {
+                self.emit(leaf_id, did);
+            }
+        }
+    }
+
+    /// Policy (b) unit: all qualifying leaf windows of one directory entry
+    /// in a single traversal.
+    fn multi_window_query(
+        &mut self,
+        dir_tag: u8,
+        dir_page: PageId,
+        leaf_tag: u8,
+        leaf_page: PageId,
+        id: usize,
+        windows: &[(usize, Rect)],
+    ) {
+        let dir_tree = self.tree(dir_tag);
+        let leaf_node = self.tree(leaf_tag).node(leaf_page);
+        let child = RTree::child_page(&dir_tree.node(dir_page).entries[id]);
+        let mut hits = Vec::new();
+        dir_tree.multi_window_query_charged(
+            child,
+            windows,
+            &mut self.cmp,
+            dir_tag,
+            &mut self.access,
+            &mut hits,
+        );
+        for (il, hit_rect, did) in hits {
+            let leaf_rect = leaf_node.entries[il].rect;
+            let (r_rect, s_rect) = if dir_tag == TAG_R {
+                (hit_rect, leaf_rect)
+            } else {
+                (leaf_rect, hit_rect)
+            };
+            if !self.leaf_predicate_holds(&r_rect, &s_rect) {
+                continue;
+            }
+            let leaf_id = leaf_node.entries[il].child.data().expect("leaf entry");
+            if dir_tag == TAG_R {
+                self.emit(did, leaf_id);
+            } else {
+                self.emit(leaf_id, did);
+            }
+        }
+    }
+}
+
+impl<A: NodeAccess> Iterator for JoinCursor<'_, A> {
+    type Item = (DataId, DataId);
+
+    fn next(&mut self) -> Option<(DataId, DataId)> {
+        loop {
+            if let Some(pair) = self.pending.pop_front() {
+                return Some(pair);
+            }
+            if !self.step() {
+                return None;
+            }
+        }
+    }
+}
+
+fn count_remaining(
+    pairs: &[DirPair],
+    done: &[bool],
+    after: usize,
+    pred: impl Fn(&DirPair) -> bool,
+) -> usize {
+    pairs
+        .iter()
+        .zip(done.iter())
+        .skip(after + 1)
+        .filter(|(p, &d)| !d && pred(p))
+        .count()
+}

@@ -1,31 +1,33 @@
-//! The synchronized-traversal join driver.
+//! The spatial-join drivers: thin wrappers over the streaming executor.
 //!
-//! One recursion implements all of SJ1–SJ5; the [`JoinPlan`] decides, per
+//! One engine implements all of SJ1–SJ5: the [`crate::exec::JoinCursor`]
+//! work-stack executor, parameterized by a [`JoinPlan`] that decides, per
 //! node pair, how qualifying entry pairs are *enumerated* (nested loop vs
 //! plane sweep, with or without search-space restriction) and in which
 //! order the child pages are *scheduled* (enumeration/sweep order, pinned
 //! max-degree drain, z-order). Trees of different height fall back to
 //! window queries per §4.4 once the shorter tree reaches its leaves.
 //!
+//! [`spatial_join`] drains a cursor into the classic materialized
+//! [`JoinResult`]; callers that want pairs incrementally build a
+//! [`crate::exec::JoinCursor`] directly.
+//!
 //! Accounting mirrors the paper:
-//! * every `ReadPage` goes through the shared [`BufferPool`] (path buffer →
-//!   LRU → disk), so `stats.io.disk_accesses` is the Table 2/5/6/7 metric;
+//! * every `ReadPage` goes through a [`rsj_storage::NodeAccess`]
+//!   accountant (here: the [`BufferPool`] stack path buffer → LRU → disk),
+//!   so `stats.io.disk_accesses` is the Table 2/5/6/7 metric;
 //! * every join-condition test runs through counted predicates, so
 //!   `stats.join_comparisons` is the Table 2/3/4 metric;
 //! * sorting work for the sweep is tallied separately in
 //!   `stats.sort_comparisons` (the "sorting" rows of Table 4).
 
-use crate::plan::{DiffHeightPolicy, Enumerate, JoinConfig, JoinPlan};
-use crate::stats::JoinStats;
-use crate::sweep::{sort_indices_by_xl, sorted_intersection_test};
-use rsj_geom::{zorder, CmpCounter, Rect};
-use rsj_rtree::{DataId, Entry, RTree};
+use crate::exec::JoinCursor;
+use crate::plan::{JoinConfig, JoinPlan};
+use rsj_geom::Rect;
+use rsj_rtree::{DataId, RTree};
 use rsj_storage::{BufferPool, PageId};
 
-/// Buffer-pool store tag of tree R.
-pub const TAG_R: u8 = 0;
-/// Buffer-pool store tag of tree S.
-pub const TAG_S: u8 = 1;
+pub use crate::exec::{TAG_R, TAG_S};
 
 /// Result of an MBR-spatial-join.
 #[derive(Debug, Clone)]
@@ -37,64 +39,29 @@ pub struct JoinResult {
     pub stats: JoinStats,
 }
 
+use crate::stats::JoinStats;
+
 /// Computes the MBR-spatial-join of `r` and `s` under `plan`.
 ///
 /// Both trees must use the same page size (they share one LRU buffer whose
-/// capacity is `cfg.buffer_bytes / page_bytes` pages).
+/// capacity is `cfg.buffer_bytes / page_bytes` pages). This drains a
+/// [`JoinCursor`] over a private [`BufferPool`]; use the cursor directly to
+/// consume pairs incrementally.
 pub fn spatial_join(r: &RTree, s: &RTree, plan: JoinPlan, cfg: &JoinConfig) -> JoinResult {
-    assert_eq!(
-        r.params().page_bytes,
-        s.params().page_bytes,
-        "joined trees must share a page size"
-    );
-    let page_bytes = r.params().page_bytes;
     let pool = BufferPool::with_policy(
         cfg.buffer_bytes,
-        page_bytes,
+        r.params().page_bytes,
         &[r.height() as usize, s.height() as usize],
         cfg.eviction,
     );
-    let zframe = r.mbr().union(&s.mbr());
-    let eps = plan.predicate.epsilon();
-    assert!(eps >= 0.0 && eps.is_finite(), "distance-join epsilon must be finite and >= 0");
-    let mut runner = Runner {
-        r,
-        s,
-        plan,
-        eps,
-        pool,
-        cmp: CmpCounter::new(),
-        sort_cmp: CmpCounter::new(),
-        pairs: Vec::new(),
-        result_count: 0,
-        collect: cfg.collect_pairs,
-        zframe,
-    };
-    // The roots are read once up front (SpatialJoin1 is handed both root
-    // nodes).
-    runner.access(TAG_R, r.root());
-    runner.access(TAG_S, s.root());
-    if !r.is_empty() && !s.is_empty() {
-        if let Some(rect) = r.mbr().expanded(eps).intersection(&s.mbr()) {
-            runner.join_nodes(r.root(), s.root(), rect);
-        }
-    }
-    JoinResult {
-        stats: JoinStats {
-            join_comparisons: runner.cmp.get(),
-            sort_comparisons: runner.sort_cmp.get(),
-            io: runner.pool.stats(),
-            result_pairs: runner.result_count,
-            page_bytes,
-        },
-        pairs: runner.pairs,
-    }
+    let cursor = JoinCursor::new(r, s, plan, pool);
+    drain(cursor, cfg.collect_pairs)
 }
 
-/// Runs the join recursion over an explicit list of node-pair tasks with a
-/// private buffer pool — the worker unit of the parallel join (§6 future
-/// work). Root accesses are *not* charged here; the caller accounts for
-/// them once.
+/// Runs the join over an explicit list of node-pair tasks with a private
+/// buffer pool — the worker unit of the shared-nothing parallel join (§6
+/// future work). Root accesses are *not* charged here; the caller accounts
+/// for them once.
 pub(crate) fn run_subjoin(
     r: &RTree,
     s: &RTree,
@@ -104,482 +71,35 @@ pub(crate) fn run_subjoin(
     collect: bool,
     tasks: &[(PageId, PageId, Rect)],
 ) -> JoinResult {
-    let page_bytes = r.params().page_bytes;
     let pool = BufferPool::with_policy(
         buffer_bytes,
-        page_bytes,
+        r.params().page_bytes,
         &[r.height() as usize, s.height() as usize],
         eviction,
     );
-    let mut runner = Runner {
-        r,
-        s,
-        plan,
-        eps: plan.predicate.epsilon(),
-        pool,
-        cmp: CmpCounter::new(),
-        sort_cmp: CmpCounter::new(),
-        pairs: Vec::new(),
-        result_count: 0,
-        collect,
-        zframe: r.mbr().union(&s.mbr()),
-    };
-    for &(rp, sp, rect) in tasks {
-        runner.access(TAG_R, rp);
-        runner.access(TAG_S, sp);
-        runner.join_nodes(rp, sp, rect);
+    let cursor = JoinCursor::with_tasks(r, s, plan, pool, tasks.iter().copied());
+    drain(cursor, collect)
+}
+
+/// Exhausts a cursor into a [`JoinResult`], materializing pairs only when
+/// asked to.
+fn drain<A: rsj_storage::NodeAccess>(mut cursor: JoinCursor<'_, A>, collect: bool) -> JoinResult {
+    let mut pairs = Vec::new();
+    if collect {
+        pairs.extend(&mut cursor);
+    } else {
+        for _ in &mut cursor {}
     }
     JoinResult {
-        stats: JoinStats {
-            join_comparisons: runner.cmp.get(),
-            sort_comparisons: runner.sort_cmp.get(),
-            io: runner.pool.stats(),
-            result_pairs: runner.result_count,
-            page_bytes,
-        },
-        pairs: runner.pairs,
+        stats: cursor.stats(),
+        pairs,
     }
-}
-
-struct Runner<'a> {
-    r: &'a RTree,
-    s: &'a RTree,
-    plan: JoinPlan,
-    /// Virtual expansion of R-side rectangles (distance joins), else 0.
-    eps: f64,
-    pool: BufferPool,
-    cmp: CmpCounter,
-    sort_cmp: CmpCounter,
-    pairs: Vec<(DataId, DataId)>,
-    result_count: u64,
-    collect: bool,
-    zframe: Rect,
-}
-
-/// A scheduled directory pair: entry indices plus the intersection of the
-/// two entry rectangles (the restricted search space passed down).
-#[derive(Debug, Clone, Copy)]
-struct DirPair {
-    ir: usize,
-    js: usize,
-    rect: Rect,
-}
-
-impl<'a> Runner<'a> {
-    fn tree(&self, tag: u8) -> &'a RTree {
-        if tag == TAG_R {
-            self.r
-        } else {
-            self.s
-        }
-    }
-
-    /// Charges one page access for `tag`/`page` at its path-buffer depth.
-    fn access(&mut self, tag: u8, page: PageId) {
-        let tree = self.tree(tag);
-        let depth = tree.depth_of_level(tree.node(page).level);
-        self.pool.access(tag, page, depth);
-    }
-
-    fn emit(&mut self, rid: DataId, sid: DataId) {
-        self.result_count += 1;
-        if self.collect {
-            self.pairs.push((rid, sid));
-        }
-    }
-
-    /// Entry rectangles of an R-side node, virtually expanded by ε for
-    /// distance joins (`dist∞(r, s) ≤ ε ⇔ expand(r, ε) ∩ s ≠ ∅`); a no-op
-    /// for the other predicates.
-    fn eff_rects(&self, entries: &[Entry]) -> Vec<Rect> {
-        if self.eps > 0.0 {
-            entries.iter().map(|e| e.rect.expanded(self.eps)).collect()
-        } else {
-            entries.iter().map(|e| e.rect).collect()
-        }
-    }
-
-    /// Plain entry rectangles (S side).
-    fn plain_rects(entries: &[Entry]) -> Vec<Rect> {
-        entries.iter().map(|e| e.rect).collect()
-    }
-
-    /// Final data-pair test beyond MBR intersection. Intersection and
-    /// distance joins are fully decided by the (expanded) intersection test
-    /// of the enumeration; containment joins re-check the original
-    /// rectangles.
-    fn leaf_predicate_holds(&mut self, r_rect: &Rect, s_rect: &Rect) -> bool {
-        use crate::plan::JoinPredicate::*;
-        match self.plan.predicate {
-            Intersects | WithinDistance(_) => true,
-            Contains => r_rect.contains_counted(s_rect, &mut self.cmp),
-            Within => s_rect.contains_counted(r_rect, &mut self.cmp),
-        }
-    }
-
-    fn join_nodes(&mut self, rp: PageId, sp: PageId, rect: Rect) {
-        let rn = self.r.node(rp);
-        let sn = self.s.node(sp);
-        match (rn.is_leaf(), sn.is_leaf()) {
-            (true, true) => {
-                let arects = self.eff_rects(&rn.entries);
-                let brects = Self::plain_rects(&sn.entries);
-                let pairs = self.enumerate_pairs(&arects, &brects, &rect);
-                for (ir, js) in pairs {
-                    if !self.leaf_predicate_holds(&rn.entries[ir].rect, &sn.entries[js].rect) {
-                        continue;
-                    }
-                    let rid = rn.entries[ir].child.data().expect("leaf entry");
-                    let sid = sn.entries[js].child.data().expect("leaf entry");
-                    self.emit(rid, sid);
-                }
-            }
-            (false, false) => {
-                let arects = self.eff_rects(&rn.entries);
-                let brects = Self::plain_rects(&sn.entries);
-                let raw = self.enumerate_pairs(&arects, &brects, &rect);
-                let pairs: Vec<DirPair> = raw
-                    .into_iter()
-                    .map(|(ir, js)| DirPair {
-                        ir,
-                        js,
-                        rect: arects[ir]
-                            .intersection(&brects[js])
-                            .expect("qualifying pair must intersect"),
-                    })
-                    .collect();
-                self.schedule_pairs(rp, sp, pairs);
-            }
-            // Different heights: the shorter tree bottomed out (§4.4).
-            (false, true) => self.join_mixed(TAG_R, rp, TAG_S, sp, rect),
-            (true, false) => self.join_mixed(TAG_S, sp, TAG_R, rp, rect),
-        }
-    }
-
-    /// Enumerates qualifying `(index into a, index into b)` pairs between
-    /// two (effective) rectangle slices, applying search-space restriction
-    /// and the configured enumeration strategy. For plane-sweep enumeration
-    /// the pairs come back in sweep order.
-    fn enumerate_pairs(&mut self, a: &[Rect], b: &[Rect], rect: &Rect) -> Vec<(usize, usize)> {
-        // Restriction: a linear scan through each node marks the entries
-        // that intersect the intersection rectangle of the two node MBRs
-        // (§4.2 "Restricting the search space").
-        let ai: Vec<usize> = if self.plan.restrict_space {
-            (0..a.len())
-                .filter(|&i| a[i].intersects_counted(rect, &mut self.cmp))
-                .collect()
-        } else {
-            (0..a.len()).collect()
-        };
-        let bi: Vec<usize> = if self.plan.restrict_space {
-            (0..b.len())
-                .filter(|&j| b[j].intersects_counted(rect, &mut self.cmp))
-                .collect()
-        } else {
-            (0..b.len()).collect()
-        };
-        match self.plan.enumerate {
-            Enumerate::NestedLoop => {
-                // SpatialJoin1: outer loop over S (here: `b`), inner over R.
-                let mut out = Vec::new();
-                for &j in &bi {
-                    for &i in &ai {
-                        if a[i].intersects_counted(&b[j], &mut self.cmp) {
-                            out.push((i, j));
-                        }
-                    }
-                }
-                out
-            }
-            Enumerate::PlaneSweep => {
-                let mut ai = ai;
-                let mut bi = bi;
-                sort_indices_by_xl(a, &mut ai, &mut self.sort_cmp);
-                sort_indices_by_xl(b, &mut bi, &mut self.sort_cmp);
-                let mut out = Vec::new();
-                sorted_intersection_test(a, &ai, b, &bi, &mut self.cmp, &mut out);
-                out
-            }
-        }
-    }
-
-    /// Processes directory pairs in the order dictated by the schedule,
-    /// optionally pinning the page with maximal degree after each pair
-    /// (§4.3).
-    fn schedule_pairs(&mut self, rp: PageId, sp: PageId, mut pairs: Vec<DirPair>) {
-        if self.plan.zorders() {
-            // Local z-order (§4.3): sort the intersection rectangles by the
-            // z-value of their centres. The key computation and sort are
-            // CPU the paper notes is "not compensated"; we charge the
-            // comparator invocations like a sort.
-            let frame = self.zframe;
-            let keys: Vec<u64> =
-                pairs.iter().map(|p| zorder::z_center(&p.rect, &frame, 16)).collect();
-            let mut order: Vec<usize> = (0..pairs.len()).collect();
-            order.sort_by(|&x, &y| {
-                self.sort_cmp.bump();
-                keys[x].cmp(&keys[y])
-            });
-            pairs = order.into_iter().map(|k| pairs[k]).collect();
-        }
-        let rn = self.r.node(rp);
-        let sn = self.s.node(sp);
-        let mut done = vec![false; pairs.len()];
-        for k in 0..pairs.len() {
-            if done[k] {
-                continue;
-            }
-            self.process_dir_pair(rp, sp, &pairs[k]);
-            done[k] = true;
-            if !self.plan.pins() {
-                continue;
-            }
-            // Degree of both pages among the unprocessed pairs (§4.3:
-            // "the number of intersections between rectangle E.rect and the
-            // rectangles which belong to entries of the other tree not
-            // processed until now").
-            let DirPair { ir, js, .. } = pairs[k];
-            let deg_r = count_remaining(&pairs, &done, k, |p| p.ir == ir);
-            let deg_s = count_remaining(&pairs, &done, k, |p| p.js == js);
-            if deg_r == 0 && deg_s == 0 {
-                continue;
-            }
-            if deg_r >= deg_s {
-                let page = RTree::child_page(&rn.entries[ir]);
-                self.pool.pin(TAG_R, page);
-                self.drain_pairs(rp, sp, &pairs, &mut done, k, |p| p.ir == ir);
-                self.pool.unpin(TAG_R, page);
-            } else {
-                let page = RTree::child_page(&sn.entries[js]);
-                self.pool.pin(TAG_S, page);
-                self.drain_pairs(rp, sp, &pairs, &mut done, k, |p| p.js == js);
-                self.pool.unpin(TAG_S, page);
-            }
-        }
-    }
-
-    /// Processes all remaining pairs selected by `pred`, in order.
-    fn drain_pairs(
-        &mut self,
-        rp: PageId,
-        sp: PageId,
-        pairs: &[DirPair],
-        done: &mut [bool],
-        after: usize,
-        pred: impl Fn(&DirPair) -> bool,
-    ) {
-        for l in (after + 1)..pairs.len() {
-            if !done[l] && pred(&pairs[l]) {
-                self.process_dir_pair(rp, sp, &pairs[l]);
-                done[l] = true;
-            }
-        }
-    }
-
-    /// Reads the two child pages (`ReadPage(E_R.ref); ReadPage(E_S.ref)`)
-    /// and recurses.
-    fn process_dir_pair(&mut self, rp: PageId, sp: PageId, pair: &DirPair) {
-        let cr = RTree::child_page(&self.r.node(rp).entries[pair.ir]);
-        let cs = RTree::child_page(&self.s.node(sp).entries[pair.js]);
-        self.access(TAG_R, cr);
-        self.access(TAG_S, cs);
-        self.join_nodes(cr, cs, pair.rect);
-    }
-
-    /// Directory × leaf join for trees of different height (§4.4): finish
-    /// with window queries into the directory-side subtrees, using the
-    /// configured [`DiffHeightPolicy`].
-    fn join_mixed(&mut self, dir_tag: u8, dir_page: PageId, leaf_tag: u8, leaf_page: PageId, rect: Rect) {
-        let dir_node = self.tree(dir_tag).node(dir_page);
-        let leaf_node = self.tree(leaf_tag).node(leaf_page);
-        // R-side rectangles carry the distance-join expansion, whichever
-        // side of the mixed pair they are on.
-        let dir_rects = if dir_tag == TAG_R {
-            self.eff_rects(&dir_node.entries)
-        } else {
-            Self::plain_rects(&dir_node.entries)
-        };
-        let leaf_rects = if leaf_tag == TAG_R {
-            self.eff_rects(&leaf_node.entries)
-        } else {
-            Self::plain_rects(&leaf_node.entries)
-        };
-        // (dir entry index, leaf entry index), sweep-ordered under
-        // plane-sweep enumeration.
-        let pairs = self.enumerate_pairs(&dir_rects, &leaf_rects, &rect);
-        match self.plan.diff_height {
-            DiffHeightPolicy::PerPair => {
-                for &(id, il) in &pairs {
-                    self.window_query_pair(dir_tag, dir_page, leaf_tag, leaf_page, id, il);
-                }
-            }
-            DiffHeightPolicy::Batched => {
-                // Group the leaf windows per directory entry, preserving
-                // first-occurrence order, then one batched traversal per
-                // subtree: every required page is read exactly once.
-                let mut order: Vec<usize> = Vec::new();
-                let mut windows: std::collections::HashMap<usize, Vec<(usize, Rect)>> =
-                    std::collections::HashMap::new();
-                for &(id, il) in &pairs {
-                    let w = leaf_node.entries[il].rect.expanded(self.eps);
-                    let slot = windows.entry(id).or_default();
-                    if slot.is_empty() {
-                        order.push(id);
-                    }
-                    slot.push((il, w));
-                }
-                for id in order {
-                    let ws = &windows[&id];
-                    self.multi_window_query(dir_tag, dir_page, leaf_tag, leaf_page, id, ws);
-                }
-            }
-            DiffHeightPolicy::SweepPinned => {
-                // Like SJ4: after each pair, pin the directory child with
-                // maximal degree and drain its window queries first.
-                let mut done = vec![false; pairs.len()];
-                for k in 0..pairs.len() {
-                    if done[k] {
-                        continue;
-                    }
-                    let (id, il) = pairs[k];
-                    self.window_query_pair(dir_tag, dir_page, leaf_tag, leaf_page, id, il);
-                    done[k] = true;
-                    let deg = pairs
-                        .iter()
-                        .zip(done.iter())
-                        .skip(k + 1)
-                        .filter(|(&(pid, _), &d)| !d && pid == id)
-                        .count();
-                    if deg == 0 {
-                        continue;
-                    }
-                    let page = RTree::child_page(&dir_node.entries[id]);
-                    self.pool.pin(dir_tag, page);
-                    for l in (k + 1)..pairs.len() {
-                        if !done[l] && pairs[l].0 == id {
-                            let (_, il2) = pairs[l];
-                            self.window_query_pair(dir_tag, dir_page, leaf_tag, leaf_page, id, il2);
-                            done[l] = true;
-                        }
-                    }
-                    self.pool.unpin(dir_tag, page);
-                }
-            }
-        }
-    }
-
-    /// Policy (a)/(c) unit: one window query with the leaf entry's rect
-    /// into the subtree of the directory entry.
-    fn window_query_pair(
-        &mut self,
-        dir_tag: u8,
-        dir_page: PageId,
-        leaf_tag: u8,
-        leaf_page: PageId,
-        id: usize,
-        il: usize,
-    ) {
-        let dir_tree = self.tree(dir_tag);
-        let dir_node = dir_tree.node(dir_page);
-        let leaf_entry = &self.tree(leaf_tag).node(leaf_page).entries[il];
-        let leaf_id = leaf_entry.child.data().expect("leaf entry");
-        let child = RTree::child_page(&dir_node.entries[id]);
-        // The ε expansion commutes across sides (`expand(r, ε) ∩ s ⇔
-        // r ∩ expand(s, ε)`), so the query window absorbs it regardless of
-        // which tree is the directory side.
-        let window = leaf_entry.rect.expanded(self.eps);
-        let leaf_rect = leaf_entry.rect;
-        let mut hits = Vec::new();
-        {
-            let pool = &mut self.pool;
-            let cmp = &mut self.cmp;
-            dir_tree.window_query_from(
-                child,
-                &window,
-                cmp,
-                &mut |pg, lvl| {
-                    pool.access(dir_tag, pg, dir_tree.depth_of_level(lvl));
-                },
-                &mut hits,
-            );
-        }
-        for (hit_rect, did) in hits {
-            let (r_rect, s_rect) =
-                if dir_tag == TAG_R { (hit_rect, leaf_rect) } else { (leaf_rect, hit_rect) };
-            if !self.leaf_predicate_holds(&r_rect, &s_rect) {
-                continue;
-            }
-            if dir_tag == TAG_R {
-                self.emit(did, leaf_id);
-            } else {
-                self.emit(leaf_id, did);
-            }
-        }
-    }
-
-    /// Policy (b) unit: all qualifying leaf windows of one directory entry
-    /// in a single traversal.
-    fn multi_window_query(
-        &mut self,
-        dir_tag: u8,
-        dir_page: PageId,
-        leaf_tag: u8,
-        leaf_page: PageId,
-        id: usize,
-        windows: &[(usize, Rect)],
-    ) {
-        let dir_tree = self.tree(dir_tag);
-        let leaf_node = self.tree(leaf_tag).node(leaf_page);
-        let child = RTree::child_page(&dir_tree.node(dir_page).entries[id]);
-        let mut hits = Vec::new();
-        {
-            let pool = &mut self.pool;
-            let cmp = &mut self.cmp;
-            dir_tree.multi_window_query_from(
-                child,
-                windows,
-                cmp,
-                &mut |pg, lvl| {
-                    pool.access(dir_tag, pg, dir_tree.depth_of_level(lvl));
-                },
-                &mut hits,
-            );
-        }
-        for (il, hit_rect, did) in hits {
-            let leaf_rect = leaf_node.entries[il].rect;
-            let (r_rect, s_rect) =
-                if dir_tag == TAG_R { (hit_rect, leaf_rect) } else { (leaf_rect, hit_rect) };
-            if !self.leaf_predicate_holds(&r_rect, &s_rect) {
-                continue;
-            }
-            let leaf_id = leaf_node.entries[il].child.data().expect("leaf entry");
-            if dir_tag == TAG_R {
-                self.emit(did, leaf_id);
-            } else {
-                self.emit(leaf_id, did);
-            }
-        }
-    }
-}
-
-fn count_remaining(
-    pairs: &[DirPair],
-    done: &[bool],
-    after: usize,
-    pred: impl Fn(&DirPair) -> bool,
-) -> usize {
-    pairs
-        .iter()
-        .zip(done.iter())
-        .skip(after + 1)
-        .filter(|(p, &d)| !d && pred(p))
-        .count()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::Schedule;
+    use crate::plan::{DiffHeightPolicy, Schedule};
     use rsj_rtree::{InsertPolicy, RTreeParams};
 
     fn build_tree(items: &[(Rect, u64)], page: usize) -> RTree {
@@ -628,7 +148,10 @@ mod tests {
             JoinPlan::sj4(),
             JoinPlan::sj5(),
             JoinPlan::sweep_unrestricted(),
-            JoinPlan { schedule: Schedule::ZOrder, ..JoinPlan::sj3() },
+            JoinPlan {
+                schedule: Schedule::ZOrder,
+                ..JoinPlan::sj3()
+            },
         ]
     }
 
@@ -747,18 +270,27 @@ mod tests {
         let a = grid_items(900, 0.0, 3.0, 2.5);
         let b = grid_items(60, 10.0, 14.0, 6.0);
         let (tr, ts) = (build_tree(&a, 200), build_tree(&b, 200));
-        assert!(tr.height() > ts.height(), "setup must give different heights");
+        assert!(
+            tr.height() > ts.height(),
+            "setup must give different heights"
+        );
         let want = reference_join(&a, &b);
         for policy in [
             DiffHeightPolicy::PerPair,
             DiffHeightPolicy::Batched,
             DiffHeightPolicy::SweepPinned,
         ] {
-            let plan = JoinPlan { diff_height: policy, ..JoinPlan::sj4() };
+            let plan = JoinPlan {
+                diff_height: policy,
+                ..JoinPlan::sj4()
+            };
             let res = spatial_join(&tr, &ts, plan, &JoinConfig::default());
             assert_eq!(sorted_ids(&res), want, "{policy:?}");
             // Swapped operands too (S taller than R).
-            let plan = JoinPlan { diff_height: policy, ..JoinPlan::sj4() };
+            let plan = JoinPlan {
+                diff_height: policy,
+                ..JoinPlan::sj4()
+            };
             let res = spatial_join(&ts, &tr, plan, &JoinConfig::default());
             let want_swapped: Vec<(u64, u64)> = {
                 let mut v: Vec<(u64, u64)> = want.iter().map(|&(x, y)| (y, x)).collect();
@@ -775,8 +307,14 @@ mod tests {
         let b = grid_items(40, 5.0, 18.0, 9.0);
         let (tr, ts) = (build_tree(&a, 200), build_tree(&b, 200));
         assert!(tr.height() > ts.height());
-        let per_pair = JoinPlan { diff_height: DiffHeightPolicy::PerPair, ..JoinPlan::sj4() };
-        let batched = JoinPlan { diff_height: DiffHeightPolicy::Batched, ..JoinPlan::sj4() };
+        let per_pair = JoinPlan {
+            diff_height: DiffHeightPolicy::PerPair,
+            ..JoinPlan::sj4()
+        };
+        let batched = JoinPlan {
+            diff_height: DiffHeightPolicy::Batched,
+            ..JoinPlan::sj4()
+        };
         let a_res = spatial_join(&tr, &ts, per_pair, &JoinConfig::with_buffer(0));
         let b_res = spatial_join(&tr, &ts, batched, &JoinConfig::with_buffer(0));
         assert!(
@@ -792,10 +330,16 @@ mod tests {
         let a = grid_items(200, 0.0, 5.0, 4.0);
         let b = grid_items(200, 2.0, 5.0, 4.0);
         let (tr, ts) = (build_tree(&a, 200), build_tree(&b, 200));
-        let cfg = JoinConfig { collect_pairs: false, ..Default::default() };
+        let cfg = JoinConfig {
+            collect_pairs: false,
+            ..Default::default()
+        };
         let res = spatial_join(&tr, &ts, JoinPlan::sj4(), &cfg);
         assert!(res.pairs.is_empty());
-        assert_eq!(res.stats.result_pairs as usize, reference_join(&a, &b).len());
+        assert_eq!(
+            res.stats.result_pairs as usize,
+            reference_join(&a, &b).len()
+        );
     }
 
     #[test]
@@ -806,7 +350,10 @@ mod tests {
         let res = spatial_join(&t1, &t2, JoinPlan::sj4(), &JoinConfig::default());
         let ids = sorted_ids(&res);
         for &(_, i) in &a {
-            assert!(ids.binary_search(&(i, i)).is_ok(), "identity pair {i} missing");
+            assert!(
+                ids.binary_search(&(i, i)).is_ok(),
+                "identity pair {i} missing"
+            );
         }
     }
 }

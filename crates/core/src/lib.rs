@@ -14,12 +14,16 @@
 //! | SJ4       | 4.3 | + *pinning* of the page with maximal degree |
 //! | SJ5       | 4.3 | z-order read schedule (+ pinning) |
 //!
-//! All algorithms share one driver ([`spatial_join`]) parameterized by a
-//! [`JoinPlan`], so each technique can be toggled independently — exactly
-//! what the paper's ablation tables (3, 4, 5) measure. Costs are accounted
-//! the paper's way: floating-point comparisons through
-//! [`rsj_geom::CmpCounter`] and disk accesses through
-//! [`rsj_storage::BufferPool`] (path buffers + shared LRU buffer, §4.1).
+//! All algorithms share one engine — the streaming [`exec::JoinCursor`],
+//! an explicit-work-stack executor that yields result pairs through
+//! `Iterator` — parameterized by a [`JoinPlan`], so each technique can be
+//! toggled independently — exactly what the paper's ablation tables
+//! (3, 4, 5) measure. [`spatial_join`] is the materializing wrapper over
+//! the cursor. Costs are accounted the paper's way: floating-point
+//! comparisons through [`rsj_geom::CmpCounter`] and disk accesses through
+//! the pluggable [`rsj_storage::NodeAccess`] boundary (path buffers +
+//! shared LRU buffer, §4.1 — or the sharded
+//! [`rsj_storage::SharedBufferPool`] for concurrent workers).
 //!
 //! Trees of different height are handled per §4.4 with the three policies
 //! (a) window query per pair, (b) batched multi-window queries, (c) sweep
@@ -30,7 +34,9 @@
 //! against exact geometry fetched from a paged object heap file.
 //! [`baseline`] provides the naive nested-loop join and an index
 //! nested-loop join for comparison. [`multiway`] generalizes to k
-//! relations and [`parallel`] to multiple workers.
+//! relations (streaming the leading binary join off a cursor) and
+//! [`parallel`] to multiple workers, in shared-nothing and shared-buffer
+//! (work-stealing over one sharded pool) deployments.
 //!
 //! ```
 //! use rsj_core::{spatial_join, JoinConfig, JoinPlan};
@@ -53,6 +59,7 @@
 //! ```
 
 pub mod baseline;
+pub mod exec;
 pub mod join;
 pub mod multiway;
 pub mod parallel;
@@ -61,9 +68,10 @@ pub mod refine;
 pub mod stats;
 pub mod sweep;
 
+pub use exec::JoinCursor;
 pub use join::{spatial_join, JoinResult};
 pub use multiway::{multiway_join, MultiwayResult};
-pub use parallel::parallel_spatial_join;
+pub use parallel::{parallel_spatial_join, parallel_spatial_join_with_mode, ParallelMode};
 pub use plan::{DiffHeightPolicy, Enumerate, JoinConfig, JoinPlan, JoinPredicate, Schedule};
 pub use refine::{id_join, object_join, ObjectRelation, RefineResult};
 pub use stats::{JoinStats, TimeSplit};

@@ -19,9 +19,8 @@
 //! windows, so each probe pass reads every required page of that tree at
 //! most once per window batch.
 
-use crate::join::JoinResult;
+use crate::exec::JoinCursor;
 use crate::plan::{JoinConfig, JoinPlan};
-use crate::spatial_join;
 use rsj_geom::{CmpCounter, Rect};
 use rsj_rtree::{DataId, RTree};
 use rsj_storage::{BufferPool, IoStats};
@@ -47,35 +46,45 @@ pub struct MultiwayResult {
 /// join; probes use batched window queries. The predicate is common
 /// intersection of all k MBRs; `plan.predicate` must be `Intersects`.
 pub fn multiway_join(trees: &[&RTree], plan: JoinPlan, cfg: &JoinConfig) -> MultiwayResult {
-    assert!(trees.len() >= 2, "a multi-way join needs at least two relations");
+    assert!(
+        trees.len() >= 2,
+        "a multi-way join needs at least two relations"
+    );
     assert!(
         matches!(plan.predicate, crate::plan::JoinPredicate::Intersects),
         "multiway_join supports the intersection predicate"
     );
     let page_bytes = trees[0].params().page_bytes;
     for t in trees {
-        assert_eq!(t.params().page_bytes, page_bytes, "all trees must share a page size");
+        assert_eq!(
+            t.params().page_bytes,
+            page_bytes,
+            "all trees must share a page size"
+        );
     }
 
-    // Stage 1: binary join of the first two relations.
-    let first: JoinResult =
-        spatial_join(trees[0], trees[1], plan, &JoinConfig { collect_pairs: true, ..*cfg });
-    let mut comparisons = first.stats.total_comparisons();
-    let mut io = first.stats.io;
-
-    // Attach the running intersection rectangle to every tuple.
+    // Stage 1: binary join of the first two relations, streamed off a
+    // cursor — each pair picks up its running intersection rectangle as it
+    // arrives, so the plain pair list is never materialized separately.
     let rects0 = rect_map(trees[0]);
     let rects1 = rect_map(trees[1]);
-    let mut tuples: Vec<(Vec<DataId>, Rect)> = first
-        .pairs
-        .iter()
-        .map(|&(a, b)| {
-            let rect = rects0[&a]
-                .intersection(&rects1[&b])
-                .expect("binary join produced a disjoint pair");
-            (vec![a, b], rect)
-        })
-        .collect();
+    let stage1_pool = BufferPool::with_policy(
+        cfg.buffer_bytes,
+        page_bytes,
+        &[trees[0].height() as usize, trees[1].height() as usize],
+        cfg.eviction,
+    );
+    let mut cursor = JoinCursor::new(trees[0], trees[1], plan, stage1_pool);
+    let mut tuples: Vec<(Vec<DataId>, Rect)> = Vec::new();
+    for (a, b) in &mut cursor {
+        let rect = rects0[&a]
+            .intersection(&rects1[&b])
+            .expect("binary join produced a disjoint pair");
+        tuples.push((vec![a, b], rect));
+    }
+    let stage1 = cursor.stats();
+    let mut comparisons = stage1.total_comparisons();
+    let mut io = stage1.io;
 
     // Stages 2..k: probe each further tree with the running rectangles.
     for tree in &trees[2..] {
@@ -88,8 +97,11 @@ pub fn multiway_join(trees: &[&RTree], plan: JoinPlan, cfg: &JoinConfig) -> Mult
         let mut cmp = CmpCounter::new();
         let mut next: Vec<(Vec<DataId>, Rect)> = Vec::new();
         for chunk in tuples.chunks(PROBE_BATCH) {
-            let windows: Vec<(usize, Rect)> =
-                chunk.iter().enumerate().map(|(i, (_, r))| (i, *r)).collect();
+            let windows: Vec<(usize, Rect)> = chunk
+                .iter()
+                .enumerate()
+                .map(|(i, (_, r))| (i, *r))
+                .collect();
             let mut hits = Vec::new();
             tree.multi_window_query_from(
                 tree.root(),
@@ -129,12 +141,16 @@ pub fn multiway_join(trees: &[&RTree], plan: JoinPlan, cfg: &JoinConfig) -> Mult
 }
 
 fn rect_map(tree: &RTree) -> std::collections::HashMap<DataId, Rect> {
-    tree.data_entries().into_iter().map(|(r, id)| (id, r)).collect()
+    tree.data_entries()
+        .into_iter()
+        .map(|(r, id)| (id, r))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spatial_join;
     use rsj_rtree::{InsertPolicy, RTreeParams};
 
     fn build(items: &[(Rect, u64)]) -> RTree {
@@ -157,12 +173,7 @@ mod tests {
 
     fn brute_clique(rels: &[&[(Rect, u64)]]) -> Vec<Vec<u64>> {
         // Recursive brute force over the common intersection.
-        fn go(
-            rels: &[&[(Rect, u64)]],
-            acc: &mut Vec<u64>,
-            rect: Rect,
-            out: &mut Vec<Vec<u64>>,
-        ) {
+        fn go(rels: &[&[(Rect, u64)]], acc: &mut Vec<u64>, rect: Rect, out: &mut Vec<Vec<u64>>) {
             if rels.is_empty() {
                 out.push(acc.clone());
                 return;
@@ -176,15 +187,23 @@ mod tests {
             }
         }
         let mut out = Vec::new();
-        let world = Rect::from_corners(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::INFINITY);
+        let world = Rect::from_corners(
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::INFINITY,
+        );
         go(rels, &mut Vec::new(), world, &mut out);
         out.sort_unstable();
         out
     }
 
     fn sorted_tuples(res: &MultiwayResult) -> Vec<Vec<u64>> {
-        let mut v: Vec<Vec<u64>> =
-            res.tuples.iter().map(|t| t.iter().map(|d| d.0).collect()).collect();
+        let mut v: Vec<Vec<u64>> = res
+            .tuples
+            .iter()
+            .map(|t| t.iter().map(|d| d.0).collect())
+            .collect();
         v.sort_unstable();
         v
     }
@@ -197,8 +216,7 @@ mod tests {
         let cfg = JoinConfig::default();
         let multi = multiway_join(&[&ta, &tb], JoinPlan::sj4(), &cfg);
         let binary = spatial_join(&ta, &tb, JoinPlan::sj4(), &cfg);
-        let mut want: Vec<Vec<u64>> =
-            binary.pairs.iter().map(|&(x, y)| vec![x.0, y.0]).collect();
+        let mut want: Vec<Vec<u64>> = binary.pairs.iter().map(|&(x, y)| vec![x.0, y.0]).collect();
         want.sort_unstable();
         assert_eq!(sorted_tuples(&multi), want);
     }

@@ -2,33 +2,64 @@
 //!
 //! "Parallel computer systems and disk arrays are very interesting for
 //! performing spatial joins and window queries, for example using parallel
-//! R-trees \[14\]." This module provides the shared-nothing-style
-//! parallelization that maps onto that vision: the qualifying pairs of
-//! *root entries* are partitioned across worker threads; each worker joins
-//! its subtree pairs with a **private buffer pool** (modelling per-worker
-//! buffer/disk resources, as with a disk array) and private comparison
-//! counters; results and statistics are merged at the end.
+//! R-trees \[14\]." Two deployments are modelled, selected by
+//! [`ParallelMode`]:
 //!
-//! Work is dealt in contiguous runs of the sweep-ordered pair list so each
-//! worker sees spatially local work — the same locality argument as the
-//! SJ3/SJ4 read schedules, applied across workers.
+//! * **Shared-nothing** — the qualifying pairs of *root entries* are
+//!   partitioned into contiguous runs of the sweep-ordered pair list and
+//!   dealt to worker threads up front; each worker joins its subtree pairs
+//!   with a **private buffer pool** (modelling per-worker buffer/disk
+//!   resources, as with a disk array). A page needed by two workers is
+//!   fetched twice — exactly what a shared-nothing deployment pays.
+//! * **Shared-buffer** — all workers charge one sharded, lock-based
+//!   [`SharedBufferPool`] holding the *full* buffer budget, and pull task
+//!   chunks from per-worker deques with **work stealing** (own deque from
+//!   the front, a victim's from the back, so stolen work is the spatially
+//!   most distant). A page faulted by one worker is a buffer hit for the
+//!   next — summed disk accesses approach the sequential join's from
+//!   above instead of the shared-nothing sum.
+//!
+//! Work is dealt in contiguous runs of the sweep-ordered pair list in both
+//! modes, so each worker sees spatially local work — the same locality
+//! argument as the SJ3/SJ4 read schedules, applied across workers.
 //!
 //! Accounting semantics: the merged `disk_accesses` is the *sum* over
-//! workers. Workers share no buffer, so a page needed by two workers is
-//! fetched twice — exactly what a shared-nothing deployment pays.
+//! workers (plus the coordinator's two root reads), directly comparable
+//! between modes and against the sequential join.
 
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::exec::JoinCursor;
 use crate::join::{run_subjoin, JoinResult};
 use crate::plan::{JoinConfig, JoinPlan};
 use crate::stats::JoinStats;
 use rsj_geom::{CmpCounter, Rect};
 use rsj_rtree::RTree;
-use rsj_storage::{IoStats, PageId};
+use rsj_storage::{IoStats, PageId, SharedBufferPool};
 
-/// Computes the spatial join with `workers` threads.
-///
-/// Falls back to the sequential [`crate::spatial_join`] when `workers <= 1`
-/// or when a root is a leaf (nothing to partition). The result-pair *set*
-/// equals the sequential join's; pair order differs.
+/// How parallel workers share buffer resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelMode {
+    /// Private buffer pool per worker, `cfg.buffer_bytes / workers` each;
+    /// static contiguous partitioning. The original mode.
+    #[default]
+    SharedNothing,
+    /// One sharded [`SharedBufferPool`] of the full `cfg.buffer_bytes`
+    /// shared by all workers; dynamic load balancing by work stealing
+    /// over sweep-ordered task chunks.
+    SharedBuffer,
+}
+
+/// Tasks per worker dealt as stealable chunks in shared-buffer mode: small
+/// enough to balance, big enough to keep the sweep locality per steal.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// A contiguous run of sweep-ordered subjoin tasks.
+type TaskSlice<'a> = &'a [(PageId, PageId, Rect)];
+
+/// Computes the spatial join with `workers` threads in the default
+/// shared-nothing mode (see [`parallel_spatial_join_with_mode`]).
 pub fn parallel_spatial_join(
     r: &RTree,
     s: &RTree,
@@ -36,22 +67,35 @@ pub fn parallel_spatial_join(
     cfg: &JoinConfig,
     workers: usize,
 ) -> JoinResult {
+    parallel_spatial_join_with_mode(r, s, plan, cfg, workers, ParallelMode::SharedNothing)
+}
+
+/// Computes the spatial join with `workers` threads under `mode`.
+///
+/// Falls back to the sequential [`crate::spatial_join`] when `workers <= 1`
+/// or when a root is a leaf (nothing to partition). The result-pair *set*
+/// equals the sequential join's; pair order differs.
+pub fn parallel_spatial_join_with_mode(
+    r: &RTree,
+    s: &RTree,
+    plan: JoinPlan,
+    cfg: &JoinConfig,
+    workers: usize,
+    mode: ParallelMode,
+) -> JoinResult {
     assert_eq!(r.params().page_bytes, s.params().page_bytes);
     let rn = r.node(r.root());
     let sn = s.node(s.root());
     if workers <= 1 || rn.is_leaf() || sn.is_leaf() {
         return crate::spatial_join(r, s, plan, cfg);
     }
-    let eps = plan.predicate.epsilon();
     // Enumerate qualifying root-entry pairs (cheap, done once, charged to
     // the merged stats below).
     let mut cmp = CmpCounter::new();
     let mut tasks: Vec<(PageId, PageId, Rect)> = Vec::new();
     for er in &rn.entries {
-        let er_rect = er.rect.expanded(eps);
         for es in &sn.entries {
-            if er_rect.intersects_counted(&es.rect, &mut cmp) {
-                let rect = er_rect.intersection(&es.rect).expect("tested above");
+            if let Some(rect) = plan.search_space_counted(&er.rect, &es.rect, &mut cmp) {
                 tasks.push((RTree::child_page(er), RTree::child_page(es), rect));
             }
         }
@@ -60,20 +104,11 @@ pub fn parallel_spatial_join(
     // chunks.
     tasks.sort_by(|a, b| a.2.xl.partial_cmp(&b.2.xl).expect("no NaN"));
     let workers = workers.min(tasks.len()).max(1);
-    let chunk = tasks.len().div_ceil(workers);
-    let per_worker_buffer = cfg.buffer_bytes / workers;
 
-    let results: Vec<JoinResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = tasks
-            .chunks(chunk.max(1))
-            .map(|slice| {
-                scope.spawn(move || {
-                    run_subjoin(r, s, plan, per_worker_buffer, cfg.eviction, cfg.collect_pairs, slice)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    });
+    let results = match mode {
+        ParallelMode::SharedNothing => shared_nothing(r, s, plan, cfg, workers, &tasks),
+        ParallelMode::SharedBuffer => shared_buffer(r, s, plan, cfg, workers, &tasks),
+    };
 
     // Merge.
     let mut pairs = Vec::new();
@@ -104,6 +139,129 @@ pub fn parallel_spatial_join(
             page_bytes: r.params().page_bytes,
         },
     }
+}
+
+/// Static partitioning with private per-worker buffer pools.
+fn shared_nothing(
+    r: &RTree,
+    s: &RTree,
+    plan: JoinPlan,
+    cfg: &JoinConfig,
+    workers: usize,
+    tasks: &[(PageId, PageId, Rect)],
+) -> Vec<JoinResult> {
+    let chunk = tasks.len().div_ceil(workers);
+    let per_worker_buffer = cfg.buffer_bytes / workers;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = tasks
+            .chunks(chunk.max(1))
+            .map(|slice| {
+                scope.spawn(move || {
+                    run_subjoin(
+                        r,
+                        s,
+                        plan,
+                        per_worker_buffer,
+                        cfg.eviction,
+                        cfg.collect_pairs,
+                        slice,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+}
+
+/// Work-stealing execution against one shared, sharded buffer pool.
+///
+/// Each worker owns a deque seeded with a contiguous region of the
+/// sweep-ordered task list, split into [`CHUNKS_PER_WORKER`] chunks. A
+/// worker pops its own deque from the front (preserving sweep order) and,
+/// when empty, steals from another worker's back — the victim's spatially
+/// most distant chunk, which minimizes buffer interference between the
+/// thief and the victim.
+fn shared_buffer(
+    r: &RTree,
+    s: &RTree,
+    plan: JoinPlan,
+    cfg: &JoinConfig,
+    workers: usize,
+    tasks: &[(PageId, PageId, Rect)],
+) -> Vec<JoinResult> {
+    let pool = SharedBufferPool::new(
+        cfg.buffer_bytes,
+        r.params().page_bytes,
+        &[r.height() as usize, s.height() as usize],
+        cfg.eviction,
+    );
+    // Deal each worker a contiguous region, subdivided into stealable
+    // chunks.
+    let region = tasks.len().div_ceil(workers).max(1);
+    let queues: Vec<Mutex<VecDeque<TaskSlice>>> = tasks
+        .chunks(region)
+        .map(|r| {
+            let chunk = r.len().div_ceil(CHUNKS_PER_WORKER).max(1);
+            Mutex::new(r.chunks(chunk).collect())
+        })
+        .collect();
+    let queues = &queues;
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..queues.len())
+            .map(|w| {
+                let mut handle = pool.handle();
+                scope.spawn(move || {
+                    let mut pairs = Vec::new();
+                    let mut cmp_total = 0u64;
+                    let mut sort_total = 0u64;
+                    let mut emitted = 0u64;
+                    loop {
+                        // Own work first (front), then steal (victims'
+                        // backs).
+                        let mine = queues[w].lock().expect("queue poisoned").pop_front();
+                        let slice = mine.or_else(|| {
+                            (1..queues.len()).find_map(|d| {
+                                queues[(w + d) % queues.len()]
+                                    .lock()
+                                    .expect("queue poisoned")
+                                    .pop_back()
+                            })
+                        });
+                        let Some(slice) = slice else { break };
+                        let mut cursor =
+                            JoinCursor::with_tasks(r, s, plan, &mut handle, slice.iter().copied());
+                        if cfg.collect_pairs {
+                            pairs.extend(&mut cursor);
+                        } else {
+                            for _ in &mut cursor {}
+                        }
+                        let stats = cursor.stats();
+                        cmp_total += stats.join_comparisons;
+                        sort_total += stats.sort_comparisons;
+                        emitted += stats.result_pairs;
+                    }
+                    JoinResult {
+                        pairs,
+                        stats: JoinStats {
+                            join_comparisons: cmp_total,
+                            sort_comparisons: sort_total,
+                            io: handle.stats(),
+                            result_pairs: emitted,
+                            page_bytes: r.params().page_bytes,
+                        },
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
 }
 
 #[cfg(test)]
@@ -144,9 +302,12 @@ mod tests {
         let seq = crate::spatial_join(&ta, &tb, JoinPlan::sj4(), &cfg);
         let want = sorted_pairs(&seq);
         for workers in [1usize, 2, 3, 4, 8, 64] {
-            let par = parallel_spatial_join(&ta, &tb, JoinPlan::sj4(), &cfg, workers);
-            assert_eq!(sorted_pairs(&par), want, "workers = {workers}");
-            assert_eq!(par.stats.result_pairs, seq.stats.result_pairs);
+            for mode in [ParallelMode::SharedNothing, ParallelMode::SharedBuffer] {
+                let par =
+                    parallel_spatial_join_with_mode(&ta, &tb, JoinPlan::sj4(), &cfg, workers, mode);
+                assert_eq!(sorted_pairs(&par), want, "workers = {workers}, {mode:?}");
+                assert_eq!(par.stats.result_pairs, seq.stats.result_pairs);
+            }
         }
     }
 
@@ -181,6 +342,45 @@ mod tests {
     }
 
     #[test]
+    fn shared_buffer_beats_shared_nothing_on_io() {
+        // The acceptance bar of the shared-buffer mode: same pair set as
+        // sequential SJ4, strictly fewer summed disk accesses than
+        // shared-nothing with the same total budget. Shared-buffer I/O is
+        // schedule-dependent, but the margin on this fixture is wide
+        // (shared-nothing is deterministic at 484; shared-buffer ranged
+        // 312–326 over 10 measured runs), so the strict inequality is
+        // safe in practice.
+        let a = items(800, 0.0);
+        let b = items(800, 2.0);
+        let (ta, tb) = (build(&a), build(&b));
+        let cfg = JoinConfig::with_buffer(32 * 200);
+        let seq = crate::spatial_join(&ta, &tb, JoinPlan::sj4(), &cfg);
+        let nothing = parallel_spatial_join_with_mode(
+            &ta,
+            &tb,
+            JoinPlan::sj4(),
+            &cfg,
+            4,
+            ParallelMode::SharedNothing,
+        );
+        let shared = parallel_spatial_join_with_mode(
+            &ta,
+            &tb,
+            JoinPlan::sj4(),
+            &cfg,
+            4,
+            ParallelMode::SharedBuffer,
+        );
+        assert_eq!(sorted_pairs(&shared), sorted_pairs(&seq));
+        assert!(
+            shared.stats.io.disk_accesses < nothing.stats.io.disk_accesses,
+            "shared {} vs shared-nothing {}",
+            shared.stats.io.disk_accesses,
+            nothing.stats.io.disk_accesses
+        );
+    }
+
+    #[test]
     fn works_with_predicates() {
         use crate::plan::JoinPredicate;
         let a = items(400, 0.0);
@@ -189,7 +389,9 @@ mod tests {
         let cfg = JoinConfig::default();
         let plan = JoinPlan::sj4().with_predicate(JoinPredicate::WithinDistance(4.0));
         let seq = crate::spatial_join(&ta, &tb, plan, &cfg);
-        let par = parallel_spatial_join(&ta, &tb, plan, &cfg, 3);
-        assert_eq!(sorted_pairs(&par), sorted_pairs(&seq));
+        for mode in [ParallelMode::SharedNothing, ParallelMode::SharedBuffer] {
+            let par = parallel_spatial_join_with_mode(&ta, &tb, plan, &cfg, 3, mode);
+            assert_eq!(sorted_pairs(&par), sorted_pairs(&seq), "{mode:?}");
+        }
     }
 }

@@ -1,5 +1,7 @@
 //! Join plans: which of the paper's techniques are switched on.
 
+use rsj_geom::{CmpCounter, Rect};
+
 /// How qualifying entry pairs of two nodes are enumerated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Enumerate {
@@ -69,8 +71,10 @@ pub enum JoinPredicate {
 }
 
 impl JoinPredicate {
-    /// How far R-side rectangles are virtually expanded during traversal.
-    pub(crate) fn epsilon(&self) -> f64 {
+    /// How far R-side rectangles are virtually expanded during traversal
+    /// (`dist∞(r, s) ≤ ε ⇔ expand(r, ε) ∩ s ≠ ∅`); zero for the
+    /// non-distance operators.
+    pub fn epsilon(&self) -> f64 {
         match self {
             JoinPredicate::WithinDistance(eps) => *eps,
             _ => 0.0,
@@ -114,7 +118,10 @@ impl JoinPlan {
 
     /// SJ2: SJ1 + search-space restriction (§4.2).
     pub fn sj2() -> Self {
-        JoinPlan { restrict_space: true, ..Self::sj1() }
+        JoinPlan {
+            restrict_space: true,
+            ..Self::sj1()
+        }
     }
 
     /// SJ3: plane-sweep enumeration, pairs in local plane-sweep order (§4.3).
@@ -129,17 +136,26 @@ impl JoinPlan {
     /// SJ4: SJ3 + pinning of the maximal-degree page (§4.3). The paper's
     /// overall winner.
     pub fn sj4() -> Self {
-        JoinPlan { schedule: Schedule::PinnedMaxDegree, ..Self::sj3() }
+        JoinPlan {
+            schedule: Schedule::PinnedMaxDegree,
+            ..Self::sj3()
+        }
     }
 
     /// SJ5: z-order read schedule with pinning (§4.3).
     pub fn sj5() -> Self {
-        JoinPlan { schedule: Schedule::ZOrderPinned, ..Self::sj3() }
+        JoinPlan {
+            schedule: Schedule::ZOrderPinned,
+            ..Self::sj3()
+        }
     }
 
     /// Table 4, version (I): plane sweep *without* search-space restriction.
     pub fn sweep_unrestricted() -> Self {
-        JoinPlan { restrict_space: false, ..Self::sj3() }
+        JoinPlan {
+            restrict_space: false,
+            ..Self::sj3()
+        }
     }
 
     /// Human-readable name for reports.
@@ -155,9 +171,35 @@ impl JoinPlan {
         }
     }
 
+    /// The search space a qualifying `(R-side, S-side)` rectangle pair
+    /// hands down the traversal: the intersection of the two rectangles
+    /// with the plan's distance-join ε applied to the R side (§4.2).
+    /// `None` iff the pair does not qualify under the plan's predicate
+    /// filter. This is the single definition of the ε-expansion/
+    /// intersection step used by the sequential root setup, the parallel
+    /// root-pair enumeration, and subjoin task construction.
+    pub fn search_space(&self, r: &Rect, s: &Rect) -> Option<Rect> {
+        r.expanded(self.predicate.epsilon()).intersection(s)
+    }
+
+    /// [`JoinPlan::search_space`] with the qualification test charged to
+    /// `cmp`, for callers that account the enumeration (the parallel join's
+    /// root-pair pass).
+    pub fn search_space_counted(&self, r: &Rect, s: &Rect, cmp: &mut CmpCounter) -> Option<Rect> {
+        let er = r.expanded(self.predicate.epsilon());
+        if er.intersects_counted(s, cmp) {
+            Some(er.intersection(s).expect("tested above"))
+        } else {
+            None
+        }
+    }
+
     /// Whether the schedule pins pages.
     pub(crate) fn pins(&self) -> bool {
-        matches!(self.schedule, Schedule::PinnedMaxDegree | Schedule::ZOrderPinned)
+        matches!(
+            self.schedule,
+            Schedule::PinnedMaxDegree | Schedule::ZOrderPinned
+        )
     }
 
     /// Whether the schedule orders pairs by z-value.
@@ -193,7 +235,10 @@ impl Default for JoinConfig {
 impl JoinConfig {
     /// Config with the given buffer size, collecting pairs.
     pub fn with_buffer(buffer_bytes: usize) -> Self {
-        JoinConfig { buffer_bytes, ..Default::default() }
+        JoinConfig {
+            buffer_bytes,
+            ..Default::default()
+        }
     }
 }
 

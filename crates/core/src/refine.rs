@@ -112,7 +112,15 @@ pub fn id_join(
     plan: JoinPlan,
     cfg: &JoinConfig,
 ) -> RefineResult {
-    let filter: JoinResult = spatial_join(r_tree, s_tree, plan, &JoinConfig { collect_pairs: true, ..*cfg });
+    let filter: JoinResult = spatial_join(
+        r_tree,
+        s_tree,
+        plan,
+        &JoinConfig {
+            collect_pairs: true,
+            ..*cfg
+        },
+    );
     refine_candidates(&filter, r_objs, s_objs, cfg)
 }
 
@@ -195,9 +203,15 @@ mod tests {
             .map(|i| {
                 let base = i as f64 * 10.0;
                 let line = if horizontal {
-                    Polyline::new(vec![Point::new(base, base + 1.0), Point::new(base + 6.0, base + 1.0)])
+                    Polyline::new(vec![
+                        Point::new(base, base + 1.0),
+                        Point::new(base + 6.0, base + 1.0),
+                    ])
                 } else {
-                    Polyline::new(vec![Point::new(base + 3.0, base - 2.0), Point::new(base + 3.0, base + 4.0)])
+                    Polyline::new(vec![
+                        Point::new(base + 3.0, base - 2.0),
+                        Point::new(base + 3.0, base + 4.0),
+                    ])
                 };
                 (i, Geometry::Line(line))
             })
@@ -234,7 +248,10 @@ mod tests {
         let mut got = res.pairs.clone();
         got.sort_unstable();
         assert_eq!(got, want);
-        assert!(res.candidates >= res.pairs.len() as u64, "filter is a superset");
+        assert!(
+            res.candidates >= res.pairs.len() as u64,
+            "filter is a superset"
+        );
         assert!(res.refine_io.disk_accesses > 0);
         assert!(res.selectivity() > 0.0 && res.selectivity() <= 1.0);
     }

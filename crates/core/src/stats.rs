@@ -72,7 +72,11 @@ mod tests {
         let s = JoinStats {
             join_comparisons: 1_000_000,
             sort_comparisons: 500_000,
-            io: IoStats { disk_accesses: 100, path_hits: 5, lru_hits: 7 },
+            io: IoStats {
+                disk_accesses: 100,
+                path_hits: 5,
+                lru_hits: 7,
+            },
             result_pairs: 42,
             page_bytes: 1024,
         };

@@ -22,7 +22,10 @@ use rsj_geom::{CmpCounter, Rect};
 pub fn sort_indices_by_xl(rects: &[Rect], index: &mut [usize], cmp: &mut CmpCounter) {
     index.sort_by(|&a, &b| {
         cmp.bump();
-        rects[a].xl.partial_cmp(&rects[b].xl).expect("rect coordinates must not be NaN")
+        rects[a]
+            .xl
+            .partial_cmp(&rects[b].xl)
+            .expect("rect coordinates must not be NaN")
     });
 }
 
@@ -99,7 +102,9 @@ mod tests {
     use super::*;
 
     fn rects(spec: &[(f64, f64, f64, f64)]) -> Vec<Rect> {
-        spec.iter().map(|&(a, b, c, d)| Rect::from_corners(a, b, c, d)).collect()
+        spec.iter()
+            .map(|&(a, b, c, d)| Rect::from_corners(a, b, c, d))
+            .collect()
     }
 
     fn run_sweep(r: &[Rect], s: &[Rect]) -> (Vec<(usize, usize)>, u64) {
@@ -131,8 +136,16 @@ mod tests {
     fn paper_figure_5_example() {
         // Figure 5: the sweep stops at r1, s1, r2, s2, r3 and tests
         // r1↔s1, s1↔r2, r2↔s2, r2↔s3, (s2: none), r3↔s3.
-        let r = rects(&[(0.0, 2.0, 2.5, 4.0), (2.0, 0.5, 5.0, 2.5), (6.0, 2.0, 8.0, 4.0)]);
-        let s = rects(&[(1.0, 0.0, 3.0, 1.5), (4.0, 1.0, 6.5, 3.0), (6.0, 0.0, 8.5, 1.5)]);
+        let r = rects(&[
+            (0.0, 2.0, 2.5, 4.0),
+            (2.0, 0.5, 5.0, 2.5),
+            (6.0, 2.0, 8.0, 4.0),
+        ]);
+        let s = rects(&[
+            (1.0, 0.0, 3.0, 1.5),
+            (4.0, 1.0, 6.5, 3.0),
+            (6.0, 0.0, 8.5, 1.5),
+        ]);
         let (pairs, _) = run_sweep(&r, &s);
         let mut sorted = pairs.clone();
         sorted.sort_unstable();
@@ -153,10 +166,12 @@ mod tests {
     fn disjoint_inputs_cost_linear_comparisons() {
         // n + m rectangles in two interleaved but y-disjoint rows still pay
         // the x-scans; just check no pairs and bounded comparisons.
-        let r: Vec<Rect> =
-            (0..50).map(|i| Rect::from_corners(i as f64, 0.0, i as f64 + 0.4, 1.0)).collect();
-        let s: Vec<Rect> =
-            (0..50).map(|i| Rect::from_corners(i as f64 + 0.2, 5.0, i as f64 + 0.6, 6.0)).collect();
+        let r: Vec<Rect> = (0..50)
+            .map(|i| Rect::from_corners(i as f64, 0.0, i as f64 + 0.4, 1.0))
+            .collect();
+        let s: Vec<Rect> = (0..50)
+            .map(|i| Rect::from_corners(i as f64 + 0.2, 5.0, i as f64 + 0.6, 6.0))
+            .collect();
         let (pairs, cmps) = run_sweep(&r, &s);
         assert!(pairs.is_empty());
         assert!(cmps < 1000, "sweep should be near-linear, used {cmps}");

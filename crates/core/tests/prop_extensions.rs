@@ -21,7 +21,11 @@ fn build(items: &[(Rect, u64)]) -> RTree {
 }
 
 fn with_ids(rects: Vec<Rect>) -> Vec<(Rect, u64)> {
-    rects.into_iter().enumerate().map(|(i, r)| (r, i as u64)).collect()
+    rects
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (r, i as u64))
+        .collect()
 }
 
 proptest! {

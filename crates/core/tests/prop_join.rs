@@ -20,7 +20,11 @@ fn build(items: &[(Rect, u64)]) -> RTree {
 }
 
 fn with_ids(rects: Vec<Rect>) -> Vec<(Rect, u64)> {
-    rects.into_iter().enumerate().map(|(i, r)| (r, i as u64)).collect()
+    rects
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (r, i as u64))
+        .collect()
 }
 
 fn plans() -> Vec<JoinPlan> {
@@ -33,7 +37,10 @@ fn plans() -> Vec<JoinPlan> {
         JoinPlan::sweep_unrestricted(),
     ];
     for policy in [DiffHeightPolicy::PerPair, DiffHeightPolicy::SweepPinned] {
-        v.push(JoinPlan { diff_height: policy, ..JoinPlan::sj4() });
+        v.push(JoinPlan {
+            diff_height: policy,
+            ..JoinPlan::sj4()
+        });
     }
     v
 }

@@ -4,8 +4,8 @@
 //! tree heights differ.
 
 use proptest::prelude::*;
-use rsj_core::{spatial_join, JoinConfig, JoinPlan};
 use rsj_core::plan::JoinPredicate;
+use rsj_core::{spatial_join, JoinConfig, JoinPlan};
 use rsj_geom::Rect;
 use rsj_rtree::{DataId, InsertPolicy, RTree, RTreeParams};
 
@@ -23,7 +23,11 @@ fn build(items: &[(Rect, u64)]) -> RTree {
 }
 
 fn with_ids(rects: Vec<Rect>) -> Vec<(Rect, u64)> {
-    rects.into_iter().enumerate().map(|(i, r)| (r, i as u64)).collect()
+    rects
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (r, i as u64))
+        .collect()
 }
 
 fn naive(

@@ -74,12 +74,18 @@ pub fn from_wkt(text: &str) -> Result<Vec<SpatialObject>, ParseError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let err = |message: String| ParseError { line: lineno, message };
+        let err = |message: String| ParseError {
+            line: lineno,
+            message,
+        };
         let (id_s, wkt) = line
             .split_once('\t')
             .or_else(|| line.split_once(' '))
             .ok_or_else(|| err("expected `id<TAB>WKT`".into()))?;
-        let id: u64 = id_s.trim().parse().map_err(|e| err(format!("bad id {id_s:?}: {e}")))?;
+        let id: u64 = id_s
+            .trim()
+            .parse()
+            .map_err(|e| err(format!("bad id {id_s:?}: {e}")))?;
         let wkt = wkt.trim();
         let upper = wkt.to_ascii_uppercase();
         let geometry = if let Some(rest) = upper.strip_prefix("LINESTRING") {

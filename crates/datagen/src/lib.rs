@@ -55,7 +55,10 @@ mod tests {
             assert_eq!(x.mbr, y.mbr);
         }
         let c = lines::streets(500, 43);
-        assert!(a.iter().zip(&c).any(|(x, y)| x.mbr != y.mbr), "different seeds differ");
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.mbr != y.mbr),
+            "different seeds differ"
+        );
     }
 
     #[test]
@@ -67,12 +70,18 @@ mod tests {
         let a = preset(TestId::A, 0.01);
         let line_pairs = brute_force_pairs(&a.r, &a.s);
         let per_obj = line_pairs as f64 / a.r.len() as f64;
-        assert!(per_obj > 0.05 && per_obj < 10.0, "streets x rivers rate {per_obj}");
+        assert!(
+            per_obj > 0.05 && per_obj < 10.0,
+            "streets x rivers rate {per_obj}"
+        );
 
         let e = preset(TestId::E, 0.01);
         let region_pairs = brute_force_pairs(&e.r, &e.s);
         let per_reg = region_pairs as f64 / e.s.len() as f64;
-        assert!(per_reg > 2.0, "regions should overlap heavily, got {per_reg}");
+        assert!(
+            per_reg > 2.0,
+            "regions should overlap heavily, got {per_reg}"
+        );
         assert!(per_reg > per_obj, "regions denser than lines");
     }
 }

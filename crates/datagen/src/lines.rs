@@ -50,11 +50,22 @@ pub fn streets_in(n: usize, seed: u64, world: &Rect) -> Vec<SpatialObject> {
 /// datasets digitized over the same geography, which is what the paper's
 /// street × street tests (B) and (C) join. Two fully independent seeds give
 /// nearly disjoint maps and an unrealistically empty join.
-pub fn streets_paired(n: usize, town_seed: u64, detail_seed: u64, world: &Rect) -> Vec<SpatialObject> {
-    let mut town_rng =
-        SmallRng::seed_from_u64(town_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
-    let mut rng =
-        SmallRng::seed_from_u64(detail_seed.wrapping_mul(0xC2B2_AE3D_27D4_EB4F).wrapping_add(6));
+pub fn streets_paired(
+    n: usize,
+    town_seed: u64,
+    detail_seed: u64,
+    world: &Rect,
+) -> Vec<SpatialObject> {
+    let mut town_rng = SmallRng::seed_from_u64(
+        town_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(1),
+    );
+    let mut rng = SmallRng::seed_from_u64(
+        detail_seed
+            .wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            .wrapping_add(6),
+    );
     let mut out = Vec::with_capacity(n);
     let rural = (n as f64 * RURAL_FRACTION) as usize;
     let in_towns = n - rural;
@@ -132,7 +143,11 @@ pub fn rivers_and_rails_in(n: usize, seed: u64, world: &Rect) -> Vec<SpatialObje
         let mut heading = rng.gen_range(0.0..std::f64::consts::TAU);
         // Rivers meander; railways run straight with rare bends.
         let wobble = if is_river { 0.45 } else { 0.06 };
-        let step = if is_river { rng.gen_range(0.6..1.6) } else { rng.gen_range(1.5..3.0) };
+        let step = if is_river {
+            rng.gen_range(0.6..1.6)
+        } else {
+            rng.gen_range(1.5..3.0)
+        };
         for _ in 0..chain_len {
             if out.len() >= n {
                 break;
@@ -252,7 +267,10 @@ mod tests {
             .windows(2)
             .filter(|w| w[0].mbr.intersects(&w[1].mbr))
             .count();
-        assert!(touching * 10 >= (v.len() - 1) * 8, "chains broken: {touching}");
+        assert!(
+            touching * 10 >= (v.len() - 1) * 8,
+            "chains broken: {touching}"
+        );
     }
 
     #[test]

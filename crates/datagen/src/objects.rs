@@ -1,12 +1,17 @@
 //! Spatial objects: identifier, exact geometry, MBR.
 
-use rsj_geom::Rect;
 pub use rsj_geom::Geometry;
+use rsj_geom::Rect;
 
 /// The data space all generators draw from. A fixed frame keeps z-order and
 /// Hilbert keys comparable across relations, like the common coordinate
 /// system of the paper's California maps.
-pub const WORLD: Rect = Rect { xl: 0.0, yl: 0.0, xu: 1000.0, yu: 1000.0 };
+pub const WORLD: Rect = Rect {
+    xl: 0.0,
+    yl: 0.0,
+    xu: 1000.0,
+    yu: 1000.0,
+};
 
 /// One object of a spatial relation.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,7 +56,10 @@ mod tests {
         let objs: Vec<SpatialObject> = (0..5)
             .map(|i| {
                 let p = Point::new(i as f64, 0.0);
-                SpatialObject::new(i, Geometry::Line(Polyline::new(vec![p, Point::new(i as f64 + 1.0, 1.0)])))
+                SpatialObject::new(
+                    i,
+                    Geometry::Line(Polyline::new(vec![p, Point::new(i as f64 + 1.0, 1.0)])),
+                )
             })
             .collect();
         let items = mbr_items(&objs);

@@ -67,13 +67,17 @@ impl TestId {
 
 impl std::fmt::Display for TestId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "({})", match self {
-            TestId::A => "A",
-            TestId::B => "B",
-            TestId::C => "C",
-            TestId::D => "D",
-            TestId::E => "E",
-        })
+        write!(
+            f,
+            "({})",
+            match self {
+                TestId::A => "A",
+                TestId::B => "B",
+                TestId::C => "C",
+                TestId::D => "D",
+                TestId::E => "E",
+            }
+        )
     }
 }
 
@@ -95,7 +99,10 @@ pub struct PresetData {
 /// full-scale run. Seeds are fixed per test and relation so every run of the
 /// suite sees the same data.
 pub fn preset(test: TestId, scale: f64) -> PresetData {
-    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1], got {scale}");
+    assert!(
+        scale > 0.0 && scale <= 1.0,
+        "scale must be in (0, 1], got {scale}"
+    );
     let (nr, ns) = test.paper_cardinalities();
     let nr = ((nr as f64 * scale) as usize).max(1);
     let ns = ((ns as f64 * scale) as usize).max(1);

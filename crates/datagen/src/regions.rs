@@ -37,7 +37,9 @@ pub fn regions_in(n: usize, seed: u64, world: &Rect) -> Vec<SpatialObject> {
         // same order as the paper's Table 8 (≈ 8 per object of the denser
         // relation).
         let u: f64 = rng.gen_range(0.0..1.0);
-        let radius = (cell * (0.35 + u.powi(3) * 2.0)).min(max_radius).max(cell * 0.1);
+        let radius = (cell * (0.35 + u.powi(3) * 2.0))
+            .min(max_radius)
+            .max(cell * 0.1);
         // Keep the centre far enough from the boundary that the blob never
         // needs clamping (clamping can collapse a boundary polygon).
         let margin = radius * 1.3;
@@ -70,7 +72,10 @@ pub fn regions_in(n: usize, seed: u64, world: &Rect) -> Vec<SpatialObject> {
                 (cy + r * angle.sin()).clamp(world.yl, world.yu),
             ));
         }
-        out.push(SpatialObject::new(out.len() as u64, Geometry::Region(Polygon::new(ring))));
+        out.push(SpatialObject::new(
+            out.len() as u64,
+            Geometry::Region(Polygon::new(ring)),
+        ));
     }
     out
 }
@@ -102,7 +107,10 @@ mod tests {
             }
         }
         let per_obj = pairs as f64 / v.len() as f64;
-        assert!(per_obj > 2.0, "regions too sparse: {per_obj} intersections/object");
+        assert!(
+            per_obj > 2.0,
+            "regions too sparse: {per_obj} intersections/object"
+        );
     }
 
     #[test]

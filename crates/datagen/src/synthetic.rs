@@ -28,7 +28,10 @@ pub fn uniform_rects(n: usize, max_extent: f64, seed: u64) -> Vec<SpatialObject>
 
 fn extents(rng: &mut SmallRng, max_extent: f64) -> (f64, f64) {
     if max_extent > 0.0 {
-        (rng.gen_range(0.0..max_extent), rng.gen_range(0.0..max_extent))
+        (
+            rng.gen_range(0.0..max_extent),
+            rng.gen_range(0.0..max_extent),
+        )
     } else {
         (0.0, 0.0)
     }
@@ -46,7 +49,12 @@ pub fn clustered_rects(
 ) -> Vec<SpatialObject> {
     let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0xA24B_AED4_963E_E407).wrapping_add(5));
     let parents: Vec<(f64, f64)> = (0..clusters.max(1))
-        .map(|_| (rng.gen_range(WORLD.xl..WORLD.xu), rng.gen_range(WORLD.yl..WORLD.yu)))
+        .map(|_| {
+            (
+                rng.gen_range(WORLD.xl..WORLD.xu),
+                rng.gen_range(WORLD.yl..WORLD.yu),
+            )
+        })
         .collect();
     (0..n)
         .map(|i| {

@@ -56,10 +56,14 @@ mod tests {
     #[test]
     fn cross_type_intersections_are_symmetric() {
         let square = Geometry::Region(Polygon::from_rect(&Rect::from_corners(0., 0., 10., 10.)));
-        let crossing =
-            Geometry::Line(Polyline::new(vec![Point::new(-5., 5.), Point::new(15., 5.)]));
-        let outside =
-            Geometry::Line(Polyline::new(vec![Point::new(20., 20.), Point::new(30., 30.)]));
+        let crossing = Geometry::Line(Polyline::new(vec![
+            Point::new(-5., 5.),
+            Point::new(15., 5.),
+        ]));
+        let outside = Geometry::Line(Polyline::new(vec![
+            Point::new(20., 20.),
+            Point::new(30., 30.),
+        ]));
         assert!(square.intersects(&crossing));
         assert!(crossing.intersects(&square));
         assert!(!square.intersects(&outside));
@@ -75,8 +79,9 @@ mod tests {
     #[test]
     fn footprint_grows_with_vertices() {
         let short = Geometry::Line(Polyline::new(vec![Point::new(0., 0.), Point::new(1., 1.)]));
-        let long =
-            Geometry::Line(Polyline::new((0..10).map(|i| Point::new(i as f64, 0.)).collect()));
+        let long = Geometry::Line(Polyline::new(
+            (0..10).map(|i| Point::new(i as f64, 0.)).collect(),
+        ));
         assert!(long.approx_bytes() > short.approx_bytes());
     }
 }

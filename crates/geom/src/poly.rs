@@ -284,9 +284,18 @@ mod tests {
 
     #[test]
     fn orientation_cases() {
-        assert_eq!(orientation(&p(0., 0.), &p(1., 0.), &p(2., 1.)), Orientation::Counterclockwise);
-        assert_eq!(orientation(&p(0., 0.), &p(1., 0.), &p(2., -1.)), Orientation::Clockwise);
-        assert_eq!(orientation(&p(0., 0.), &p(1., 0.), &p(2., 0.)), Orientation::Collinear);
+        assert_eq!(
+            orientation(&p(0., 0.), &p(1., 0.), &p(2., 1.)),
+            Orientation::Counterclockwise
+        );
+        assert_eq!(
+            orientation(&p(0., 0.), &p(1., 0.), &p(2., -1.)),
+            Orientation::Clockwise
+        );
+        assert_eq!(
+            orientation(&p(0., 0.), &p(1., 0.), &p(2., 0.)),
+            Orientation::Collinear
+        );
     }
 
     #[test]

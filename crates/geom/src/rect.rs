@@ -75,7 +75,12 @@ impl Rect {
     /// The MBR of a single point.
     #[inline]
     pub fn from_point(p: Point) -> Self {
-        Rect { xl: p.x, yl: p.y, xu: p.x, yu: p.y }
+        Rect {
+            xl: p.x,
+            yl: p.y,
+            xu: p.x,
+            yu: p.y,
+        }
     }
 
     /// An "empty" rectangle that is the identity of [`Rect::union`]:

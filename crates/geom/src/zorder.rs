@@ -101,7 +101,13 @@ mod tests {
 
     #[test]
     fn interleave_roundtrip() {
-        for &(x, y) in &[(0u32, 0u32), (1, 2), (12345, 54321), (u32::MAX, 0), (0x8000_0000, 0x7FFF_FFFF)] {
+        for &(x, y) in &[
+            (0u32, 0u32),
+            (1, 2),
+            (12345, 54321),
+            (u32::MAX, 0),
+            (0x8000_0000, 0x7FFF_FFFF),
+        ] {
             assert_eq!(deinterleave(interleave(x, y)), (x, y));
         }
     }
@@ -130,7 +136,10 @@ mod tests {
     #[test]
     fn degenerate_frame_is_total() {
         let frame = Rect::from_corners(2.0, 0.0, 2.0, 1.0);
-        assert_eq!(z_value(&Point::new(2.0, 0.5), &frame, 4), z_value(&Point::new(7.0, 0.5), &frame, 4));
+        assert_eq!(
+            z_value(&Point::new(2.0, 0.5), &frame, 4),
+            z_value(&Point::new(7.0, 0.5), &frame, 4)
+        );
     }
 
     #[test]

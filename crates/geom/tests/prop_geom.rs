@@ -4,7 +4,12 @@ use proptest::prelude::*;
 use rsj_geom::{hilbert, zorder, CmpCounter, Point, Rect, Segment};
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
-    (-1000.0..1000.0f64, -1000.0..1000.0f64, 0.0..100.0f64, 0.0..100.0f64)
+    (
+        -1000.0..1000.0f64,
+        -1000.0..1000.0f64,
+        0.0..100.0f64,
+        0.0..100.0f64,
+    )
         .prop_map(|(x, y, w, h)| Rect::from_corners(x, y, x + w, y + h))
 }
 

@@ -51,7 +51,10 @@ impl Loader {
     fn new(params: RTreeParams, fill: f64) -> Self {
         let cap = ((params.max_entries as f64 * fill).round() as usize)
             .clamp(params.min_entries.max(1), params.max_entries);
-        Loader { params, node_cap: cap }
+        Loader {
+            params,
+            node_cap: cap,
+        }
     }
 
     fn build(&self, items: &[(Rect, DataId)], layout: Layout) -> RTree {
@@ -70,15 +73,26 @@ impl Loader {
         let mut current = entries;
         loop {
             if current.len() <= self.params.max_entries {
-                let root = store.alloc(Node { level, entries: current });
-                let mut tree = RTree { store, root, params: self.params, len: items.len() };
+                let root = store.alloc(Node {
+                    level,
+                    entries: current,
+                });
+                let mut tree = RTree {
+                    store,
+                    root,
+                    params: self.params,
+                    len: items.len(),
+                };
                 tree.root = root;
                 return tree;
             }
             let mut next: Vec<Entry> = Vec::new();
             for group in self.pack_groups(current) {
                 let bb = Rect::mbr_of(&group.iter().map(|e| e.rect).collect::<Vec<_>>());
-                let page = store.alloc(Node { level, entries: group });
+                let page = store.alloc(Node {
+                    level,
+                    entries: group,
+                });
                 next.push(Entry::dir(bb, page));
             }
             // Upper levels keep the ordering induced by the packing below;
@@ -109,7 +123,9 @@ impl Loader {
             groups.push(entries);
             entries = rest;
         }
-        debug_assert!(groups.iter().all(|g| g.len() >= m && g.len() <= self.params.max_entries));
+        debug_assert!(groups
+            .iter()
+            .all(|g| g.len() >= m && g.len() <= self.params.max_entries));
         groups
     }
 }
@@ -123,11 +139,19 @@ fn str_order(entries: &mut [Entry]) {
     let slabs = (n as f64).sqrt().ceil() as usize;
     let slab_size = n.div_ceil(slabs);
     entries.sort_by(|a, b| {
-        a.rect.center().x.partial_cmp(&b.rect.center().x).expect("no NaN")
+        a.rect
+            .center()
+            .x
+            .partial_cmp(&b.rect.center().x)
+            .expect("no NaN")
     });
     for chunk in entries.chunks_mut(slab_size) {
         chunk.sort_by(|a, b| {
-            a.rect.center().y.partial_cmp(&b.rect.center().y).expect("no NaN")
+            a.rect
+                .center()
+                .y
+                .partial_cmp(&b.rect.center().y)
+                .expect("no NaN")
         });
     }
 }
@@ -221,8 +245,11 @@ mod tests {
         let w = Rect::from_corners(100.0, 100.0, 400.0, 420.0);
         let mut got = t.window_query(&w);
         got.sort();
-        let mut want: Vec<DataId> =
-            data.iter().filter(|(r, _)| r.intersects(&w)).map(|&(_, id)| id).collect();
+        let mut want: Vec<DataId> = data
+            .iter()
+            .filter(|(r, _)| r.intersects(&w))
+            .map(|&(_, id)| id)
+            .collect();
         want.sort();
         assert_eq!(got, want);
     }

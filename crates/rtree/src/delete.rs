@@ -117,7 +117,10 @@ mod tests {
         assert!(t.delete(&rect_for(0), DataId(0)));
         assert_eq!(t.len(), 1);
         t.validate().unwrap();
-        assert!(!t.delete(&rect_for(0), DataId(0)), "double delete must fail");
+        assert!(
+            !t.delete(&rect_for(0), DataId(0)),
+            "double delete must fail"
+        );
     }
 
     #[test]
@@ -138,7 +141,8 @@ mod tests {
         t.validate().unwrap();
         for i in 0..n {
             assert!(t.delete(&rect_for(i), DataId(i)), "delete {i}");
-            t.validate().unwrap_or_else(|e| panic!("after deleting {i}: {e}"));
+            t.validate()
+                .unwrap_or_else(|e| panic!("after deleting {i}: {e}"));
         }
         assert!(t.is_empty());
         assert_eq!(t.height(), 1);
@@ -173,7 +177,8 @@ mod tests {
                 live.push(round);
             }
             if round % 41 == 0 {
-                t.validate().unwrap_or_else(|e| panic!("round {round}: {e}"));
+                t.validate()
+                    .unwrap_or_else(|e| panic!("round {round}: {e}"));
             }
         }
         t.validate().unwrap();
@@ -196,7 +201,12 @@ mod tests {
             assert!(t.delete(&rect_for(i), DataId(i)));
         }
         t.validate().unwrap();
-        assert!(t.height() < tall, "height should shrink: {} -> {}", tall, t.height());
+        assert!(
+            t.height() < tall,
+            "height should shrink: {} -> {}",
+            tall,
+            t.height()
+        );
     }
 
     #[test]

@@ -149,10 +149,15 @@ impl RTree {
             let sibling = self.alloc_node(Node { level, entries: g2 });
             if is_root {
                 debug_assert!(path.is_empty());
-                self.grow_root(vec![Entry::dir(bb1, page), Entry::dir(bb2, sibling)], level + 1);
+                self.grow_root(
+                    vec![Entry::dir(bb1, page), Entry::dir(bb2, sibling)],
+                    level + 1,
+                );
                 return;
             }
-            let (parent, idx) = path.pop().expect("non-root node must have a parent on the path");
+            let (parent, idx) = path
+                .pop()
+                .expect("non-root node must have a parent on the path");
             self.node_mut(parent).entries[idx].rect = bb1;
             self.node_mut(parent).entries.push(Entry::dir(bb2, sibling));
             page = parent;
@@ -174,7 +179,10 @@ impl RTree {
                 .partial_cmp(&b.rect.center().dist2(&center))
                 .expect("no NaN")
         });
-        let p = self.params.reinsert_count.min(entries.len() - self.params.min_entries);
+        let p = self
+            .params
+            .reinsert_count
+            .min(entries.len() - self.params.min_entries);
         let removed = entries.split_off(entries.len() - p);
         self.node_mut(page).entries = entries;
         self.recompute_path_mbrs(path, page);

@@ -152,7 +152,11 @@ mod tests {
     #[test]
     fn knn_matches_naive_scan() {
         let t = grid_tree(300);
-        for q in [Point::new(55.0, 77.0), Point::new(0.0, 0.0), Point::new(500.0, 500.0)] {
+        for q in [
+            Point::new(55.0, 77.0),
+            Point::new(0.0, 0.0),
+            Point::new(500.0, 500.0),
+        ] {
             for k in [1usize, 5, 17] {
                 let got = t.nearest_neighbors(&q, k);
                 let want = naive_knn(&t, &q, k);
@@ -202,10 +206,14 @@ mod tests {
         let t = grid_tree(300);
         let mut cmp = CmpCounter::new();
         let mut pages = 0usize;
-        let res =
-            t.nearest_neighbors_counted(&Point::new(95.0, 95.0), 3, &mut cmp, &mut |_, _| pages += 1);
+        let res = t.nearest_neighbors_counted(&Point::new(95.0, 95.0), 3, &mut cmp, &mut |_, _| {
+            pages += 1
+        });
         assert_eq!(res.len(), 3);
         assert!(cmp.get() > 0);
-        assert!(pages >= 1 && pages <= t.live_page_count(), "visited {pages}");
+        assert!(
+            pages >= 1 && pages <= t.live_page_count(),
+            "visited {pages}"
+        );
     }
 }

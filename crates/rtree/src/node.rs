@@ -65,13 +65,19 @@ impl Entry {
     /// Directory entry pointing at a child page.
     #[inline]
     pub fn dir(rect: Rect, page: PageId) -> Self {
-        Entry { rect, child: ChildRef::Page(page) }
+        Entry {
+            rect,
+            child: ChildRef::Page(page),
+        }
     }
 
     /// Leaf entry pointing at a data object.
     #[inline]
     pub fn data(rect: Rect, id: DataId) -> Self {
-        Entry { rect, child: ChildRef::Data(id) }
+        Entry {
+            rect,
+            child: ChildRef::Data(id),
+        }
     }
 }
 
@@ -88,7 +94,10 @@ pub struct Node {
 impl Node {
     /// An empty node at `level`.
     pub fn new(level: u32) -> Self {
-        Node { level, entries: Vec::new() }
+        Node {
+            level,
+            entries: Vec::new(),
+        }
     }
 
     /// An empty leaf.
@@ -144,8 +153,10 @@ mod tests {
         let mut n = Node::leaf();
         assert!(n.is_leaf());
         assert!(n.mbr().is_empty());
-        n.entries.push(Entry::data(Rect::from_corners(0., 0., 1., 1.), DataId(1)));
-        n.entries.push(Entry::data(Rect::from_corners(4., -1., 5., 0.5), DataId(2)));
+        n.entries
+            .push(Entry::data(Rect::from_corners(0., 0., 1., 1.), DataId(1)));
+        n.entries
+            .push(Entry::data(Rect::from_corners(4., -1., 5., 0.5), DataId(2)));
         assert_eq!(n.mbr(), Rect::from_corners(0., -1., 5., 1.));
         assert_eq!(n.len(), 2);
     }

@@ -42,7 +42,10 @@ impl RTreeParams {
     /// `2 ≤ m ≤ M/2` satisfiable with m ≥ 2).
     pub fn for_page_size(page_bytes: usize) -> Self {
         let max_entries = page_bytes / ENTRY_BYTES;
-        assert!(max_entries >= 5, "page of {page_bytes} B holds only {max_entries} entries; need >= 5");
+        assert!(
+            max_entries >= 5,
+            "page of {page_bytes} B holds only {max_entries} entries; need >= 5"
+        );
         let min_entries = ((max_entries as f64 * 0.4) as usize).clamp(2, max_entries / 2);
         let reinsert_count = ((max_entries as f64 * 0.3) as usize).max(1);
         RTreeParams {
@@ -56,7 +59,10 @@ impl RTreeParams {
 
     /// Same derivation with an explicit insertion policy.
     pub fn with_policy(page_bytes: usize, policy: InsertPolicy) -> Self {
-        RTreeParams { policy, ..Self::for_page_size(page_bytes) }
+        RTreeParams {
+            policy,
+            ..Self::for_page_size(page_bytes)
+        }
     }
 
     /// Explicit capacities — for tests exercising tiny nodes.
@@ -64,7 +70,10 @@ impl RTreeParams {
     /// # Panics
     /// If `2 <= min <= max/2` is violated.
     pub fn explicit(page_bytes: usize, max: usize, min: usize, policy: InsertPolicy) -> Self {
-        assert!(min >= 2 && min <= max / 2, "need 2 <= m <= M/2, got m={min}, M={max}");
+        assert!(
+            min >= 2 && min <= max / 2,
+            "need 2 <= m <= M/2, got m={min}, M={max}"
+        );
         RTreeParams {
             page_bytes,
             max_entries: max,

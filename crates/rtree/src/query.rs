@@ -21,7 +21,7 @@
 use crate::node::DataId;
 use crate::tree::RTree;
 use rsj_geom::{CmpCounter, Point, Rect};
-use rsj_storage::PageId;
+use rsj_storage::{NodeAccess, PageId};
 
 impl RTree {
     /// Window query over the whole tree: all data entries whose MBR
@@ -104,6 +104,51 @@ impl RTree {
         }
     }
 
+    /// [`RTree::window_query_from`] charging page accesses to a buffer
+    /// hierarchy through [`NodeAccess`] — the storage/tree boundary the
+    /// join executors use. `store` tags this tree in the accountant.
+    pub fn window_query_charged<A: NodeAccess>(
+        &self,
+        start: PageId,
+        window: &Rect,
+        cmp: &mut CmpCounter,
+        store: u8,
+        access: &mut A,
+        out: &mut Vec<(Rect, DataId)>,
+    ) {
+        self.window_query_from(
+            start,
+            window,
+            cmp,
+            &mut |page, level| {
+                access.access(store, page, self.depth_of_level(level));
+            },
+            out,
+        );
+    }
+
+    /// [`RTree::multi_window_query_from`] charging page accesses through
+    /// [`NodeAccess`] (see [`RTree::window_query_charged`]).
+    pub fn multi_window_query_charged<T: Copy, A: NodeAccess>(
+        &self,
+        start: PageId,
+        windows: &[(T, Rect)],
+        cmp: &mut CmpCounter,
+        store: u8,
+        access: &mut A,
+        out: &mut Vec<(T, Rect, DataId)>,
+    ) {
+        self.multi_window_query_from(
+            start,
+            windows,
+            cmp,
+            &mut |page, level| {
+                access.access(store, page, self.depth_of_level(level));
+            },
+            out,
+        );
+    }
+
     /// Point query: all data entries whose MBR contains `p`.
     pub fn point_query(&self, p: &Point) -> Vec<DataId> {
         self.window_query(&Rect::from_point(*p))
@@ -142,7 +187,11 @@ impl RTree {
         while let Some(page) = stack.pop() {
             let node = self.node(page);
             if node.is_leaf() {
-                n += node.entries.iter().filter(|e| e.rect.intersects(window)).count();
+                n += node
+                    .entries
+                    .iter()
+                    .filter(|e| e.rect.intersects(window))
+                    .count();
             } else {
                 for e in &node.entries {
                     if e.rect.intersects(window) {
@@ -231,8 +280,11 @@ mod tests {
         let mut out = Vec::new();
         t.multi_window_query_from(t.root(), &windows, &mut cmp, &mut |_, _| {}, &mut out);
         for (tag, w) in &windows {
-            let mut got: Vec<DataId> =
-                out.iter().filter(|(t_, _, _)| t_ == tag).map(|(_, _, id)| *id).collect();
+            let mut got: Vec<DataId> = out
+                .iter()
+                .filter(|(t_, _, _)| t_ == tag)
+                .map(|(_, _, id)| *id)
+                .collect();
             got.sort();
             assert_eq!(got, naive_window(&t, w), "tag {tag}");
         }
@@ -242,15 +294,29 @@ mod tests {
     fn multi_window_visits_each_page_once() {
         let t = build_grid_tree();
         let windows: Vec<(u32, Rect)> = (0..10)
-            .map(|i| (i, Rect::from_corners(i as f64 * 15.0, 0.0, i as f64 * 15.0 + 30.0, 180.0)))
+            .map(|i| {
+                (
+                    i,
+                    Rect::from_corners(i as f64 * 15.0, 0.0, i as f64 * 15.0 + 30.0, 180.0),
+                )
+            })
             .collect();
         let mut cmp = CmpCounter::new();
         let mut visited = std::collections::HashMap::new();
         let mut out = Vec::new();
-        t.multi_window_query_from(t.root(), &windows, &mut cmp, &mut |p, _| {
-            *visited.entry(p).or_insert(0) += 1;
-        }, &mut out);
-        assert!(visited.values().all(|&c| c == 1), "a page was visited twice: {visited:?}");
+        t.multi_window_query_from(
+            t.root(),
+            &windows,
+            &mut cmp,
+            &mut |p, _| {
+                *visited.entry(p).or_insert(0) += 1;
+            },
+            &mut out,
+        );
+        assert!(
+            visited.values().all(|&c| c == 1),
+            "a page was visited twice: {visited:?}"
+        );
     }
 
     #[test]
@@ -295,7 +361,9 @@ mod tests {
     #[test]
     fn empty_tree_queries() {
         let t = RTree::new(RTreeParams::explicit(320, 16, 6, InsertPolicy::RStar));
-        assert!(t.window_query(&Rect::from_corners(0., 0., 1., 1.)).is_empty());
+        assert!(t
+            .window_query(&Rect::from_corners(0., 0., 1., 1.))
+            .is_empty());
         assert_eq!(t.count_in_window(&Rect::from_corners(0., 0., 1., 1.)), 0);
     }
 }

@@ -21,7 +21,10 @@ use rsj_geom::Rect;
 /// Splits an overflowing entry set (`M + 1` entries) into two groups, each
 /// holding between `m` and `M + 1 - m` entries, using the configured policy.
 pub fn split_entries(entries: Vec<Entry>, params: &RTreeParams) -> (Vec<Entry>, Vec<Entry>) {
-    debug_assert!(entries.len() > params.max_entries, "split called without overflow");
+    debug_assert!(
+        entries.len() > params.max_entries,
+        "split called without overflow"
+    );
     match params.policy {
         InsertPolicy::RStar => rstar_split(entries, params),
         InsertPolicy::GuttmanQuadratic => quadratic_split(entries, params),
@@ -210,7 +213,11 @@ fn linear_split(mut entries: Vec<Entry>, params: &RTreeParams) -> (Vec<Entry>, V
         let (mut min_l, mut max_l) = (f64::INFINITY, f64::NEG_INFINITY);
         let (mut min_u, mut max_u) = (f64::INFINITY, f64::NEG_INFINITY);
         for (i, e) in entries.iter().enumerate() {
-            let (l, u) = if axis == 0 { (e.rect.xl, e.rect.xu) } else { (e.rect.yl, e.rect.yu) };
+            let (l, u) = if axis == 0 {
+                (e.rect.xl, e.rect.xu)
+            } else {
+                (e.rect.yl, e.rect.yu)
+            };
             if l > max_l {
                 max_l = l;
                 hi_of_low = i; // highest low side
@@ -223,7 +230,11 @@ fn linear_split(mut entries: Vec<Entry>, params: &RTreeParams) -> (Vec<Entry>, V
             max_u = max_u.max(u);
         }
         let width = (max_u - min_l).abs();
-        let sep = if width > 0.0 { (max_l - min_u) / width } else { 0.0 };
+        let sep = if width > 0.0 {
+            (max_l - min_u) / width
+        } else {
+            0.0
+        };
         // (kept as an if/else chain deliberately: mirrors Guttman's text)
         if hi_of_low != lo_of_high {
             let better = best.is_none_or(|(_, _, s)| sep > s);
@@ -318,7 +329,11 @@ mod tests {
         v
     }
 
-    fn check_split(split: (Vec<Entry>, Vec<Entry>), n: usize, m: usize) -> (Vec<Entry>, Vec<Entry>) {
+    fn check_split(
+        split: (Vec<Entry>, Vec<Entry>),
+        n: usize,
+        m: usize,
+    ) -> (Vec<Entry>, Vec<Entry>) {
         let (a, b) = split;
         assert_eq!(a.len() + b.len(), n);
         assert!(a.len() >= m, "group sizes {} / {}", a.len(), b.len());
@@ -362,7 +377,11 @@ mod tests {
     fn split_handles_identical_rects() {
         // All entries the same rectangle — any distribution is fine but
         // min-fill must hold for every policy.
-        for policy in [InsertPolicy::RStar, InsertPolicy::GuttmanQuadratic, InsertPolicy::GuttmanLinear] {
+        for policy in [
+            InsertPolicy::RStar,
+            InsertPolicy::GuttmanQuadratic,
+            InsertPolicy::GuttmanLinear,
+        ] {
             let p = params(policy);
             let entries: Vec<Entry> = (0..9).map(|i| entry(1.0, 1.0, 2.0, 2.0, i)).collect();
             check_split(split_entries(entries, &p), 9, p.min_entries);
@@ -371,10 +390,15 @@ mod tests {
 
     #[test]
     fn split_handles_collinear_degenerate_rects() {
-        for policy in [InsertPolicy::RStar, InsertPolicy::GuttmanQuadratic, InsertPolicy::GuttmanLinear] {
+        for policy in [
+            InsertPolicy::RStar,
+            InsertPolicy::GuttmanQuadratic,
+            InsertPolicy::GuttmanLinear,
+        ] {
             let p = params(policy);
-            let entries: Vec<Entry> =
-                (0..9).map(|i| entry(i as f64, 0.0, i as f64, 0.0, i)).collect();
+            let entries: Vec<Entry> = (0..9)
+                .map(|i| entry(i as f64, 0.0, i as f64, 0.0, i))
+                .collect();
             let (a, b) = check_split(split_entries(entries, &p), 9, p.min_entries);
             // The groups should partition the line into two runs with low
             // overlap for the R* policy.
@@ -395,7 +419,13 @@ mod tests {
         let mut id = 0;
         for gx in 0..3 {
             for gy in 0..3 {
-                entries.push(entry(gx as f64 * 2.0, gy as f64 * 2.0, gx as f64 * 2.0 + 1.0, gy as f64 * 2.0 + 1.0, id));
+                entries.push(entry(
+                    gx as f64 * 2.0,
+                    gy as f64 * 2.0,
+                    gx as f64 * 2.0 + 1.0,
+                    gy as f64 * 2.0 + 1.0,
+                    id,
+                ));
                 id += 1;
             }
         }

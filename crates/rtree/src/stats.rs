@@ -64,7 +64,11 @@ impl RTree {
             dir_entries,
             data_entries,
             pages_per_level,
-            avg_utilization: if nodes > 0 { fill_sum / nodes as f64 } else { 0.0 },
+            avg_utilization: if nodes > 0 {
+                fill_sum / nodes as f64
+            } else {
+                0.0
+            },
         }
     }
 }
@@ -106,7 +110,11 @@ mod tests {
         for w in s.pages_per_level.windows(2) {
             assert!(w[1] < w[0].max(2));
         }
-        assert_eq!(*s.pages_per_level.last().unwrap(), 1, "root level has one page");
+        assert_eq!(
+            *s.pages_per_level.last().unwrap(),
+            1,
+            "root level has one page"
+        );
         assert!(s.avg_utilization > 0.3 && s.avg_utilization <= 1.0);
     }
 
@@ -115,7 +123,10 @@ mod tests {
         // A tree with exactly M entries in a single leaf has utilization 1.
         let mut t = RTree::new(RTreeParams::explicit(160, 8, 3, InsertPolicy::RStar));
         for i in 0..8u64 {
-            t.insert(Rect::from_corners(i as f64, 0.0, i as f64 + 0.5, 1.0), DataId(i));
+            t.insert(
+                Rect::from_corners(i as f64, 0.0, i as f64 + 0.5, 1.0),
+                DataId(i),
+            );
         }
         let s = t.stats();
         assert_eq!(s.data_pages, 1);

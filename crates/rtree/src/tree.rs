@@ -1,6 +1,6 @@
 //! The tree handle.
 
-use crate::node::{Node, ChildRef, DataId, Entry};
+use crate::node::{ChildRef, DataId, Entry, Node};
 use crate::params::RTreeParams;
 use rsj_geom::Rect;
 use rsj_storage::{PageId, PageStore};
@@ -24,7 +24,12 @@ impl RTree {
     pub fn new(params: RTreeParams) -> Self {
         let mut store = PageStore::new(params.page_bytes);
         let root = store.alloc(Node::leaf());
-        RTree { store, root, params, len: 0 }
+        RTree {
+            store,
+            root,
+            params,
+            len: 0,
+        }
     }
 
     /// The root page.
@@ -103,7 +108,11 @@ impl RTree {
             f(page, node);
             if !node.is_leaf() {
                 for e in &node.entries {
-                    stack.push(e.child.page().expect("directory entry must point to a page"));
+                    stack.push(
+                        e.child
+                            .page()
+                            .expect("directory entry must point to a page"),
+                    );
                 }
             }
         }
@@ -115,7 +124,10 @@ impl RTree {
         self.for_each_node(|_, node| {
             if node.is_leaf() {
                 for e in &node.entries {
-                    out.push((e.rect, e.child.data().expect("leaf entry must point to data")));
+                    out.push((
+                        e.rect,
+                        e.child.data().expect("leaf entry must point to data"),
+                    ));
                 }
             }
         });

@@ -169,7 +169,10 @@ mod tests {
     fn detects_unbalanced_tree() {
         let mut t = RTree::new(params());
         for i in 0..40 {
-            t.insert(Rect::from_corners(i as f64, 0.0, i as f64 + 0.5, 1.0), DataId(i));
+            t.insert(
+                Rect::from_corners(i as f64, 0.0, i as f64 + 0.5, 1.0),
+                DataId(i),
+            );
         }
         // Graft a leaf where a subtree of greater height is expected.
         let leaf = t.alloc_node(Node::leaf());
@@ -198,7 +201,10 @@ mod tests {
     fn detects_leaf_entry_in_directory() {
         let mut t = RTree::new(params());
         for i in 0..40 {
-            t.insert(Rect::from_corners(i as f64, 0.0, i as f64 + 0.5, 1.0), DataId(i));
+            t.insert(
+                Rect::from_corners(i as f64, 0.0, i as f64 + 0.5, 1.0),
+                DataId(i),
+            );
         }
         let root = t.root();
         let rect = t.node(root).entries[0].rect;

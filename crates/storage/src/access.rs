@@ -1,0 +1,89 @@
+//! The page-access abstraction at the storage/tree boundary.
+//!
+//! Join execution never touches page payloads through the buffer layer —
+//! trees hand out charge-free borrows ([`crate::PageStore::peek`]) and the
+//! executor *reports* every logical page access so the buffer hierarchy can
+//! answer the paper's question: "would this access have gone to disk?"
+//! [`NodeAccess`] is that reporting interface. Two implementations ship:
+//!
+//! * [`crate::BufferPool`] — the sequential stack of §4.1 (path buffer →
+//!   LRU → disk), owned by one executor;
+//! * [`crate::SharedBufferHandle`] — a per-worker handle onto the sharded,
+//!   lock-based [`crate::SharedBufferPool`], for concurrent workers that
+//!   share one system buffer (each worker keeps private path buffers, as
+//!   each drives its own traversal).
+//!
+//! `&mut A` also implements the trait, so an executor can borrow a caller's
+//! accountant instead of owning it — the shared-buffer parallel join runs
+//! many cursors against one worker handle this way.
+
+use crate::page::PageId;
+use crate::pool::IoStats;
+
+/// Records logical page accesses and pinning against a buffer hierarchy.
+///
+/// `store` tags which participating tree/store a page belongs to (pages of
+/// different trees sharing one buffer must not collide); `depth` is the
+/// page's distance from its tree's root, used for path-buffer bookkeeping.
+pub trait NodeAccess {
+    /// Records an access to `page` of `store` at `depth` (0 = root).
+    /// Returns `true` if the access had to go to disk.
+    fn access(&mut self, store: u8, page: PageId, depth: usize) -> bool;
+
+    /// Pins `store`'s `page`, preventing its eviction. Pins nest.
+    fn pin(&mut self, store: u8, page: PageId);
+
+    /// Releases one pin of `store`'s `page`.
+    fn unpin(&mut self, store: u8, page: PageId);
+
+    /// I/O statistics accumulated by this accountant so far.
+    fn io_stats(&self) -> IoStats;
+}
+
+impl<A: NodeAccess + ?Sized> NodeAccess for &mut A {
+    fn access(&mut self, store: u8, page: PageId, depth: usize) -> bool {
+        (**self).access(store, page, depth)
+    }
+
+    fn pin(&mut self, store: u8, page: PageId) {
+        (**self).pin(store, page)
+    }
+
+    fn unpin(&mut self, store: u8, page: PageId) {
+        (**self).unpin(store, page)
+    }
+
+    fn io_stats(&self) -> IoStats {
+        (**self).io_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::BufferPool;
+
+    fn drive(acc: &mut impl NodeAccess) -> IoStats {
+        acc.access(0, PageId(1), 0);
+        acc.access(0, PageId(1), 0);
+        acc.pin(0, PageId(1));
+        acc.unpin(0, PageId(1));
+        acc.io_stats()
+    }
+
+    #[test]
+    fn buffer_pool_implements_the_trait() {
+        let mut pool = BufferPool::with_capacity_pages(4, &[2]);
+        let stats = drive(&mut pool);
+        assert_eq!(stats.disk_accesses, 1);
+        assert_eq!(stats.total_accesses(), 2);
+    }
+
+    #[test]
+    fn mut_reference_forwards() {
+        let mut pool = BufferPool::with_capacity_pages(4, &[2]);
+        let stats = drive(&mut &mut pool);
+        assert_eq!(stats, pool.stats());
+        assert_eq!(stats.disk_accesses, 1);
+    }
+}

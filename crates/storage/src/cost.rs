@@ -35,7 +35,8 @@ impl Default for CostModel {
 impl CostModel {
     /// I/O time for `disk_accesses` fetches of pages of `page_bytes` bytes.
     pub fn io_time(&self, disk_accesses: u64, page_bytes: usize) -> f64 {
-        let per_access = self.positioning_s + self.transfer_s_per_kbyte * (page_bytes as f64 / 1024.0);
+        let per_access =
+            self.positioning_s + self.transfer_s_per_kbyte * (page_bytes as f64 / 1024.0);
         disk_accesses as f64 * per_access
     }
 
@@ -51,7 +52,12 @@ impl CostModel {
 
     /// Fraction of the total spent on I/O, in `[0, 1]`; `None` when both
     /// parts are zero. Figure 2 (lower diagram) plots this split.
-    pub fn io_fraction(&self, disk_accesses: u64, page_bytes: usize, comparisons: u64) -> Option<f64> {
+    pub fn io_fraction(
+        &self,
+        disk_accesses: u64,
+        page_bytes: usize,
+        comparisons: u64,
+    ) -> Option<f64> {
         let io = self.io_time(disk_accesses, page_bytes);
         let total = io + self.cpu_time(comparisons);
         (total > 0.0).then(|| io / total)

@@ -42,7 +42,11 @@ impl<T> HeapFile<T> {
     /// Creates a heap file with the given page size.
     pub fn new(page_bytes: usize) -> Self {
         assert!(page_bytes > 0, "page size must be positive");
-        HeapFile { pages: Vec::new(), page_bytes, reads: 0 }
+        HeapFile {
+            pages: Vec::new(),
+            page_bytes,
+            reads: 0,
+        }
     }
 
     /// Page size in bytes.
@@ -72,14 +76,20 @@ impl<T> HeapFile<T> {
             None => true,
         };
         if needs_new {
-            self.pages.push(HeapPage { records: Vec::new(), used_bytes: 0 });
+            self.pages.push(HeapPage {
+                records: Vec::new(),
+                used_bytes: 0,
+            });
         }
         let page_idx = self.pages.len() - 1;
         let page = &mut self.pages[page_idx];
         let slot = u16::try_from(page.records.len()).expect("slot overflow");
         page.records.push(record);
         page.used_bytes += record_bytes;
-        RecordId { page: PageId(page_idx as u32), slot }
+        RecordId {
+            page: PageId(page_idx as u32),
+            slot,
+        }
     }
 
     /// Reads a record, charging one page read. The caller is responsible
@@ -110,7 +120,13 @@ impl<T> HeapFile<T> {
     pub fn iter(&self) -> impl Iterator<Item = (RecordId, &T)> + '_ {
         self.pages.iter().enumerate().flat_map(|(pi, page)| {
             page.records.iter().enumerate().map(move |(si, r)| {
-                (RecordId { page: PageId(pi as u32), slot: si as u16 }, r)
+                (
+                    RecordId {
+                        page: PageId(pi as u32),
+                        slot: si as u16,
+                    },
+                    r,
+                )
             })
         })
     }

@@ -13,6 +13,12 @@
 //!   buffer accommodating all nodes of the path which was accessed last").
 //! * [`BufferPool`] — composes the two lookup layers (path buffer first,
 //!   then LRU, then "disk") and tallies [`IoStats`].
+//! * [`NodeAccess`] — the pluggable page-access interface the join
+//!   executors charge against; implemented by [`BufferPool`] and by
+//!   [`SharedBufferHandle`].
+//! * [`SharedBufferPool`] — a sharded, lock-based LRU layer shared by
+//!   concurrent join workers, each holding a [`SharedBufferHandle`] with
+//!   private path buffers and statistics.
 //! * [`CostModel`] — the paper's linear execution-time estimate: 15 ms
 //!   positioning per access, 5 ms per KByte transferred, 3.9 µs per
 //!   floating-point comparison (§4.1, Figure 2).
@@ -24,16 +30,20 @@
 //! not bytes moved, payloads are not serialized — the page-size parameter
 //! only determines node capacity and transfer cost.
 
+pub mod access;
 pub mod cost;
 pub mod heapfile;
 pub mod lru;
 pub mod page;
 pub mod path;
 pub mod pool;
+pub mod shared;
 
+pub use access::NodeAccess;
 pub use cost::CostModel;
 pub use heapfile::{HeapFile, RecordId};
 pub use lru::{Access, EvictionPolicy, LruBuffer};
 pub use page::{PageId, PageStore};
 pub use path::PathBuffer;
 pub use pool::{BufKey, BufferPool, IoStats};
+pub use shared::{SharedBufferHandle, SharedBufferPool};

@@ -232,10 +232,22 @@ impl LruBuffer {
 
     fn insert(&mut self, key: BufKey, pins: u32) {
         let slot = if let Some(s) = self.free.pop() {
-            self.slots[s] = Slot { key, prev: NIL, next: NIL, pins, referenced: false };
+            self.slots[s] = Slot {
+                key,
+                prev: NIL,
+                next: NIL,
+                pins,
+                referenced: false,
+            };
             s
         } else {
-            self.slots.push(Slot { key, prev: NIL, next: NIL, pins, referenced: false });
+            self.slots.push(Slot {
+                key,
+                prev: NIL,
+                next: NIL,
+                pins,
+                referenced: false,
+            });
             self.slots.len() - 1
         };
         self.map.insert(key, slot);
@@ -497,8 +509,8 @@ mod policy_tests {
         let mut b = LruBuffer::with_policy(1, EvictionPolicy::Clock);
         b.access(k(1));
         b.access(k(1)); // sets 1's reference bit
-        // 1 is spared on the first pressure (bit spent), so the incoming
-        // page is the victim — classic Clock corner.
+                        // 1 is spared on the first pressure (bit spent), so the incoming
+                        // page is the victim — classic Clock corner.
         b.access(k(2));
         assert!(b.contains(k(1)));
         assert!(!b.contains(k(2)));
@@ -511,7 +523,11 @@ mod policy_tests {
 
     #[test]
     fn policies_share_pinning_semantics() {
-        for policy in [EvictionPolicy::Lru, EvictionPolicy::Fifo, EvictionPolicy::Clock] {
+        for policy in [
+            EvictionPolicy::Lru,
+            EvictionPolicy::Fifo,
+            EvictionPolicy::Clock,
+        ] {
             let mut b = LruBuffer::with_policy(1, policy);
             b.access(k(1));
             b.pin(k(1));

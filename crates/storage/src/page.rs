@@ -44,7 +44,12 @@ impl<T> PageStore<T> {
     /// Creates an empty store of pages of `page_bytes` bytes each.
     pub fn new(page_bytes: usize) -> Self {
         assert!(page_bytes > 0, "page size must be positive");
-        PageStore { pages: Vec::new(), page_bytes, reads: 0, writes: 0 }
+        PageStore {
+            pages: Vec::new(),
+            page_bytes,
+            reads: 0,
+            writes: 0,
+        }
     }
 
     /// The configured page size in bytes.

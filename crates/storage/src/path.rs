@@ -23,7 +23,10 @@ impl PathBuffer {
     /// Creates a path buffer for a tree of the given height (number of
     /// levels). A height of zero yields an always-missing buffer.
     pub fn new(height: usize) -> Self {
-        PathBuffer { levels: vec![None; height], hits: 0 }
+        PathBuffer {
+            levels: vec![None; height],
+            hits: 0,
+        }
     }
 
     /// Height the buffer was sized for.

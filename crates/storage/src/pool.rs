@@ -14,6 +14,7 @@
 //! structure simple and mirrors the paper's accounting, where the buffer
 //! question is purely "would this access have gone to disk?".
 
+use crate::access::NodeAccess;
 pub use crate::lru::BufKey;
 use crate::lru::{Access, EvictionPolicy, LruBuffer};
 use crate::page::PageId;
@@ -143,6 +144,24 @@ impl BufferPool {
     }
 }
 
+impl NodeAccess for BufferPool {
+    fn access(&mut self, store: u8, page: PageId, depth: usize) -> bool {
+        BufferPool::access(self, store, page, depth)
+    }
+
+    fn pin(&mut self, store: u8, page: PageId) {
+        BufferPool::pin(self, store, page)
+    }
+
+    fn unpin(&mut self, store: u8, page: PageId) {
+        BufferPool::unpin(self, store, page)
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.stats()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,7 +207,10 @@ mod tests {
     fn stores_have_independent_path_buffers() {
         let mut pool = BufferPool::with_capacity_pages(0, &[1, 1]);
         pool.access(0, PageId(1), 0);
-        assert!(pool.access(1, PageId(1), 0), "other store's page is distinct");
+        assert!(
+            pool.access(1, PageId(1), 0),
+            "other store's page is distinct"
+        );
         assert_eq!(pool.stats().disk_accesses, 2);
     }
 

@@ -1,0 +1,246 @@
+//! A sharded, lock-based page buffer shared by concurrent join workers.
+//!
+//! The paper's §6 names parallel systems as future work; the shared-buffer
+//! parallel join models a machine where all workers compete for one system
+//! buffer (in contrast to the shared-nothing mode, where each worker owns a
+//! private slice). [`SharedBufferPool`] splits the page budget across
+//! `Mutex<LruBuffer>` shards keyed by a hash of `(store, page)`, so workers
+//! touching disjoint page sets rarely contend on the same lock.
+//!
+//! Each worker drives its traversal through a [`SharedBufferHandle`], which
+//! carries **private path buffers** (the path buffer belongs to a
+//! traversal, §4.1) and private [`IoStats`]; only the LRU layer is shared.
+//! The summed per-handle `disk_accesses` is the metric comparable to the
+//! sequential join — a page faulted by one worker and reused by another is
+//! charged once, which is exactly the saving shared-nothing cannot have.
+
+use std::sync::{Arc, Mutex};
+
+use crate::lru::{Access, EvictionPolicy, LruBuffer};
+use crate::page::PageId;
+use crate::path::PathBuffer;
+use crate::pool::{BufKey, IoStats};
+use crate::NodeAccess;
+
+/// Default shard count — enough to keep 4–16 workers off each other's
+/// locks without splitting small buffers into degenerate slices.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// The shared, sharded LRU layer. Cheap to clone via [`Arc`]; workers
+/// access it through [`SharedBufferHandle`]s.
+#[derive(Debug)]
+pub struct SharedBufferPool {
+    shards: Vec<Mutex<LruBuffer>>,
+    heights: Vec<usize>,
+}
+
+impl SharedBufferPool {
+    /// Pool with `buffer_bytes / page_bytes` total pages split over
+    /// [`DEFAULT_SHARDS`] shards, for trees of the given `heights`.
+    pub fn new(
+        buffer_bytes: usize,
+        page_bytes: usize,
+        heights: &[usize],
+        policy: EvictionPolicy,
+    ) -> Arc<Self> {
+        assert!(page_bytes > 0, "page size must be positive");
+        Self::with_shards(buffer_bytes / page_bytes, heights, policy, DEFAULT_SHARDS)
+    }
+
+    /// Pool with an explicit total page capacity and shard count.
+    ///
+    /// The capacity is dealt round-robin so shards differ by at most one
+    /// page; a zero capacity yields all-zero shards (every unpinned access
+    /// misses, like the paper's "buffer size = 0" runs).
+    pub fn with_shards(
+        cap_pages: usize,
+        heights: &[usize],
+        policy: EvictionPolicy,
+        shards: usize,
+    ) -> Arc<Self> {
+        assert!(shards > 0, "need at least one shard");
+        let shards: Vec<Mutex<LruBuffer>> = (0..shards)
+            .map(|i| {
+                let cap = cap_pages / shards + usize::from(i < cap_pages % shards);
+                Mutex::new(LruBuffer::with_policy(cap, policy))
+            })
+            .collect();
+        Arc::new(SharedBufferPool {
+            shards,
+            heights: heights.to_vec(),
+        })
+    }
+
+    /// A worker handle with fresh private path buffers and zeroed stats.
+    pub fn handle(self: &Arc<Self>) -> SharedBufferHandle {
+        SharedBufferHandle {
+            pool: Arc::clone(self),
+            paths: self.heights.iter().map(|&h| PathBuffer::new(h)).collect(),
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total page capacity across shards.
+    pub fn capacity(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("poisoned shard").capacity())
+            .sum()
+    }
+
+    fn shard(&self, key: BufKey) -> &Mutex<LruBuffer> {
+        // Fibonacci hashing over the packed key; cheap and well-spread for
+        // the sequential page ids a PageStore allocates.
+        let packed = (u64::from(key.store) << 32) | u64::from(key.page.0);
+        let h = packed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        &self.shards[(h >> 32) as usize % self.shards.len()]
+    }
+}
+
+/// One worker's view of a [`SharedBufferPool`]: shared LRU shards, private
+/// path buffers, private statistics.
+#[derive(Debug)]
+pub struct SharedBufferHandle {
+    pool: Arc<SharedBufferPool>,
+    paths: Vec<PathBuffer>,
+    stats: IoStats,
+}
+
+impl SharedBufferHandle {
+    /// Statistics recorded through this handle.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// The pool this handle belongs to.
+    pub fn pool(&self) -> &Arc<SharedBufferPool> {
+        &self.pool
+    }
+}
+
+impl NodeAccess for SharedBufferHandle {
+    fn access(&mut self, store: u8, page: PageId, depth: usize) -> bool {
+        let key = BufKey::new(store, page);
+        let path = &mut self.paths[store as usize];
+        if path.probe(page) {
+            self.stats.path_hits += 1;
+            path.install(depth, page);
+            return false;
+        }
+        path.install(depth, page);
+        let outcome = {
+            let mut shard = self.pool.shard(key).lock().expect("poisoned shard");
+            shard.access(key)
+        };
+        match outcome {
+            Access::Hit => {
+                self.stats.lru_hits += 1;
+                false
+            }
+            Access::Miss => {
+                self.stats.disk_accesses += 1;
+                true
+            }
+        }
+    }
+
+    fn pin(&mut self, store: u8, page: PageId) {
+        let key = BufKey::new(store, page);
+        self.pool
+            .shard(key)
+            .lock()
+            .expect("poisoned shard")
+            .pin(key);
+    }
+
+    fn unpin(&mut self, store: u8, page: PageId) {
+        let key = BufKey::new(store, page);
+        self.pool
+            .shard(key)
+            .lock()
+            .expect("poisoned shard")
+            .unpin(key);
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_dealt_across_shards() {
+        let pool = SharedBufferPool::with_shards(10, &[2], EvictionPolicy::Lru, 4);
+        assert_eq!(pool.shard_count(), 4);
+        assert_eq!(pool.capacity(), 10);
+    }
+
+    #[test]
+    fn second_handle_hits_what_the_first_faulted() {
+        let pool = SharedBufferPool::with_shards(16, &[2], EvictionPolicy::Lru, 4);
+        let mut a = pool.handle();
+        let mut b = pool.handle();
+        assert!(a.access(0, PageId(7), 1), "cold miss");
+        // b has a cold path buffer, so the access falls through to the
+        // shared LRU — and hits.
+        assert!(!b.access(0, PageId(7), 1), "warm hit via shared LRU");
+        assert_eq!(a.stats().disk_accesses, 1);
+        assert_eq!(b.stats().lru_hits, 1);
+        assert_eq!(b.stats().disk_accesses, 0);
+    }
+
+    #[test]
+    fn path_buffers_are_private_per_handle() {
+        let pool = SharedBufferPool::with_shards(0, &[2], EvictionPolicy::Lru, 2);
+        let mut a = pool.handle();
+        let mut b = pool.handle();
+        a.access(0, PageId(3), 0);
+        assert!(!a.access(0, PageId(3), 0), "a's own path buffer hits");
+        // Zero-capacity LRU: b cannot be served by a's path buffer.
+        assert!(b.access(0, PageId(3), 0), "b misses to disk");
+        assert_eq!(a.stats().path_hits, 1);
+        assert_eq!(b.stats().disk_accesses, 1);
+    }
+
+    #[test]
+    fn pins_keep_pages_resident_across_handles() {
+        let pool = SharedBufferPool::with_shards(0, &[1], EvictionPolicy::Lru, 1);
+        let mut a = pool.handle();
+        let mut b = pool.handle();
+        a.access(0, PageId(1), 0);
+        a.pin(0, PageId(1));
+        assert!(!b.access(0, PageId(1), 0), "pinned page is resident for b");
+        a.unpin(0, PageId(1));
+        // A fresh handle: b's own path buffer would now satisfy the access.
+        let mut c = pool.handle();
+        assert!(c.access(0, PageId(1), 0), "unpinned page is trimmed");
+    }
+
+    #[test]
+    fn concurrent_handles_do_not_lose_accounting() {
+        let pool = SharedBufferPool::with_shards(64, &[3], EvictionPolicy::Lru, 8);
+        let total: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4u32)
+                .map(|w| {
+                    let mut h = pool.handle();
+                    scope.spawn(move || {
+                        for i in 0..200u32 {
+                            h.access(0, PageId(w * 50 + i % 100), (i % 3) as usize);
+                        }
+                        h.stats().total_accesses()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        });
+        assert_eq!(total, 800, "every access is tallied in exactly one handle");
+    }
+}

@@ -14,7 +14,10 @@ struct ModelLru {
 
 impl ModelLru {
     fn new(cap: usize) -> Self {
-        ModelLru { cap, ..Default::default() }
+        ModelLru {
+            cap,
+            ..Default::default()
+        }
     }
 
     fn pinned(&self, k: &BufKey) -> bool {

@@ -18,7 +18,11 @@ fn main() {
     for o in &data.s {
         s.insert(o.mbr, DataId(o.id));
     }
-    let cfg = JoinConfig { buffer_bytes: 32 * 1024, collect_pairs: false, ..Default::default() };
+    let cfg = JoinConfig {
+        buffer_bytes: 32 * 1024,
+        collect_pairs: false,
+        ..Default::default()
+    };
     let model = CostModel::default();
 
     println!(
@@ -52,6 +56,9 @@ fn main() {
         );
     }
     let speedup = first_time.unwrap()
-        / spatial_join(&r, &s, JoinPlan::sj4(), &cfg).stats.time(&model).total();
+        / spatial_join(&r, &s, JoinPlan::sj4(), &cfg)
+            .stats
+            .time(&model)
+            .total();
     println!("\nSJ4 is {speedup:.1}x faster than the straightforward SJ1 in estimated time.");
 }

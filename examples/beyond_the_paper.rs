@@ -21,8 +21,15 @@ fn main() {
     for o in &data.s {
         s.insert(o.mbr, DataId(o.id));
     }
-    let cfg = JoinConfig { collect_pairs: false, ..Default::default() };
-    println!("region relations: {} x {} objects\n", data.r.len(), data.s.len());
+    let cfg = JoinConfig {
+        collect_pairs: false,
+        ..Default::default()
+    };
+    println!(
+        "region relations: {} x {} objects\n",
+        data.r.len(),
+        data.s.len()
+    );
 
     // 1. Join operators: intersection, containment, within-distance.
     for (name, pred) in [

@@ -22,12 +22,15 @@ fn main() {
     }
     let street_objs =
         ObjectRelation::build(2048, data.r.iter().map(|o| (o.id, o.geometry.clone())));
-    let river_objs =
-        ObjectRelation::build(2048, data.s.iter().map(|o| (o.id, o.geometry.clone())));
+    let river_objs = ObjectRelation::build(2048, data.s.iter().map(|o| (o.id, o.geometry.clone())));
 
     // Compare the filter quality across algorithms: same candidates, same
     // bridges, different cost.
-    println!("bridge detection over {} streets x {} rivers\n", data.r.len(), data.s.len());
+    println!(
+        "bridge detection over {} streets x {} rivers\n",
+        data.r.len(),
+        data.s.len()
+    );
     for (name, plan) in [("SJ1", JoinPlan::sj1()), ("SJ4", JoinPlan::sj4())] {
         let res = id_join(
             &streets,
@@ -64,10 +67,16 @@ fn main() {
         if let (rsj::geom::Geometry::Line(a), rsj::geom::Geometry::Line(b)) = (g_street, g_river) {
             let crossing = a
                 .segments()
-                .flat_map(|sa| b.segments().filter_map(move |sb| sa.intersection_point(&sb)))
+                .flat_map(|sa| {
+                    b.segments()
+                        .filter_map(move |sb| sa.intersection_point(&sb))
+                })
                 .next();
             if let Some(pt) = crossing {
-                println!("  street {street_id} x river {river_id} at ({:.2}, {:.2})", pt.x, pt.y);
+                println!(
+                    "  street {street_id} x river {river_id} at ({:.2}, {:.2})",
+                    pt.x, pt.y
+                );
             }
         }
     }

@@ -61,7 +61,12 @@ fn main() {
     // the forest tree (an index nested loop is the right plan for a small
     // window).
     let munich = Point::new(500.0, 500.0);
-    let window = Rect::from_corners(munich.x - 100.0, munich.y - 100.0, munich.x + 100.0, munich.y + 100.0);
+    let window = Rect::from_corners(
+        munich.x - 100.0,
+        munich.y - 100.0,
+        munich.x + 100.0,
+        munich.y + 100.0,
+    );
     let nearby_cities = city_tree.window_query(&window);
     let mut matches = 0usize;
     for cid in &nearby_cities {

@@ -11,10 +11,18 @@
 //! * [`geom`] — rectangles with counted comparisons, space-filling curves,
 //!   exact polyline/polygon geometry;
 //! * [`storage`] — simulated paged disk, LRU buffer with pinning, path
-//!   buffers, the paper's cost model, a slotted-page heap file;
+//!   buffers, the paper's cost model, a slotted-page heap file, and the
+//!   pluggable [`storage::NodeAccess`] boundary with its two buffer
+//!   backends (private [`storage::BufferPool`], sharded
+//!   [`storage::SharedBufferPool`] for concurrent workers);
 //! * [`rtree`] — the R\*-tree (plus Guttman baselines and bulk loading);
 //! * [`join`] — the spatial-join algorithms SJ1–SJ5, different-height
-//!   policies, baselines, and the ID-/object-join refinement step;
+//!   policies, baselines, the parallel (shared-nothing and shared-buffer)
+//!   and multi-way joins, and the ID-/object-join refinement step. The
+//!   engine underneath is the **streaming executor**
+//!   [`join::exec::JoinCursor`], which yields result pairs incrementally
+//!   through `Iterator`; [`join::spatial_join`] is the materializing
+//!   wrapper over it;
 //! * [`datagen`] — deterministic synthetic stand-ins for the paper's
 //!   TIGER/Line and region datasets.
 //!
@@ -45,6 +53,17 @@
 //!     result.stats.total_comparisons(),
 //! );
 //! # assert!(result.stats.result_pairs > 0);
+//!
+//! // Or stream the same join: pairs arrive incrementally, nothing is
+//! // materialized, and any NodeAccess backend can do the accounting.
+//! use rsj::join::exec::JoinCursor;
+//! use rsj::storage::BufferPool;
+//! let pool = BufferPool::new(128 * 1024, 1024, &[r.height() as usize, s.height() as usize]);
+//! let mut cursor = JoinCursor::new(&r, &s, JoinPlan::sj4(), pool);
+//! let first = cursor.next().expect("this join has results");
+//! let streamed: u64 = 1 + cursor.by_ref().count() as u64;
+//! assert_eq!(streamed, result.stats.result_pairs);
+//! assert_eq!(cursor.stats().io.disk_accesses, result.stats.io.disk_accesses);
 //! ```
 
 pub use rsj_core as join;
@@ -56,9 +75,8 @@ pub use rsj_storage as storage;
 /// The names most programs need.
 pub mod prelude {
     pub use rsj_core::{
-        id_join, multiway_join, object_join, parallel_spatial_join, spatial_join,
-        DiffHeightPolicy, JoinConfig, JoinPlan, JoinPredicate, JoinResult, JoinStats,
-        MultiwayResult, ObjectRelation,
+        id_join, multiway_join, object_join, parallel_spatial_join, spatial_join, DiffHeightPolicy,
+        JoinConfig, JoinPlan, JoinPredicate, JoinResult, JoinStats, MultiwayResult, ObjectRelation,
     };
     pub use rsj_datagen::TestId;
     pub use rsj_geom::{CmpCounter, Geometry, Point, Rect};

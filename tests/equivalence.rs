@@ -1,0 +1,81 @@
+//! Cross-algorithm equivalence: every join strategy in the stack — SJ1–SJ5,
+//! the nested-loop and index-nested-loop baselines, both parallel modes,
+//! and the streaming cursor consumed incrementally — must produce the
+//! identical result-pair set on generated presets.
+
+use rsj::prelude::*;
+use rsj_core::exec::JoinCursor;
+use rsj_core::{baseline, parallel_spatial_join_with_mode, ParallelMode};
+use rsj_storage::BufferPool;
+
+fn build_tree(objs: &[rsj::datagen::SpatialObject], page: usize) -> RTree {
+    let mut t = RTree::new(RTreeParams::for_page_size(page));
+    for o in objs {
+        t.insert(o.mbr, DataId(o.id));
+    }
+    t
+}
+
+fn sorted(mut v: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    v.sort_unstable();
+    v
+}
+
+fn ids(pairs: &[(DataId, DataId)]) -> Vec<(u64, u64)> {
+    sorted(pairs.iter().map(|&(a, b)| (a.0, b.0)).collect())
+}
+
+#[test]
+fn all_strategies_agree_on_presets() {
+    // Two presets with different object shapes: lines × lines (A) and the
+    // heavily overlapping regions (E).
+    for test in [TestId::A, TestId::E] {
+        let data = rsj::datagen::preset(test, 0.004);
+        let r = build_tree(&data.r, 1024);
+        let s = build_tree(&data.s, 1024);
+        let cfg = JoinConfig::default();
+
+        // Ground truth: the brute-force nested loop over the raw MBRs.
+        let items_r = rsj::datagen::mbr_items(&data.r);
+        let items_s = rsj::datagen::mbr_items(&data.s);
+        let (nl_pairs, _) = baseline::nested_loop_join(&items_r, &items_s);
+        let want = sorted(nl_pairs);
+        assert!(!want.is_empty(), "{test:?}: fixture must produce pairs");
+
+        // The five named plans of the paper.
+        for plan in [
+            JoinPlan::sj1(),
+            JoinPlan::sj2(),
+            JoinPlan::sj3(),
+            JoinPlan::sj4(),
+            JoinPlan::sj5(),
+        ] {
+            let res = spatial_join(&r, &s, plan, &cfg);
+            assert_eq!(ids(&res.pairs), want, "{test:?}: {}", plan.name());
+        }
+
+        // Index nested-loop baseline.
+        let (inl_pairs, _) = baseline::index_nested_loop_join(&r, &s, &cfg);
+        assert_eq!(ids(&inl_pairs), want, "{test:?}: index nested loop");
+
+        // Both parallel modes.
+        for mode in [ParallelMode::SharedNothing, ParallelMode::SharedBuffer] {
+            let res = parallel_spatial_join_with_mode(&r, &s, JoinPlan::sj4(), &cfg, 4, mode);
+            assert_eq!(ids(&res.pairs), want, "{test:?}: parallel {mode:?}");
+        }
+
+        // The streaming cursor, consumed pair by pair.
+        let pool = BufferPool::new(
+            cfg.buffer_bytes,
+            1024,
+            &[r.height() as usize, s.height() as usize],
+        );
+        let mut cursor = JoinCursor::new(&r, &s, JoinPlan::sj4(), pool);
+        let mut streamed = Vec::new();
+        for (a, b) in &mut cursor {
+            streamed.push((a.0, b.0));
+        }
+        assert_eq!(sorted(streamed), want, "{test:?}: streaming cursor");
+        assert_eq!(cursor.stats().result_pairs as usize, want.len());
+    }
+}

@@ -12,7 +12,10 @@ fn build_tree(objs: &[rsj::datagen::SpatialObject], page: usize) -> RTree {
     t
 }
 
-fn brute_force(a: &[rsj::datagen::SpatialObject], b: &[rsj::datagen::SpatialObject]) -> Vec<(u64, u64)> {
+fn brute_force(
+    a: &[rsj::datagen::SpatialObject],
+    b: &[rsj::datagen::SpatialObject],
+) -> Vec<(u64, u64)> {
     let mut v = Vec::new();
     for x in a {
         for y in b {
@@ -40,8 +43,7 @@ fn all_algorithms_match_brute_force_on_all_presets() {
             JoinPlan::sj5(),
         ] {
             let res = spatial_join(&r, &s, plan, &JoinConfig::with_buffer(16 * 1024));
-            let mut got: Vec<(u64, u64)> =
-                res.pairs.iter().map(|&(a, b)| (a.0, b.0)).collect();
+            let mut got: Vec<(u64, u64)> = res.pairs.iter().map(|&(a, b)| (a.0, b.0)).collect();
             got.sort_unstable();
             assert_eq!(got, want, "{test:?} {}", plan.name());
         }
@@ -62,7 +64,10 @@ fn different_height_presets_match_brute_force() {
         DiffHeightPolicy::Batched,
         DiffHeightPolicy::SweepPinned,
     ] {
-        let plan = JoinPlan { diff_height: policy, ..JoinPlan::sj4() };
+        let plan = JoinPlan {
+            diff_height: policy,
+            ..JoinPlan::sj4()
+        };
         let res = spatial_join(&r, &s, plan, &JoinConfig::default());
         let mut got: Vec<(u64, u64)> = res.pairs.iter().map(|&(a, b)| (a.0, b.0)).collect();
         got.sort_unstable();
@@ -77,7 +82,14 @@ fn refinement_pipeline_matches_exact_brute_force() {
     let s = build_tree(&data.s, 1024);
     let robj = ObjectRelation::build(1024, data.r.iter().map(|o| (o.id, o.geometry.clone())));
     let sobj = ObjectRelation::build(1024, data.s.iter().map(|o| (o.id, o.geometry.clone())));
-    let res = id_join(&r, &s, &robj, &sobj, JoinPlan::sj4(), &JoinConfig::default());
+    let res = id_join(
+        &r,
+        &s,
+        &robj,
+        &sobj,
+        JoinPlan::sj4(),
+        &JoinConfig::default(),
+    );
 
     let mut want = Vec::new();
     for x in &data.r {

@@ -12,7 +12,11 @@ struct Fixture {
 }
 
 fn fixture(page: usize) -> Fixture {
-    let data = rsj::datagen::preset(TestId::A, 0.02);
+    fixture_at(page, 0.02)
+}
+
+fn fixture_at(page: usize, scale: f64) -> Fixture {
+    let data = rsj::datagen::preset(TestId::A, scale);
     let mut r = RTree::new(RTreeParams::for_page_size(page));
     for o in &data.r {
         r.insert(o.mbr, DataId(o.id));
@@ -25,8 +29,17 @@ fn fixture(page: usize) -> Fixture {
 }
 
 fn stats(f: &Fixture, plan: JoinPlan, buffer: usize) -> JoinStats {
-    spatial_join(&f.r, &f.s, plan, &JoinConfig { buffer_bytes: buffer, collect_pairs: false, ..Default::default() })
-        .stats
+    spatial_join(
+        &f.r,
+        &f.s,
+        plan,
+        &JoinConfig {
+            buffer_bytes: buffer,
+            collect_pairs: false,
+            ..Default::default()
+        },
+    )
+    .stats
 }
 
 /// §4.2, Table 3: "the technique of restricting the search space improves
@@ -43,11 +56,17 @@ fn claim_search_space_restriction_gains_factor_over_2() {
 }
 
 /// Table 3: the SJ2 gain grows with the page size.
+///
+/// This claim needs a deeper fixture than the others: at the default 0.02
+/// scale an 8-KByte page (M = 409) packs the whole relation into a handful
+/// of leaves, the directory levels vanish, and the restriction gain
+/// saturates below its 4-KByte value. The paper's regime — trees that stay
+/// multi-level at every page size — starts around scale 0.05 here.
 #[test]
 fn claim_restriction_gain_grows_with_page_size() {
     let mut last = 0.0;
     for page in [1024usize, 2048, 4096, 8192] {
-        let f = fixture(page);
+        let f = fixture_at(page, 0.05);
         let c1 = stats(&f, JoinPlan::sj1(), 0).join_comparisons;
         let c2 = stats(&f, JoinPlan::sj2(), 0).join_comparisons;
         let gain = c1 as f64 / c2 as f64;
@@ -67,7 +86,10 @@ fn claim_sweep_is_page_size_insensitive() {
         let f = fixture(page);
         let nested = stats(&f, JoinPlan::sj2(), 0).join_comparisons;
         let sweep = stats(&f, JoinPlan::sj3(), 0).join_comparisons;
-        assert!(sweep < nested, "page {page}: sweep {sweep} vs nested {nested}");
+        assert!(
+            sweep < nested,
+            "page {page}: sweep {sweep} vs nested {nested}"
+        );
         counts.push(sweep as f64);
     }
     // SJ1 grows ~8x from 1K to 8K pages; the sweep join must grow far less.
@@ -90,7 +112,10 @@ fn claim_sj4_approaches_optimum_with_large_buffer() {
     );
     // And without any buffer it is several times the optimum.
     let cold = stats(&f, JoinPlan::sj1(), 0).io.disk_accesses;
-    assert!(cold > optimum, "cold SJ1 {cold} must exceed optimum {optimum}");
+    assert!(
+        cold > optimum,
+        "cold SJ1 {cold} must exceed optimum {optimum}"
+    );
 }
 
 /// Table 2 → Figure 2: SJ1's comparisons grow superlinearly in page size,
@@ -117,7 +142,11 @@ fn claim_sj4_is_io_bound_at_small_pages() {
     let model = CostModel::default();
     let f = fixture(1024);
     let t = stats(&f, JoinPlan::sj4(), 0).time(&model);
-    assert!(t.io_fraction() > 0.5, "1-KByte SJ4 should be I/O-bound, got {}", t.io_fraction());
+    assert!(
+        t.io_fraction() > 0.5,
+        "1-KByte SJ4 should be I/O-bound, got {}",
+        t.io_fraction()
+    );
 }
 
 /// Figure 9 / §6: the combination of all techniques is better by factors;
@@ -140,9 +169,15 @@ fn claim_schedules_ranking_small_buffer() {
     let s3 = stats(&f, JoinPlan::sj3(), 0).io.disk_accesses;
     let s4 = stats(&f, JoinPlan::sj4(), 0).io.disk_accesses;
     let s5 = stats(&f, JoinPlan::sj5(), 0).io.disk_accesses;
-    assert!(s4 <= s3, "pinning must help at buffer 0: SJ4 {s4} vs SJ3 {s3}");
+    assert!(
+        s4 <= s3,
+        "pinning must help at buffer 0: SJ4 {s4} vs SJ3 {s3}"
+    );
     let ratio = s5 as f64 / s4 as f64;
-    assert!((0.8..1.2).contains(&ratio), "SJ5 should be close to SJ4: {s5} vs {s4}");
+    assert!(
+        (0.8..1.2).contains(&ratio),
+        "SJ5 should be close to SJ4: {s5} vs {s4}"
+    );
 }
 
 /// §4.4 / Table 7: policy (b) dominates policy (a) for small buffers when
@@ -160,11 +195,23 @@ fn claim_batched_windows_beat_per_pair() {
     }
     assert!(r.height() > s.height());
     let run = |policy| {
-        let plan = JoinPlan { diff_height: policy, ..JoinPlan::sj4() };
-        spatial_join(&r, &s, plan, &JoinConfig { buffer_bytes: 0, collect_pairs: false, ..Default::default() })
-            .stats
-            .io
-            .disk_accesses
+        let plan = JoinPlan {
+            diff_height: policy,
+            ..JoinPlan::sj4()
+        };
+        spatial_join(
+            &r,
+            &s,
+            plan,
+            &JoinConfig {
+                buffer_bytes: 0,
+                collect_pairs: false,
+                ..Default::default()
+            },
+        )
+        .stats
+        .io
+        .disk_accesses
     };
     let a = run(DiffHeightPolicy::PerPair);
     let b = run(DiffHeightPolicy::Batched);
