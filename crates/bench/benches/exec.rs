@@ -1,81 +1,179 @@
-//! Old recursive driver vs streaming `JoinCursor`: throughput in result
-//! pairs per second on preset (A), counting-only (no materialization on
-//! either path). Alongside the criterion timings, the measured comparison
-//! is recorded in `BENCH_exec.json` at the repo root.
+//! Executor shoot-out: recursive oracle vs counted streaming cursor vs
+//! raw (`NoOp`-metered) streaming cursor. Throughput in result pairs per
+//! second on preset (A), counting-only (no materialization on any path).
+//! Alongside the criterion timings, the measured comparison is recorded
+//! in `BENCH_exec.json` at the repo root.
+//!
+//! Two plans run on the same fixture:
+//!
+//! * **SJ2** (nested loop + restriction) — enumeration-bound: the counted
+//!   mode's short-circuit accounting serializes an O(n²) inner loop the
+//!   raw mode runs branchless. This is the headline plan for the
+//!   `cursor_over_recursive` / `raw_over_cursor` ratios.
+//! * **SJ4** (plane sweep + pinning, the paper's winner) — schedule-bound:
+//!   sorts and sweeps dominate, metering is a smaller share.
+//!
+//! The fixture uses 4-KByte pages: node-sized enumerations dominate the
+//! profile there, which is exactly the work the scratch arena and the
+//! compile-time metering target.
+//!
+//! Measured effects of the PR-2 hot-path work on this fixture (pre-PR the
+//! counted cursor ran at 0.88× the recursion): the scratch arena plus
+//! whole-leaf drains into a `reserve`d pending queue and `#[inline]` on
+//! `next`/`step`/`emit` lift the counted cursor to ~1.2–1.3× the
+//! recursion on both plans; the `NoOp` meter adds another ~1.3–1.5× on
+//! SJ2 and ~1.1–1.2× on SJ4 (see `BENCH_exec.json` for the current
+//! numbers).
+//!
+//! Set `RSJ_BENCH_QUICK=1` for the CI smoke run: smaller scale, fewer
+//! iterations, same JSON schema.
 
 use std::io::Write;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rsj_bench::Workbench;
-use rsj_core::exec::{recursive_spatial_join, JoinCursor};
+use rsj_core::exec::{recursive_spatial_join, JoinCursor, RawJoinCursor};
 use rsj_core::{JoinConfig, JoinPlan};
 use rsj_datagen::TestId;
 use rsj_rtree::RTree;
 use rsj_storage::BufferPool;
 
-const SCALE: f64 = 0.02;
+const PAGE: usize = 4096;
 
-fn run_recursive(r: &RTree, s: &RTree, cfg: &JoinConfig) -> u64 {
-    recursive_spatial_join(r, s, JoinPlan::sj4(), cfg)
-        .stats
-        .result_pairs
+fn quick() -> bool {
+    std::env::var("RSJ_BENCH_QUICK").is_ok_and(|v| v == "1")
 }
 
-fn run_cursor(r: &RTree, s: &RTree, cfg: &JoinConfig) -> u64 {
-    let pool = BufferPool::with_policy(
+fn run_recursive(r: &RTree, s: &RTree, plan: JoinPlan, cfg: &JoinConfig) -> u64 {
+    recursive_spatial_join(r, s, plan, cfg).stats.result_pairs
+}
+
+fn pool_for(r: &RTree, s: &RTree, cfg: &JoinConfig) -> BufferPool {
+    BufferPool::with_policy(
         cfg.buffer_bytes,
         r.params().page_bytes,
         &[r.height() as usize, s.height() as usize],
         cfg.eviction,
-    );
-    let mut cursor = JoinCursor::new(r, s, JoinPlan::sj4(), pool);
-    for _ in &mut cursor {}
-    cursor.stats().result_pairs
+    )
 }
 
-/// Times `f` over `iters` runs and returns (pairs per run, seconds per run).
+fn run_cursor(r: &RTree, s: &RTree, plan: JoinPlan, cfg: &JoinConfig) -> u64 {
+    let mut cursor = JoinCursor::new(r, s, plan, pool_for(r, s, cfg));
+    (&mut cursor).count() as u64
+}
+
+fn run_raw(r: &RTree, s: &RTree, plan: JoinPlan, cfg: &JoinConfig) -> u64 {
+    let mut cursor = RawJoinCursor::raw(r, s, plan, pool_for(r, s, cfg));
+    (&mut cursor).count() as u64
+}
+
+/// Times `f` over `iters` individually-clocked runs and returns
+/// (pairs per run, best seconds per run). The per-run *minimum* is the
+/// noise-robust estimator: scheduler preemptions and frequency scaling
+/// only ever add time, so the best run is the closest to the true cost —
+/// one bad window cannot skew the ratio the CI guard checks.
 fn measure(f: impl Fn() -> u64, iters: u32) -> (u64, f64) {
     let pairs = f(); // warm-up, and the pair count
-    let start = Instant::now();
+    let mut best = f64::INFINITY;
     for _ in 0..iters {
+        let start = Instant::now();
         f();
+        best = best.min(start.elapsed().as_secs_f64());
     }
-    (pairs, start.elapsed().as_secs_f64() / f64::from(iters))
+    (pairs, best)
+}
+
+struct PlanReport {
+    name: &'static str,
+    pairs: u64,
+    secs: [f64; 3], // recursive, cursor, raw
+}
+
+fn measure_plan(
+    r: &RTree,
+    s: &RTree,
+    plan: JoinPlan,
+    name: &'static str,
+    cfg: &JoinConfig,
+    iters: u32,
+) -> PlanReport {
+    let (pairs_a, secs_recursive) = measure(|| run_recursive(r, s, plan, cfg), iters);
+    let (pairs_b, secs_cursor) = measure(|| run_cursor(r, s, plan, cfg), iters);
+    let (pairs_c, secs_raw) = measure(|| run_raw(r, s, plan, cfg), iters);
+    assert_eq!(
+        pairs_a, pairs_b,
+        "{name}: executors must agree before comparing speed"
+    );
+    assert_eq!(pairs_b, pairs_c, "{name}: raw mode must agree on the count");
+    PlanReport {
+        name,
+        pairs: pairs_a,
+        secs: [secs_recursive, secs_cursor, secs_raw],
+    }
+}
+
+impl PlanReport {
+    fn json(&self) -> String {
+        let engine = |secs: f64| {
+            format!(
+                "{{ \"secs_per_join\": {secs:.6}, \"pairs_per_sec\": {:.0} }}",
+                self.pairs as f64 / secs
+            )
+        };
+        format!(
+            "{{\n      \"result_pairs\": {},\n      \"recursive\": {},\n      \"cursor\": {},\n      \"raw\": {},\n      \"cursor_over_recursive\": {:.4},\n      \"raw_over_cursor\": {:.4}\n    }}",
+            self.pairs,
+            engine(self.secs[0]),
+            engine(self.secs[1]),
+            engine(self.secs[2]),
+            self.secs[0] / self.secs[1],
+            self.secs[1] / self.secs[2],
+        )
+    }
 }
 
 fn bench_exec(c: &mut Criterion) {
-    let mut w = Workbench::new(TestId::A, SCALE);
-    let r = w.tree_r(1024);
-    let s = w.tree_s(1024);
+    let scale = if quick() { 0.02 } else { 0.05 };
+    let iters = if quick() { 30 } else { 50 };
+    let mut w = Workbench::new(TestId::A, scale);
+    let r = w.tree_r(PAGE);
+    let s = w.tree_s(PAGE);
     let cfg = JoinConfig {
         collect_pairs: false,
         ..Default::default()
     };
 
-    let mut g = c.benchmark_group("exec_streaming_vs_recursive");
+    let mut g = c.benchmark_group("exec_three_engines");
     g.sample_size(10);
-    g.bench_with_input(BenchmarkId::new("recursive", "sj4"), &cfg, |b, cfg| {
-        b.iter(|| run_recursive(&r, &s, cfg))
-    });
-    g.bench_with_input(BenchmarkId::new("cursor", "sj4"), &cfg, |b, cfg| {
-        b.iter(|| run_cursor(&r, &s, cfg))
-    });
+    for (plan, name) in [(JoinPlan::sj2(), "SJ2"), (JoinPlan::sj4(), "SJ4")] {
+        g.bench_with_input(BenchmarkId::new("recursive", name), &cfg, |b, cfg| {
+            b.iter(|| run_recursive(&r, &s, plan, cfg))
+        });
+        g.bench_with_input(BenchmarkId::new("cursor", name), &cfg, |b, cfg| {
+            b.iter(|| run_cursor(&r, &s, plan, cfg))
+        });
+        g.bench_with_input(BenchmarkId::new("raw", name), &cfg, |b, cfg| {
+            b.iter(|| run_raw(&r, &s, plan, cfg))
+        });
+    }
     g.finish();
 
-    // Record the pairs/sec comparison for the repo.
-    let iters = 10;
-    let (pairs_a, secs_recursive) = measure(|| run_recursive(&r, &s, &cfg), iters);
-    let (pairs_b, secs_cursor) = measure(|| run_cursor(&r, &s, &cfg), iters);
-    assert_eq!(
-        pairs_a, pairs_b,
-        "executors must agree before comparing speed"
-    );
+    // Record the pairs/sec comparison for the repo. The headline ratios
+    // (and the CI regression guard) come from the SJ2 block — the plan
+    // where pair enumeration, the target of the scratch arena and the
+    // compile-time metering, dominates the profile.
+    let sj2 = measure_plan(&r, &s, JoinPlan::sj2(), "SJ2", &cfg, iters);
+    let sj4 = measure_plan(&r, &s, JoinPlan::sj4(), "SJ4", &cfg, iters);
     let json = format!(
-        "{{\n  \"bench\": \"exec_streaming_vs_recursive\",\n  \"preset\": \"A\",\n  \"scale\": {SCALE},\n  \"plan\": \"SJ4\",\n  \"result_pairs\": {pairs_a},\n  \"iterations\": {iters},\n  \"recursive\": {{ \"secs_per_join\": {secs_recursive:.6}, \"pairs_per_sec\": {:.0} }},\n  \"cursor\": {{ \"secs_per_join\": {secs_cursor:.6}, \"pairs_per_sec\": {:.0} }},\n  \"cursor_over_recursive\": {:.4}\n}}\n",
-        pairs_a as f64 / secs_recursive,
-        pairs_b as f64 / secs_cursor,
-        secs_recursive / secs_cursor,
+        "{{\n  \"bench\": \"exec_three_engines\",\n  \"preset\": \"A\",\n  \"scale\": {scale},\n  \"page_bytes\": {PAGE},\n  \"iterations\": {iters},\n  \"plan\": \"{}\",\n  \"plans\": {{\n    \"{}\": {},\n    \"{}\": {}\n  }},\n  \"cursor_over_recursive\": {:.4},\n  \"raw_over_cursor\": {:.4}\n}}\n",
+        sj2.name,
+        sj2.name,
+        sj2.json(),
+        sj4.name,
+        sj4.json(),
+        sj2.secs[0] / sj2.secs[1],
+        sj2.secs[1] / sj2.secs[2],
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exec.json");
     let mut file = std::fs::File::create(path).expect("write BENCH_exec.json");

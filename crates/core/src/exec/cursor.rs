@@ -8,27 +8,48 @@
 //! pipelined multi-way stages, network sinks) see the first pair after a
 //! single root-to-leaf descent.
 //!
-//! The cursor is generic over [`NodeAccess`], the pluggable page-access
-//! layer: sequential joins plug in a private [`rsj_storage::BufferPool`],
-//! shared-buffer parallel workers plug in a
-//! [`rsj_storage::SharedBufferHandle`], and `&mut A` works for reusing one
-//! accountant across many cursors.
+//! The cursor is generic over two pluggable layers:
 //!
-//! **Accounting parity.** The state machine replays the recursive driver's
-//! exact sequence of buffer operations — the order of `access`/`pin`/
-//! `unpin` calls is observable through the LRU, so each frame suspends and
-//! resumes precisely where the recursion would. For every sequential plan
-//! the cursor reports bit-identical `disk_accesses`, `join_comparisons`
-//! and `sort_comparisons` to [`crate::exec::recursive_spatial_join`]; the
-//! differential tests in [`crate::exec`] enforce this.
+//! * [`NodeAccess`] — the page-access boundary: sequential joins plug in a
+//!   private [`rsj_storage::BufferPool`], shared-buffer parallel workers a
+//!   [`rsj_storage::SharedBufferHandle`], and `&mut A` works for reusing
+//!   one accountant across many cursors.
+//! * [`Meter`] — the comparison-accounting boundary: [`CmpCounter`]
+//!   (constructors [`JoinCursor::new`]/[`JoinCursor::with_tasks`]) keeps
+//!   the paper's CPU accounting bit-identical to the recursive oracle;
+//!   the zero-sized [`NoOp`] meter ([`JoinCursor::raw`]/
+//!   [`JoinCursor::raw_with_tasks`]) compiles the accounting out entirely
+//!   — the production "raw" mode, same result-pair multiset with no
+//!   metering overhead.
+//!
+//! **Zero allocation in steady state.** All per-node-pair buffers —
+//! effective rectangles, restriction index lists, sweep output, z-order
+//! keys, window-query hit lists and the vectors owned by suspended frames
+//! — live in an [`ExecScratch`] arena owned by the cursor. Completed
+//! frames return their vectors to the arena's pools, so after warm-up the
+//! hot path performs no heap allocation (the paper's plane sweep needs
+//! "no auxiliary data structure"; the executor now matches it).
+//!
+//! **Accounting parity.** With the counting meter, the state machine
+//! replays the recursive driver's exact sequence of buffer operations —
+//! the order of `access`/`pin`/`unpin` calls is observable through the
+//! LRU, so each frame suspends and resumes precisely where the recursion
+//! would. For every sequential plan the cursor reports bit-identical
+//! `disk_accesses`, `join_comparisons` and `sort_comparisons` to
+//! [`crate::exec::recursive_spatial_join`]; the differential tests in
+//! [`crate::exec`] enforce this. The per-side remaining-degree tables
+//! (which replace the old O(n²) `count_remaining` scans) and the
+//! sort-and-group batched-window construction (which replaces a
+//! `HashMap`) are pure data-structure swaps: they never change which
+//! pages are touched in which order.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::exec::{TAG_R, TAG_S};
 use crate::plan::{DiffHeightPolicy, Enumerate, JoinPlan};
 use crate::stats::JoinStats;
-use crate::sweep::{sort_indices_by_xl, sorted_intersection_test};
-use rsj_geom::{zorder, CmpCounter, Rect};
+use crate::sweep::{sort_keyed_by_xl, sorted_intersection_test_keyed, KeyedRect};
+use rsj_geom::{zorder, CmpCounter, Meter, NoOp, Rect};
 use rsj_rtree::{DataId, Entry, RTree};
 use rsj_storage::{IoStats, NodeAccess, PageId};
 
@@ -51,7 +72,7 @@ enum PinSide {
 }
 
 /// Resume point of a directory/directory frame.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 enum DirState {
     /// Find the next unprocessed pair and descend into it.
     NextOuter,
@@ -67,24 +88,37 @@ enum DirState {
 
 /// Suspended directory/directory node pair (the `schedule_pairs` loop of
 /// the recursion, unrolled into a resumable state).
+///
+/// `rem_r`/`rem_s` are the per-side remaining-degree tables: `rem_r[ir]`
+/// counts the not-yet-processed pairs whose R entry is `ir` (likewise
+/// `rem_s[js]`). Because the outer cursor `k` only ever moves forward past
+/// completed pairs, every unprocessed pair lies at an index `> k`, so
+/// these tables answer the §4.3 degree question ("number of intersections
+/// […] not processed until now") in O(1) where the old code rescanned the
+/// pair list twice per pair. Empty when the plan does not pin.
 #[derive(Debug)]
 struct DirFrame {
     rp: PageId,
     sp: PageId,
     pairs: Vec<DirPair>,
     done: Vec<bool>,
+    rem_r: Vec<u32>,
+    rem_s: Vec<u32>,
     k: usize,
     state: DirState,
 }
 
-/// Suspended leaf/leaf node pair emitting one qualifying entry pair per
-/// step.
-#[derive(Debug)]
-struct LeafFrame {
-    rp: PageId,
-    sp: PageId,
-    pairs: Vec<(usize, usize)>,
-    pos: usize,
+impl DirFrame {
+    /// Marks pair `idx` processed, maintaining the degree tables.
+    #[inline]
+    fn mark_done(&mut self, idx: usize) {
+        self.done[idx] = true;
+        if !self.rem_r.is_empty() {
+            let p = self.pairs[idx];
+            self.rem_r[p.ir] -= 1;
+            self.rem_s[p.js] -= 1;
+        }
+    }
 }
 
 /// Resume point of a mixed directory × leaf frame (§4.4 policies).
@@ -93,10 +127,12 @@ enum MixedState {
     /// Policy (a): one window query per pair, in order.
     PerPair { i: usize },
     /// Policy (b): one batched traversal per directory entry, in
-    /// first-occurrence order.
+    /// first-occurrence order. `windows` holds the `(leaf index, window)`
+    /// batches back to back; `runs[i] = (dir entry, start, end)` delimits
+    /// the batch of the `i`-th directory entry.
     Batched {
-        order: Vec<usize>,
-        windows: HashMap<usize, Vec<(usize, Rect)>>,
+        windows: Vec<(usize, Rect)>,
+        runs: Vec<(usize, u32, u32)>,
         i: usize,
     },
     /// Policy (c): sweep order with pinning — the outer loop.
@@ -112,6 +148,9 @@ enum MixedState {
 }
 
 /// Suspended directory × leaf node pair.
+///
+/// `rem[id]` counts the not-yet-processed pairs of directory entry `id`
+/// (the sweep-pinned policy's degree table); empty for the other policies.
 #[derive(Debug)]
 struct MixedFrame {
     dir_tag: u8,
@@ -121,6 +160,7 @@ struct MixedFrame {
     /// `(dir entry index, leaf entry index)`, sweep-ordered under
     /// plane-sweep enumeration.
     pairs: Vec<(usize, usize)>,
+    rem: Vec<u32>,
     state: MixedState,
 }
 
@@ -134,18 +174,215 @@ enum Frame {
         rect: Rect,
     },
     Dir(DirFrame),
-    Leaf(LeafFrame),
     Mixed(MixedFrame),
+}
+
+/// Reusable buffers for everything the executor would otherwise allocate
+/// per node pair: the scratch arena of the hot path.
+///
+/// The `*_pool` fields recycle the vectors owned by suspended frames;
+/// the rest are flat scratch space reused within one `visit` call. After
+/// the deepest traversal level has been reached once, the cursor performs
+/// no further heap allocation.
+#[derive(Debug, Default)]
+struct ExecScratch {
+    /// Effective (ε-expanded) R-side rectangles tagged with entry indices,
+    /// restriction-filtered; the sweep sorts and scans this contiguously.
+    akeyed: Vec<KeyedRect>,
+    /// S-side rectangles tagged with entry indices, restriction-filtered.
+    bkeyed: Vec<KeyedRect>,
+    /// Sort permutation scratch (counting-mode keyed sort).
+    perm: Vec<usize>,
+    /// Packed-key scratch (raw-mode keyed sort).
+    packed: Vec<u128>,
+    /// Keyed permutation-apply scratch.
+    ktmp: Vec<KeyedRect>,
+    /// Enumeration output: qualifying `(i, j)` pairs in schedule order.
+    raw: Vec<(usize, usize)>,
+    /// Z-order keys of directory-pair intersection rectangles.
+    zkeys: Vec<u64>,
+    /// Sort permutation for the z-order schedule.
+    zorder: Vec<usize>,
+    /// First-occurrence rank per directory entry (batched grouping).
+    first_seen: Vec<u32>,
+    /// Sorted copy of the mixed pairs during batched grouping.
+    group: Vec<(usize, usize)>,
+    /// Window-query hit list.
+    hits: Vec<(Rect, DataId)>,
+    /// Multi-window-query hit list.
+    multi_hits: Vec<(usize, Rect, DataId)>,
+    /// Recycled `DirFrame::pairs` vectors.
+    dir_pool: Vec<Vec<DirPair>>,
+    /// Recycled `done` bitmaps (directory and mixed frames).
+    done_pool: Vec<Vec<bool>>,
+    /// Recycled remaining-degree tables.
+    rem_pool: Vec<Vec<u32>>,
+    /// Recycled `MixedFrame::pairs` vectors.
+    pair_pool: Vec<Vec<(usize, usize)>>,
+    /// Recycled batched-window vectors.
+    win_pool: Vec<Vec<(usize, Rect)>>,
+    /// Recycled batched-run vectors.
+    run_pool: Vec<Vec<(usize, u32, u32)>>,
+}
+
+impl ExecScratch {
+    #[inline]
+    fn take_dir(&mut self) -> Vec<DirPair> {
+        let mut v = self.dir_pool.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    #[inline]
+    fn take_done(&mut self) -> Vec<bool> {
+        let mut v = self.done_pool.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    #[inline]
+    fn take_rem(&mut self) -> Vec<u32> {
+        let mut v = self.rem_pool.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    #[inline]
+    fn take_pairs(&mut self) -> Vec<(usize, usize)> {
+        let mut v = self.pair_pool.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+}
+
+/// The effective rectangle of an entry: virtually ε-expanded for distance
+/// joins, the plain MBR otherwise.
+#[inline(always)]
+fn eff_rect(e: &Entry, eps: f64) -> Rect {
+    if eps > 0.0 {
+        e.rect.expanded(eps)
+    } else {
+        e.rect
+    }
+}
+
+/// Fills `keyed` with the (effective) entry rectangles that pass the
+/// search-space restriction, in entry order — the same tests in the same
+/// order as the recursive driver's restriction scan.
+#[inline]
+fn restrict_into<M: Meter>(
+    entries: &[Entry],
+    eps: f64,
+    restrict: bool,
+    rect: &Rect,
+    cmp: &mut M,
+    keyed: &mut Vec<KeyedRect>,
+) {
+    keyed.clear();
+    keyed.reserve(entries.len());
+    if restrict {
+        for (i, e) in entries.iter().enumerate() {
+            let r = eff_rect(e, eps);
+            if r.intersects_counted(rect, cmp) {
+                keyed.push((r, i as u32));
+            }
+        }
+    } else {
+        keyed.extend(
+            entries
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (eff_rect(e, eps), i as u32)),
+        );
+    }
+}
+
+/// Enumerates qualifying `(index into a, index into b)` pairs into `out` —
+/// identical logic and counting to the recursive driver, but working on
+/// contiguous keyed scratch arrays instead of allocating rect and index
+/// vectors per node pair.
+#[allow(clippy::too_many_arguments)]
+fn enumerate_pairs<M: Meter>(
+    plan: &JoinPlan,
+    a_entries: &[Entry],
+    a_eps: f64,
+    b_entries: &[Entry],
+    b_eps: f64,
+    rect: &Rect,
+    akeyed: &mut Vec<KeyedRect>,
+    bkeyed: &mut Vec<KeyedRect>,
+    perm: &mut Vec<usize>,
+    packed: &mut Vec<u128>,
+    ktmp: &mut Vec<KeyedRect>,
+    cmp: &mut M,
+    sort_cmp: &mut M,
+    out: &mut Vec<(usize, usize)>,
+) {
+    restrict_into(a_entries, a_eps, plan.restrict_space, rect, cmp, akeyed);
+    restrict_into(b_entries, b_eps, plan.restrict_space, rect, cmp, bkeyed);
+    out.clear();
+    match plan.enumerate {
+        Enumerate::NestedLoop => {
+            // SpatialJoin1: outer loop over S (here: `b`), inner over R.
+            if M::COUNTING {
+                for &(brect, j) in bkeyed.iter() {
+                    for &(arect, i) in akeyed.iter() {
+                        if arect.intersects_counted(&brect, cmp) {
+                            out.push((i as usize, j as usize));
+                        }
+                    }
+                }
+            } else if plan.restrict_space {
+                // Restriction survivors all overlap the shared search
+                // space, so the short-circuit exits are coin flips — a
+                // branchless test over the contiguous scratch beats the
+                // mispredictions.
+                for &(brect, j) in bkeyed.iter() {
+                    for &(arect, i) in akeyed.iter() {
+                        let hit = (arect.xl <= brect.xu)
+                            & (brect.xl <= arect.xu)
+                            & (arect.yl <= brect.yu)
+                            & (brect.yl <= arect.yu);
+                        if hit {
+                            out.push((i as usize, j as usize));
+                        }
+                    }
+                }
+            } else {
+                // Unrestricted scans are dominated by far-apart pairs that
+                // fail the first x comparison predictably — keep the
+                // short-circuit branch structure (spelled out so the
+                // optimizer doesn't flatten it into straight-line code).
+                for &(brect, j) in bkeyed.iter() {
+                    for &(arect, i) in akeyed.iter() {
+                        if arect.xl > brect.xu || brect.xl > arect.xu {
+                            continue;
+                        }
+                        if (arect.yl <= brect.yu) & (brect.yl <= arect.yu) {
+                            out.push((i as usize, j as usize));
+                        }
+                    }
+                }
+            }
+        }
+        Enumerate::PlaneSweep => {
+            sort_keyed_by_xl(akeyed, perm, packed, ktmp, sort_cmp);
+            sort_keyed_by_xl(bkeyed, perm, packed, ktmp, sort_cmp);
+            sorted_intersection_test_keyed(akeyed, bkeyed, cmp, out);
+        }
+    }
 }
 
 /// A streaming MBR-spatial-join: yields `(Id(r), Id(s))` pairs one at a
 /// time while charging all I/O to a caller-supplied [`NodeAccess`].
 ///
-/// Construct with [`JoinCursor::new`] for a whole-tree join or
+/// Construct with [`JoinCursor::new`] for a whole-tree counted join,
 /// [`JoinCursor::with_tasks`] for an explicit task list (the parallel
-/// worker unit), iterate, then read [`JoinCursor::stats`].
+/// worker unit), or the [`JoinCursor::raw`]/[`JoinCursor::raw_with_tasks`]
+/// twins for the meter-free raw mode; iterate, then read
+/// [`JoinCursor::stats`].
 #[derive(Debug)]
-pub struct JoinCursor<'t, A: NodeAccess> {
+pub struct JoinCursor<'t, A: NodeAccess, M: Meter = CmpCounter> {
     r: &'t RTree,
     s: &'t RTree,
     plan: JoinPlan,
@@ -153,8 +390,9 @@ pub struct JoinCursor<'t, A: NodeAccess> {
     eps: f64,
     zframe: Rect,
     access: A,
-    cmp: CmpCounter,
-    sort_cmp: CmpCounter,
+    cmp: M,
+    sort_cmp: M,
+    /// Pairs yielded through `Iterator::next` so far.
     emitted: u64,
     page_bytes: usize,
     tasks: VecDeque<(PageId, PageId, Rect)>,
@@ -168,14 +406,64 @@ pub struct JoinCursor<'t, A: NodeAccess> {
     io_baseline: IoStats,
     stack: Vec<Frame>,
     pending: VecDeque<(DataId, DataId)>,
+    scratch: ExecScratch,
 }
+
+/// A [`JoinCursor`] running with the zero-cost [`NoOp`] meter: the raw
+/// production mode. Same result-pair multiset, no comparison accounting.
+pub type RawJoinCursor<'t, A> = JoinCursor<'t, A, NoOp>;
 
 impl<'t, A: NodeAccess> JoinCursor<'t, A> {
     /// Cursor over the full join of `r` and `s` under `plan`, charging all
-    /// page accesses to `access`. Both root pages are charged immediately
-    /// (the recursion hands SpatialJoin1 both root nodes), even when a
-    /// tree is empty or the root MBRs are disjoint.
+    /// page accesses to `access` and metering comparisons with a
+    /// [`CmpCounter`] — the reproduction-faithful counted mode. Both root
+    /// pages are charged immediately (the recursion hands SpatialJoin1
+    /// both root nodes), even when a tree is empty or the root MBRs are
+    /// disjoint.
     pub fn new(r: &'t RTree, s: &'t RTree, plan: JoinPlan, access: A) -> Self {
+        Self::metered(r, s, plan, access)
+    }
+
+    /// Counted cursor over an explicit list of `(R page, S page, search
+    /// space)` tasks — the worker unit of the parallel join. Each task's
+    /// two pages are charged when the task starts; root accesses are the
+    /// caller's business.
+    pub fn with_tasks(
+        r: &'t RTree,
+        s: &'t RTree,
+        plan: JoinPlan,
+        access: A,
+        tasks: impl IntoIterator<Item = (PageId, PageId, Rect)>,
+    ) -> Self {
+        Self::metered_with_tasks(r, s, plan, access, tasks)
+    }
+}
+
+impl<'t, A: NodeAccess> RawJoinCursor<'t, A> {
+    /// [`JoinCursor::new`] with the [`NoOp`] meter: comparison accounting
+    /// compiles out entirely. `stats()` reports zero comparisons; I/O is
+    /// still charged through `access` (pinning changes what the buffer
+    /// does, not just what it reports).
+    pub fn raw(r: &'t RTree, s: &'t RTree, plan: JoinPlan, access: A) -> Self {
+        Self::metered(r, s, plan, access)
+    }
+
+    /// [`JoinCursor::with_tasks`] with the [`NoOp`] meter.
+    pub fn raw_with_tasks(
+        r: &'t RTree,
+        s: &'t RTree,
+        plan: JoinPlan,
+        access: A,
+        tasks: impl IntoIterator<Item = (PageId, PageId, Rect)>,
+    ) -> Self {
+        Self::metered_with_tasks(r, s, plan, access, tasks)
+    }
+}
+
+impl<'t, A: NodeAccess, M: Meter> JoinCursor<'t, A, M> {
+    /// Whole-tree cursor with an explicit meter type (see
+    /// [`JoinCursor::new`] / [`JoinCursor::raw`] for the common cases).
+    pub fn metered(r: &'t RTree, s: &'t RTree, plan: JoinPlan, access: A) -> Self {
         let mut cursor = Self::empty(r, s, plan, access, false);
         cursor.charge(TAG_R, r.root());
         cursor.charge(TAG_S, s.root());
@@ -187,11 +475,9 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
         cursor
     }
 
-    /// Cursor over an explicit list of `(R page, S page, search space)`
-    /// tasks — the worker unit of the parallel join. Each task's two pages
-    /// are charged when the task starts; root accesses are the caller's
-    /// business.
-    pub fn with_tasks(
+    /// Task-list cursor with an explicit meter type (see
+    /// [`JoinCursor::with_tasks`] / [`JoinCursor::raw_with_tasks`]).
+    pub fn metered_with_tasks(
         r: &'t RTree,
         s: &'t RTree,
         plan: JoinPlan,
@@ -222,8 +508,8 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
             eps,
             zframe: r.mbr().union(&s.mbr()),
             access,
-            cmp: CmpCounter::new(),
-            sort_cmp: CmpCounter::new(),
+            cmp: M::default(),
+            sort_cmp: M::default(),
             emitted: 0,
             page_bytes: r.params().page_bytes,
             tasks: VecDeque::new(),
@@ -231,14 +517,17 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
             io_baseline,
             stack: Vec::new(),
             pending: VecDeque::new(),
+            scratch: ExecScratch::default(),
         }
     }
 
     /// Statistics accumulated *by this cursor* so far: I/O is reported
     /// relative to the accountant's tallies at construction, so reusing
-    /// one accountant across several cursors never double-counts. Totals
-    /// are final once the iterator is exhausted; a cursor dropped
-    /// mid-stream reports the partial work actually performed.
+    /// one accountant across several cursors never double-counts.
+    /// `result_pairs` counts pairs already yielded through the iterator.
+    /// Totals are final once the iterator is exhausted; a cursor dropped
+    /// mid-stream reports the partial work actually performed. A raw
+    /// ([`NoOp`]-metered) cursor reports zero comparisons.
     pub fn stats(&self) -> JoinStats {
         let io = self.access.io_stats();
         JoinStats {
@@ -259,6 +548,7 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
         self.access
     }
 
+    #[inline]
     fn tree(&self, tag: u8) -> &'t RTree {
         if tag == TAG_R {
             self.r
@@ -268,34 +558,21 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
     }
 
     /// Charges one page access for `tag`/`page` at its path-buffer depth.
+    #[inline]
     fn charge(&mut self, tag: u8, page: PageId) {
         let tree = self.tree(tag);
         let depth = tree.depth_of_level(tree.node(page).level);
         self.access.access(tag, page, depth);
     }
 
+    #[inline]
     fn emit(&mut self, rid: DataId, sid: DataId) {
-        self.emitted += 1;
         self.pending.push_back((rid, sid));
-    }
-
-    /// Entry rectangles of an R-side node, virtually expanded by ε for
-    /// distance joins; a no-op for the other predicates.
-    fn eff_rects(&self, entries: &[Entry]) -> Vec<Rect> {
-        if self.eps > 0.0 {
-            entries.iter().map(|e| e.rect.expanded(self.eps)).collect()
-        } else {
-            entries.iter().map(|e| e.rect).collect()
-        }
-    }
-
-    /// Plain entry rectangles (S side).
-    fn plain_rects(entries: &[Entry]) -> Vec<Rect> {
-        entries.iter().map(|e| e.rect).collect()
     }
 
     /// Final data-pair test beyond MBR intersection (see the recursion's
     /// twin for the predicate-by-predicate rationale).
+    #[inline]
     fn leaf_predicate_holds(&mut self, r_rect: &Rect, s_rect: &Rect) -> bool {
         use crate::plan::JoinPredicate::*;
         match self.plan.predicate {
@@ -305,49 +582,39 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
         }
     }
 
-    /// Enumerates qualifying `(index into a, index into b)` pairs —
-    /// identical logic and counting to the recursive driver.
-    fn enumerate_pairs(&mut self, a: &[Rect], b: &[Rect], rect: &Rect) -> Vec<(usize, usize)> {
-        let ai: Vec<usize> = if self.plan.restrict_space {
-            (0..a.len())
-                .filter(|&i| a[i].intersects_counted(rect, &mut self.cmp))
-                .collect()
-        } else {
-            (0..a.len()).collect()
-        };
-        let bi: Vec<usize> = if self.plan.restrict_space {
-            (0..b.len())
-                .filter(|&j| b[j].intersects_counted(rect, &mut self.cmp))
-                .collect()
-        } else {
-            (0..b.len()).collect()
-        };
-        match self.plan.enumerate {
-            Enumerate::NestedLoop => {
-                let mut out = Vec::new();
-                for &j in &bi {
-                    for &i in &ai {
-                        if a[i].intersects_counted(&b[j], &mut self.cmp) {
-                            out.push((i, j));
-                        }
-                    }
-                }
-                out
-            }
-            Enumerate::PlaneSweep => {
-                let mut ai = ai;
-                let mut bi = bi;
-                sort_indices_by_xl(a, &mut ai, &mut self.sort_cmp);
-                sort_indices_by_xl(b, &mut bi, &mut self.sort_cmp);
-                let mut out = Vec::new();
-                sorted_intersection_test(a, &ai, b, &bi, &mut self.cmp, &mut out);
-                out
-            }
-        }
+    /// Runs the enumeration for the node pair `(a_entries, b_entries)`
+    /// into `scratch.raw`. `a_eps` is the R-side ε expansion (the side
+    /// carrying it depends on the mixed-pair orientation).
+    #[inline]
+    fn enumerate_into_scratch(
+        &mut self,
+        a_entries: &[Entry],
+        a_eps: f64,
+        b_entries: &[Entry],
+        b_eps: f64,
+        rect: &Rect,
+    ) {
+        enumerate_pairs(
+            &self.plan,
+            a_entries,
+            a_eps,
+            b_entries,
+            b_eps,
+            rect,
+            &mut self.scratch.akeyed,
+            &mut self.scratch.bkeyed,
+            &mut self.scratch.perm,
+            &mut self.scratch.packed,
+            &mut self.scratch.ktmp,
+            &mut self.cmp,
+            &mut self.sort_cmp,
+            &mut self.scratch.raw,
+        );
     }
 
     /// Advances the machine by one unit of work. Returns `false` when all
     /// tasks are exhausted.
+    #[inline]
     fn step(&mut self) -> bool {
         let Some(frame) = self.stack.pop() else {
             let Some((rp, sp, rect)) = self.tasks.pop_front() else {
@@ -363,64 +630,90 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
         match frame {
             Frame::Visit { rp, sp, rect } => self.visit(rp, sp, rect),
             Frame::Dir(f) => self.step_dir(f),
-            Frame::Leaf(f) => self.step_leaf(f),
             Frame::Mixed(f) => self.step_mixed(f),
         }
         true
     }
 
-    /// Classifies a charged node pair and installs the matching frame,
-    /// running the pair enumeration (the recursion does both in one call).
+    /// Classifies a charged node pair, runs the pair enumeration, and
+    /// either drains it on the spot (leaf/leaf) or installs the matching
+    /// resumable frame.
     fn visit(&mut self, rp: PageId, sp: PageId, rect: Rect) {
         let rn = self.r.node(rp);
         let sn = self.s.node(sp);
         match (rn.is_leaf(), sn.is_leaf()) {
             (true, true) => {
-                let arects = self.eff_rects(&rn.entries);
-                let brects = Self::plain_rects(&sn.entries);
-                let pairs = self.enumerate_pairs(&arects, &brects, &rect);
-                self.stack.push(Frame::Leaf(LeafFrame {
-                    rp,
-                    sp,
-                    pairs,
-                    pos: 0,
-                }));
+                self.enumerate_into_scratch(&rn.entries, self.eps, &sn.entries, 0.0, &rect);
+                // Drain the whole leaf frame into `pending` in one step —
+                // no suspended frame, no per-pair pop/re-push cycle.
+                self.pending.reserve(self.scratch.raw.len());
+                for idx in 0..self.scratch.raw.len() {
+                    let (ir, js) = self.scratch.raw[idx];
+                    let (r_rect, s_rect) = (rn.entries[ir].rect, sn.entries[js].rect);
+                    if self.leaf_predicate_holds(&r_rect, &s_rect) {
+                        let rid = rn.entries[ir].child.data().expect("leaf entry");
+                        let sid = sn.entries[js].child.data().expect("leaf entry");
+                        self.emit(rid, sid);
+                    }
+                }
             }
             (false, false) => {
-                let arects = self.eff_rects(&rn.entries);
-                let brects = Self::plain_rects(&sn.entries);
-                let raw = self.enumerate_pairs(&arects, &brects, &rect);
-                let mut pairs: Vec<DirPair> = raw
-                    .into_iter()
-                    .map(|(ir, js)| DirPair {
+                self.enumerate_into_scratch(&rn.entries, self.eps, &sn.entries, 0.0, &rect);
+                let eps = self.eps;
+                let mut pairs = self.scratch.take_dir();
+                pairs.extend(self.scratch.raw.iter().map(|&(ir, js)| {
+                    DirPair {
                         ir,
                         js,
-                        rect: arects[ir]
-                            .intersection(&brects[js])
+                        rect: eff_rect(&rn.entries[ir], eps)
+                            .intersection(&sn.entries[js].rect)
                             .expect("qualifying pair must intersect"),
-                    })
-                    .collect();
+                    }
+                }));
                 if self.plan.zorders() {
                     // Local z-order (§4.3); comparator invocations charged
                     // like a sort, exactly as in the recursion.
                     let frame = self.zframe;
-                    let keys: Vec<u64> = pairs
-                        .iter()
-                        .map(|p| zorder::z_center(&p.rect, &frame, 16))
-                        .collect();
-                    let mut order: Vec<usize> = (0..pairs.len()).collect();
-                    order.sort_by(|&x, &y| {
-                        self.sort_cmp.bump();
-                        keys[x].cmp(&keys[y])
-                    });
-                    pairs = order.into_iter().map(|k| pairs[k]).collect();
+                    let scratch = &mut self.scratch;
+                    scratch.zkeys.clear();
+                    scratch
+                        .zkeys
+                        .extend(pairs.iter().map(|p| zorder::z_center(&p.rect, &frame, 16)));
+                    scratch.zorder.clear();
+                    scratch.zorder.extend(0..pairs.len());
+                    let keys = &scratch.zkeys;
+                    if M::COUNTING {
+                        let sort_cmp = &mut self.sort_cmp;
+                        scratch.zorder.sort_by(|&x, &y| {
+                            sort_cmp.bump();
+                            keys[x].cmp(&keys[y])
+                        });
+                    } else {
+                        scratch.zorder.sort_unstable_by_key(|&x| keys[x]);
+                    }
+                    let mut sorted = scratch.take_dir();
+                    sorted.extend(scratch.zorder.iter().map(|&k| pairs[k]));
+                    scratch.dir_pool.push(pairs);
+                    pairs = sorted;
                 }
-                let done = vec![false; pairs.len()];
+                let mut done = self.scratch.take_done();
+                done.resize(pairs.len(), false);
+                let (mut rem_r, mut rem_s) = (self.scratch.take_rem(), self.scratch.take_rem());
+                if self.plan.pins() {
+                    rem_r.resize(rn.entries.len(), 0);
+                    rem_s.resize(sn.entries.len(), 0);
+                    for p in &pairs {
+                        rem_r[p.ir] += 1;
+                        rem_s[p.js] += 1;
+                    }
+                }
                 self.stack.push(Frame::Dir(DirFrame {
                     rp,
                     sp,
                     pairs,
                     done,
+                    rem_r,
+                    rem_s,
                     k: 0,
                     state: DirState::NextOuter,
                 }));
@@ -443,42 +736,70 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
         let leaf_node = self.tree(leaf_tag).node(leaf_page);
         // R-side rectangles carry the distance-join expansion, whichever
         // side of the mixed pair they are on.
-        let dir_rects = if dir_tag == TAG_R {
-            self.eff_rects(&dir_node.entries)
-        } else {
-            Self::plain_rects(&dir_node.entries)
-        };
-        let leaf_rects = if leaf_tag == TAG_R {
-            self.eff_rects(&leaf_node.entries)
-        } else {
-            Self::plain_rects(&leaf_node.entries)
-        };
-        let pairs = self.enumerate_pairs(&dir_rects, &leaf_rects, &rect);
+        let dir_eps = if dir_tag == TAG_R { self.eps } else { 0.0 };
+        let leaf_eps = if leaf_tag == TAG_R { self.eps } else { 0.0 };
+        self.enumerate_into_scratch(
+            &dir_node.entries,
+            dir_eps,
+            &leaf_node.entries,
+            leaf_eps,
+            &rect,
+        );
+        let mut pairs = self.scratch.take_pairs();
+        pairs.extend_from_slice(&self.scratch.raw);
+        let mut rem = self.scratch.take_rem();
         let state = match self.plan.diff_height {
             DiffHeightPolicy::PerPair => MixedState::PerPair { i: 0 },
             DiffHeightPolicy::Batched => {
                 // Group the leaf windows per directory entry, preserving
-                // first-occurrence order.
-                let mut order: Vec<usize> = Vec::new();
-                let mut windows: HashMap<usize, Vec<(usize, Rect)>> = HashMap::new();
-                for &(id, il) in &pairs {
-                    let w = leaf_node.entries[il].rect.expanded(self.eps);
-                    let slot = windows.entry(id).or_default();
-                    if slot.is_empty() {
-                        order.push(id);
+                // first-occurrence order: rank each directory entry by
+                // first appearance, stable-sort a scratch copy of the
+                // pairs by that rank, and cut the sorted run into batches.
+                // Equivalent to the old HashMap grouping, without hashing.
+                let scratch = &mut self.scratch;
+                scratch.first_seen.clear();
+                scratch.first_seen.resize(dir_node.entries.len(), u32::MAX);
+                let mut rank = 0u32;
+                for &(id, _) in &pairs {
+                    if scratch.first_seen[id] == u32::MAX {
+                        scratch.first_seen[id] = rank;
+                        rank += 1;
                     }
-                    slot.push((il, w));
+                }
+                scratch.group.clear();
+                scratch.group.extend_from_slice(&pairs);
+                let first_seen = &scratch.first_seen;
+                scratch.group.sort_by_key(|&(id, _)| first_seen[id]);
+                let mut windows = scratch.win_pool.pop().unwrap_or_default();
+                windows.clear();
+                let mut runs = scratch.run_pool.pop().unwrap_or_default();
+                runs.clear();
+                for &(id, il) in &scratch.group {
+                    let w = leaf_node.entries[il].rect.expanded(self.eps);
+                    match runs.last_mut() {
+                        Some(&mut (last, _, ref mut end)) if last == id => *end += 1,
+                        _ => {
+                            let at = windows.len() as u32;
+                            runs.push((id, at, at + 1));
+                        }
+                    }
+                    windows.push((il, w));
                 }
                 MixedState::Batched {
-                    order,
                     windows,
+                    runs,
                     i: 0,
                 }
             }
-            DiffHeightPolicy::SweepPinned => MixedState::SweepOuter {
-                done: vec![false; pairs.len()],
-                k: 0,
-            },
+            DiffHeightPolicy::SweepPinned => {
+                rem.resize(dir_node.entries.len(), 0);
+                for &(id, _) in &pairs {
+                    rem[id] += 1;
+                }
+                let mut done = self.scratch.take_done();
+                done.resize(pairs.len(), false);
+                MixedState::SweepOuter { done, k: 0 }
+            }
         };
         self.stack.push(Frame::Mixed(MixedFrame {
             dir_tag,
@@ -486,6 +807,7 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
             leaf_tag,
             leaf_page,
             pairs,
+            rem,
             state,
         }));
     }
@@ -493,6 +815,7 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
     /// Charges the two child pages of a directory pair and pushes the
     /// child visit (the recursion's `process_dir_pair`). The parent frame
     /// must already be back on the stack.
+    #[inline]
     fn descend(&mut self, rp: PageId, sp: PageId, pair: DirPair) {
         let cr = RTree::child_page(&self.r.node(rp).entries[pair.ir]);
         let cs = RTree::child_page(&self.s.node(sp).entries[pair.js]);
@@ -505,6 +828,14 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
         });
     }
 
+    /// Returns a completed directory frame's buffers to the arena.
+    fn recycle_dir(&mut self, f: DirFrame) {
+        self.scratch.dir_pool.push(f.pairs);
+        self.scratch.done_pool.push(f.done);
+        self.scratch.rem_pool.push(f.rem_r);
+        self.scratch.rem_pool.push(f.rem_s);
+    }
+
     fn step_dir(&mut self, mut f: DirFrame) {
         match f.state {
             DirState::NextOuter => {
@@ -512,6 +843,7 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
                     f.k += 1;
                 }
                 if f.k == f.pairs.len() {
+                    self.recycle_dir(f);
                     return; // frame complete — stays popped
                 }
                 let pair = f.pairs[f.k];
@@ -521,17 +853,18 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
                 self.descend(rp, sp, pair);
             }
             DirState::AfterOuter => {
-                f.done[f.k] = true;
+                f.mark_done(f.k);
                 if !self.plan.pins() {
                     f.k += 1;
                     f.state = DirState::NextOuter;
                     self.stack.push(Frame::Dir(f));
                     return;
                 }
-                // Degree of both pages among the unprocessed pairs (§4.3).
+                // Degree of both pages among the unprocessed pairs (§4.3),
+                // read off the incrementally-maintained tables.
                 let DirPair { ir, js, .. } = f.pairs[f.k];
-                let deg_r = count_remaining(&f.pairs, &f.done, f.k, |p| p.ir == ir);
-                let deg_s = count_remaining(&f.pairs, &f.done, f.k, |p| p.js == js);
+                let deg_r = f.rem_r[ir];
+                let deg_s = f.rem_s[js];
                 if deg_r == 0 && deg_s == 0 {
                     f.k += 1;
                     f.state = DirState::NextOuter;
@@ -562,25 +895,27 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
                 self.stack.push(Frame::Dir(f));
             }
             DirState::Drain { side, page, mut l } => {
-                let matches = |p: &DirPair| match side {
-                    PinSide::R(ir) => p.ir == ir,
-                    PinSide::S(js) => p.js == js,
+                // The degree table tells us when the drain is dry without
+                // scanning the tail of the pair list.
+                let (rem, tag) = match side {
+                    PinSide::R(ir) => (f.rem_r[ir], TAG_R),
+                    PinSide::S(js) => (f.rem_s[js], TAG_S),
                 };
-                while l < f.pairs.len() && (f.done[l] || !matches(&f.pairs[l])) {
-                    l += 1;
-                }
-                if l == f.pairs.len() {
-                    let tag = match side {
-                        PinSide::R(_) => TAG_R,
-                        PinSide::S(_) => TAG_S,
-                    };
+                if rem == 0 {
                     self.access.unpin(tag, page);
                     f.k += 1;
                     f.state = DirState::NextOuter;
                     self.stack.push(Frame::Dir(f));
                     return;
                 }
-                f.done[l] = true;
+                let matches = |p: &DirPair| match side {
+                    PinSide::R(ir) => p.ir == ir,
+                    PinSide::S(js) => p.js == js,
+                };
+                while f.done[l] || !matches(&f.pairs[l]) {
+                    l += 1;
+                }
+                f.mark_done(l);
                 let pair = f.pairs[l];
                 let (rp, sp) = (f.rp, f.sp);
                 f.state = DirState::Drain {
@@ -594,26 +929,17 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
         }
     }
 
-    fn step_leaf(&mut self, mut f: LeafFrame) {
-        let Some(&(ir, js)) = f.pairs.get(f.pos) else {
-            return; // frame complete
-        };
-        f.pos += 1;
-        let rn = self.r.node(f.rp);
-        let sn = self.s.node(f.sp);
-        let (r_rect, s_rect) = (rn.entries[ir].rect, sn.entries[js].rect);
-        let rid = rn.entries[ir].child.data().expect("leaf entry");
-        let sid = sn.entries[js].child.data().expect("leaf entry");
-        self.stack.push(Frame::Leaf(f));
-        if self.leaf_predicate_holds(&r_rect, &s_rect) {
-            self.emit(rid, sid);
-        }
+    /// Returns a completed mixed frame's shared buffers to the arena.
+    fn recycle_mixed(&mut self, pairs: Vec<(usize, usize)>, rem: Vec<u32>) {
+        self.scratch.pair_pool.push(pairs);
+        self.scratch.rem_pool.push(rem);
     }
 
     fn step_mixed(&mut self, mut f: MixedFrame) {
         match f.state {
             MixedState::PerPair { i } => {
                 let Some(&(id, il)) = f.pairs.get(i) else {
+                    self.recycle_mixed(f.pairs, f.rem);
                     return; // frame complete
                 };
                 f.state = MixedState::PerPair { i: i + 1 };
@@ -621,42 +947,35 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
                 self.stack.push(Frame::Mixed(f));
                 self.window_query_pair(dt, dp, lt, lp, id, il);
             }
-            MixedState::Batched {
-                order,
-                mut windows,
-                i,
-            } => {
-                let Some(&id) = order.get(i) else {
+            MixedState::Batched { windows, runs, i } => {
+                let Some(&(id, start, end)) = runs.get(i) else {
+                    self.scratch.win_pool.push(windows);
+                    self.scratch.run_pool.push(runs);
+                    self.recycle_mixed(f.pairs, f.rem);
                     return; // frame complete
                 };
-                // Each id occurs in `order` exactly once, so its window
-                // batch can be moved out instead of cloned.
-                let ws = windows.remove(&id).expect("window batch present");
                 let (dt, dp, lt, lp) = (f.dir_tag, f.dir_page, f.leaf_tag, f.leaf_page);
+                self.multi_window_query(dt, dp, lt, lp, id, &windows[start as usize..end as usize]);
                 f.state = MixedState::Batched {
-                    order,
                     windows,
+                    runs,
                     i: i + 1,
                 };
                 self.stack.push(Frame::Mixed(f));
-                self.multi_window_query(dt, dp, lt, lp, id, &ws);
             }
             MixedState::SweepOuter { mut done, mut k } => {
                 while k < f.pairs.len() && done[k] {
                     k += 1;
                 }
                 if k == f.pairs.len() {
+                    self.scratch.done_pool.push(done);
+                    self.recycle_mixed(f.pairs, f.rem);
                     return; // frame complete
                 }
                 let (id, il) = f.pairs[k];
                 done[k] = true;
-                let deg = f
-                    .pairs
-                    .iter()
-                    .zip(done.iter())
-                    .skip(k + 1)
-                    .filter(|(&(pid, _), &d)| !d && pid == id)
-                    .count();
+                f.rem[id] -= 1;
+                let deg = f.rem[id];
                 let (dt, dp, lt, lp) = (f.dir_tag, f.dir_page, f.leaf_tag, f.leaf_page);
                 // The window query of pair k runs first either way (the
                 // recursion queries, then pins for the drain).
@@ -685,17 +1004,18 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
                 page,
                 mut l,
             } => {
-                while l < f.pairs.len() && (done[l] || f.pairs[l].0 != id) {
-                    l += 1;
-                }
-                if l == f.pairs.len() {
+                if f.rem[id] == 0 {
                     self.access.unpin(f.dir_tag, page);
                     f.state = MixedState::SweepOuter { done, k: k + 1 };
                     self.stack.push(Frame::Mixed(f));
                     return;
                 }
+                while done[l] || f.pairs[l].0 != id {
+                    l += 1;
+                }
                 let (_, il) = f.pairs[l];
                 done[l] = true;
+                f.rem[id] -= 1;
                 let (dt, dp, lt, lp) = (f.dir_tag, f.dir_page, f.leaf_tag, f.leaf_page);
                 f.state = MixedState::SweepDrain {
                     done,
@@ -732,7 +1052,8 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
         // absorbs it regardless of which tree is the directory side.
         let window = leaf_entry.rect.expanded(self.eps);
         let leaf_rect = leaf_entry.rect;
-        let mut hits = Vec::new();
+        let mut hits = std::mem::take(&mut self.scratch.hits);
+        hits.clear();
         dir_tree.window_query_charged(
             child,
             &window,
@@ -741,7 +1062,8 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
             &mut self.access,
             &mut hits,
         );
-        for (hit_rect, did) in hits {
+        self.pending.reserve(hits.len());
+        for &(hit_rect, did) in &hits {
             let (r_rect, s_rect) = if dir_tag == TAG_R {
                 (hit_rect, leaf_rect)
             } else {
@@ -756,6 +1078,7 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
                 self.emit(leaf_id, did);
             }
         }
+        self.scratch.hits = hits;
     }
 
     /// Policy (b) unit: all qualifying leaf windows of one directory entry
@@ -772,7 +1095,8 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
         let dir_tree = self.tree(dir_tag);
         let leaf_node = self.tree(leaf_tag).node(leaf_page);
         let child = RTree::child_page(&dir_tree.node(dir_page).entries[id]);
-        let mut hits = Vec::new();
+        let mut hits = std::mem::take(&mut self.scratch.multi_hits);
+        hits.clear();
         dir_tree.multi_window_query_charged(
             child,
             windows,
@@ -781,7 +1105,8 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
             &mut self.access,
             &mut hits,
         );
-        for (il, hit_rect, did) in hits {
+        self.pending.reserve(hits.len());
+        for &(il, hit_rect, did) in &hits {
             let leaf_rect = leaf_node.entries[il].rect;
             let (r_rect, s_rect) = if dir_tag == TAG_R {
                 (hit_rect, leaf_rect)
@@ -798,15 +1123,18 @@ impl<'t, A: NodeAccess> JoinCursor<'t, A> {
                 self.emit(leaf_id, did);
             }
         }
+        self.scratch.multi_hits = hits;
     }
 }
 
-impl<A: NodeAccess> Iterator for JoinCursor<'_, A> {
+impl<A: NodeAccess, M: Meter> Iterator for JoinCursor<'_, A, M> {
     type Item = (DataId, DataId);
 
+    #[inline]
     fn next(&mut self) -> Option<(DataId, DataId)> {
         loop {
             if let Some(pair) = self.pending.pop_front() {
+                self.emitted += 1;
                 return Some(pair);
             }
             if !self.step() {
@@ -814,18 +1142,4 @@ impl<A: NodeAccess> Iterator for JoinCursor<'_, A> {
             }
         }
     }
-}
-
-fn count_remaining(
-    pairs: &[DirPair],
-    done: &[bool],
-    after: usize,
-    pred: impl Fn(&DirPair) -> bool,
-) -> usize {
-    pairs
-        .iter()
-        .zip(done.iter())
-        .skip(after + 1)
-        .filter(|(p, &d)| !d && pred(p))
-        .count()
 }

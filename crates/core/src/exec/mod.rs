@@ -23,7 +23,7 @@
 pub mod cursor;
 pub mod recursive;
 
-pub use cursor::JoinCursor;
+pub use cursor::{JoinCursor, RawJoinCursor};
 pub use recursive::{recursive_spatial_join, recursive_subjoin};
 
 /// Buffer-pool store tag of tree R.
@@ -127,6 +127,40 @@ mod tests {
         }
     }
 
+    /// The per-side remaining-degree tables that replaced the O(n²)
+    /// `count_remaining` scans must leave the SJ4 pin/drain schedule — and
+    /// therefore every buffer outcome — untouched. Pinning decisions are
+    /// observable only through I/O, so this pins `disk_accesses` (and the
+    /// full stats) against the recursive oracle on a pinning-heavy fixture
+    /// across buffer sizes, including the zero-buffer regime where every
+    /// drain reordering shows up as a disk access.
+    #[test]
+    fn degree_tables_keep_pinning_io_identical() {
+        // Dense overlap → high pin degrees and long drains.
+        let a = grid_items(700, 0.0, 4.0, 6.0);
+        let b = grid_items(700, 1.0, 4.1, 6.0);
+        let (tr, ts) = (build_tree(&a, 200), build_tree(&b, 200));
+        for plan in [JoinPlan::sj4(), JoinPlan::sj5()] {
+            for buf_pages in [0usize, 2, 8, 64] {
+                let cfg = JoinConfig::with_buffer(buf_pages * 200);
+                let want = recursive_spatial_join(&tr, &ts, plan, &cfg);
+                let got = crate::spatial_join(&tr, &ts, plan, &cfg);
+                assert_eq!(
+                    got.stats.io.disk_accesses,
+                    want.stats.io.disk_accesses,
+                    "pin schedule diverged: plan {} buf {buf_pages}",
+                    plan.name()
+                );
+                assert_eq!(
+                    got.stats,
+                    want.stats,
+                    "plan {} buf {buf_pages}",
+                    plan.name()
+                );
+            }
+        }
+    }
+
     #[test]
     fn cursor_streams_incrementally() {
         let a = grid_items(300, 0.0, 7.0, 5.0);
@@ -184,7 +218,7 @@ mod tests {
             true,
             &tasks,
         );
-        let got = crate::join::run_subjoin(
+        let got = crate::join::run_subjoin::<rsj_geom::CmpCounter>(
             &tr,
             &ts,
             plan,

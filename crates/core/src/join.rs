@@ -23,7 +23,7 @@
 
 use crate::exec::JoinCursor;
 use crate::plan::{JoinConfig, JoinPlan};
-use rsj_geom::Rect;
+use rsj_geom::{Meter, NoOp, Rect};
 use rsj_rtree::{DataId, RTree};
 use rsj_storage::{BufferPool, PageId};
 
@@ -48,13 +48,34 @@ use crate::stats::JoinStats;
 /// [`JoinCursor`] over a private [`BufferPool`]; use the cursor directly to
 /// consume pairs incrementally.
 pub fn spatial_join(r: &RTree, s: &RTree, plan: JoinPlan, cfg: &JoinConfig) -> JoinResult {
+    spatial_join_metered::<rsj_geom::CmpCounter>(r, s, plan, cfg)
+}
+
+/// [`spatial_join`] in raw mode: the [`NoOp`] meter compiles all
+/// comparison accounting out of the hot path. Produces the same
+/// result-pair *multiset* as the counted join (pair order may differ
+/// where sort keys tie); `stats` report zero comparisons but full I/O.
+/// This is the production entry point when Table-4-style CPU accounting
+/// is not needed.
+pub fn spatial_join_fast(r: &RTree, s: &RTree, plan: JoinPlan, cfg: &JoinConfig) -> JoinResult {
+    spatial_join_metered::<NoOp>(r, s, plan, cfg)
+}
+
+/// The generic engine behind [`spatial_join`] (counting meter) and
+/// [`spatial_join_fast`] ([`NoOp`] meter).
+pub fn spatial_join_metered<M: Meter>(
+    r: &RTree,
+    s: &RTree,
+    plan: JoinPlan,
+    cfg: &JoinConfig,
+) -> JoinResult {
     let pool = BufferPool::with_policy(
         cfg.buffer_bytes,
         r.params().page_bytes,
         &[r.height() as usize, s.height() as usize],
         cfg.eviction,
     );
-    let cursor = JoinCursor::new(r, s, plan, pool);
+    let cursor = JoinCursor::<_, M>::metered(r, s, plan, pool);
     drain(cursor, cfg.collect_pairs)
 }
 
@@ -62,7 +83,7 @@ pub fn spatial_join(r: &RTree, s: &RTree, plan: JoinPlan, cfg: &JoinConfig) -> J
 /// buffer pool — the worker unit of the shared-nothing parallel join (§6
 /// future work). Root accesses are *not* charged here; the caller accounts
 /// for them once.
-pub(crate) fn run_subjoin(
+pub(crate) fn run_subjoin<M: Meter>(
     r: &RTree,
     s: &RTree,
     plan: JoinPlan,
@@ -77,13 +98,16 @@ pub(crate) fn run_subjoin(
         &[r.height() as usize, s.height() as usize],
         eviction,
     );
-    let cursor = JoinCursor::with_tasks(r, s, plan, pool, tasks.iter().copied());
+    let cursor = JoinCursor::<_, M>::metered_with_tasks(r, s, plan, pool, tasks.iter().copied());
     drain(cursor, collect)
 }
 
 /// Exhausts a cursor into a [`JoinResult`], materializing pairs only when
 /// asked to.
-fn drain<A: rsj_storage::NodeAccess>(mut cursor: JoinCursor<'_, A>, collect: bool) -> JoinResult {
+fn drain<A: rsj_storage::NodeAccess, M: Meter>(
+    mut cursor: JoinCursor<'_, A, M>,
+    collect: bool,
+) -> JoinResult {
     let mut pairs = Vec::new();
     if collect {
         pairs.extend(&mut cursor);

@@ -68,10 +68,13 @@ pub mod refine;
 pub mod stats;
 pub mod sweep;
 
-pub use exec::JoinCursor;
-pub use join::{spatial_join, JoinResult};
-pub use multiway::{multiway_join, MultiwayResult};
-pub use parallel::{parallel_spatial_join, parallel_spatial_join_with_mode, ParallelMode};
+pub use exec::{JoinCursor, RawJoinCursor};
+pub use join::{spatial_join, spatial_join_fast, spatial_join_metered, JoinResult};
+pub use multiway::{multiway_join, multiway_join_fast, MultiwayResult};
+pub use parallel::{
+    parallel_spatial_join, parallel_spatial_join_fast, parallel_spatial_join_with_mode,
+    ParallelMode,
+};
 pub use plan::{DiffHeightPolicy, Enumerate, JoinConfig, JoinPlan, JoinPredicate, Schedule};
 pub use refine::{id_join, object_join, ObjectRelation, RefineResult};
 pub use stats::{JoinStats, TimeSplit};

@@ -21,7 +21,7 @@
 
 use crate::exec::JoinCursor;
 use crate::plan::{JoinConfig, JoinPlan};
-use rsj_geom::{CmpCounter, Rect};
+use rsj_geom::{CmpCounter, Meter, NoOp, Rect};
 use rsj_rtree::{DataId, RTree};
 use rsj_storage::{BufferPool, IoStats};
 
@@ -46,6 +46,21 @@ pub struct MultiwayResult {
 /// join; probes use batched window queries. The predicate is common
 /// intersection of all k MBRs; `plan.predicate` must be `Intersects`.
 pub fn multiway_join(trees: &[&RTree], plan: JoinPlan, cfg: &JoinConfig) -> MultiwayResult {
+    multiway_join_metered::<CmpCounter>(trees, plan, cfg)
+}
+
+/// [`multiway_join`] in raw mode: the [`NoOp`] meter compiles comparison
+/// accounting out of the leading binary join and every probe pass. Same
+/// tuple multiset; `comparisons` reports zero.
+pub fn multiway_join_fast(trees: &[&RTree], plan: JoinPlan, cfg: &JoinConfig) -> MultiwayResult {
+    multiway_join_metered::<NoOp>(trees, plan, cfg)
+}
+
+fn multiway_join_metered<M: Meter>(
+    trees: &[&RTree],
+    plan: JoinPlan,
+    cfg: &JoinConfig,
+) -> MultiwayResult {
     assert!(
         trees.len() >= 2,
         "a multi-way join needs at least two relations"
@@ -74,7 +89,7 @@ pub fn multiway_join(trees: &[&RTree], plan: JoinPlan, cfg: &JoinConfig) -> Mult
         &[trees[0].height() as usize, trees[1].height() as usize],
         cfg.eviction,
     );
-    let mut cursor = JoinCursor::new(trees[0], trees[1], plan, stage1_pool);
+    let mut cursor = JoinCursor::<_, M>::metered(trees[0], trees[1], plan, stage1_pool);
     let mut tuples: Vec<(Vec<DataId>, Rect)> = Vec::new();
     for (a, b) in &mut cursor {
         let rect = rects0[&a]
@@ -94,7 +109,7 @@ pub fn multiway_join(trees: &[&RTree], plan: JoinPlan, cfg: &JoinConfig) -> Mult
             &[tree.height() as usize],
             cfg.eviction,
         );
-        let mut cmp = CmpCounter::new();
+        let mut cmp = M::default();
         let mut next: Vec<(Vec<DataId>, Rect)> = Vec::new();
         for chunk in tuples.chunks(PROBE_BATCH) {
             let windows: Vec<(usize, Rect)> = chunk

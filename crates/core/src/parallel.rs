@@ -34,7 +34,7 @@ use crate::exec::JoinCursor;
 use crate::join::{run_subjoin, JoinResult};
 use crate::plan::{JoinConfig, JoinPlan};
 use crate::stats::JoinStats;
-use rsj_geom::{CmpCounter, Rect};
+use rsj_geom::{CmpCounter, Meter, NoOp, Rect};
 use rsj_rtree::RTree;
 use rsj_storage::{IoStats, PageId, SharedBufferPool};
 
@@ -83,15 +83,41 @@ pub fn parallel_spatial_join_with_mode(
     workers: usize,
     mode: ParallelMode,
 ) -> JoinResult {
+    parallel_join_metered::<CmpCounter>(r, s, plan, cfg, workers, mode)
+}
+
+/// [`parallel_spatial_join_with_mode`] in raw mode: every worker runs a
+/// [`NoOp`]-metered cursor, so comparison accounting compiles out of the
+/// whole fleet. Same result-pair multiset; `stats` report zero
+/// comparisons and the summed worker I/O.
+pub fn parallel_spatial_join_fast(
+    r: &RTree,
+    s: &RTree,
+    plan: JoinPlan,
+    cfg: &JoinConfig,
+    workers: usize,
+    mode: ParallelMode,
+) -> JoinResult {
+    parallel_join_metered::<NoOp>(r, s, plan, cfg, workers, mode)
+}
+
+fn parallel_join_metered<M: Meter>(
+    r: &RTree,
+    s: &RTree,
+    plan: JoinPlan,
+    cfg: &JoinConfig,
+    workers: usize,
+    mode: ParallelMode,
+) -> JoinResult {
     assert_eq!(r.params().page_bytes, s.params().page_bytes);
     let rn = r.node(r.root());
     let sn = s.node(s.root());
     if workers <= 1 || rn.is_leaf() || sn.is_leaf() {
-        return crate::spatial_join(r, s, plan, cfg);
+        return crate::join::spatial_join_metered::<M>(r, s, plan, cfg);
     }
     // Enumerate qualifying root-entry pairs (cheap, done once, charged to
     // the merged stats below).
-    let mut cmp = CmpCounter::new();
+    let mut cmp = M::default();
     let mut tasks: Vec<(PageId, PageId, Rect)> = Vec::new();
     for er in &rn.entries {
         for es in &sn.entries {
@@ -106,8 +132,8 @@ pub fn parallel_spatial_join_with_mode(
     let workers = workers.min(tasks.len()).max(1);
 
     let results = match mode {
-        ParallelMode::SharedNothing => shared_nothing(r, s, plan, cfg, workers, &tasks),
-        ParallelMode::SharedBuffer => shared_buffer(r, s, plan, cfg, workers, &tasks),
+        ParallelMode::SharedNothing => shared_nothing::<M>(r, s, plan, cfg, workers, &tasks),
+        ParallelMode::SharedBuffer => shared_buffer::<M>(r, s, plan, cfg, workers, &tasks),
     };
 
     // Merge.
@@ -142,7 +168,7 @@ pub fn parallel_spatial_join_with_mode(
 }
 
 /// Static partitioning with private per-worker buffer pools.
-fn shared_nothing(
+fn shared_nothing<M: Meter>(
     r: &RTree,
     s: &RTree,
     plan: JoinPlan,
@@ -157,7 +183,7 @@ fn shared_nothing(
             .chunks(chunk.max(1))
             .map(|slice| {
                 scope.spawn(move || {
-                    run_subjoin(
+                    run_subjoin::<M>(
                         r,
                         s,
                         plan,
@@ -184,7 +210,7 @@ fn shared_nothing(
 /// when empty, steals from another worker's back — the victim's spatially
 /// most distant chunk, which minimizes buffer interference between the
 /// thief and the victim.
-fn shared_buffer(
+fn shared_buffer<M: Meter>(
     r: &RTree,
     s: &RTree,
     plan: JoinPlan,
@@ -232,8 +258,13 @@ fn shared_buffer(
                             })
                         });
                         let Some(slice) = slice else { break };
-                        let mut cursor =
-                            JoinCursor::with_tasks(r, s, plan, &mut handle, slice.iter().copied());
+                        let mut cursor = JoinCursor::<_, M>::metered_with_tasks(
+                            r,
+                            s,
+                            plan,
+                            &mut handle,
+                            slice.iter().copied(),
+                        );
                         if cfg.collect_pairs {
                             pairs.extend(&mut cursor);
                         } else {

@@ -1,6 +1,6 @@
 //! Join plans: which of the paper's techniques are switched on.
 
-use rsj_geom::{CmpCounter, Rect};
+use rsj_geom::{Meter, Rect};
 
 /// How qualifying entry pairs of two nodes are enumerated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,7 +185,7 @@ impl JoinPlan {
     /// [`JoinPlan::search_space`] with the qualification test charged to
     /// `cmp`, for callers that account the enumeration (the parallel join's
     /// root-pair pass).
-    pub fn search_space_counted(&self, r: &Rect, s: &Rect, cmp: &mut CmpCounter) -> Option<Rect> {
+    pub fn search_space_counted<M: Meter>(&self, r: &Rect, s: &Rect, cmp: &mut M) -> Option<Rect> {
         let er = r.expanded(self.predicate.epsilon());
         if er.intersects_counted(s, cmp) {
             Some(er.intersection(s).expect("tested above"))

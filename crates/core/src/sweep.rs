@@ -14,12 +14,18 @@
 //! Crucially, the pairs are produced in **sweep order**, which doubles as
 //! the SJ3/SJ4 read schedule (§4.3 "Local plane-sweep order").
 
-use rsj_geom::{CmpCounter, Rect};
+use rsj_geom::{Meter, Rect};
 
 /// Sorts `index` (indices into `rects`) ascending by `xl`, charging the
 /// comparator invocations to `cmp` — sorting cost is accounted separately
 /// from join cost in the paper's Table 4.
-pub fn sort_indices_by_xl(rects: &[Rect], index: &mut [usize], cmp: &mut CmpCounter) {
+///
+/// The counting path uses a stable sort so the tie order (and hence the
+/// downstream read schedule) is deterministic and bit-identical to the
+/// reference recursion. A non-counting meter takes the faster unstable
+/// sort: the pair *multiset* is unaffected, only the order among equal
+/// `xl` keys may differ.
+pub fn sort_indices_by_xl<M: Meter>(rects: &[Rect], index: &mut [usize], cmp: &mut M) {
     index.sort_by(|&a, &b| {
         cmp.bump();
         rects[a]
@@ -35,12 +41,12 @@ pub fn sort_indices_by_xl(rects: &[Rect], index: &mut [usize], cmp: &mut CmpCoun
 /// ascending by `xl`. Appends every intersecting pair `(r_index, s_index)`
 /// to `out` in sweep order. Comparisons (sweep-line selection, forward-scan
 /// bound checks, y-tests) are charged to `cmp`.
-pub fn sorted_intersection_test(
+pub fn sorted_intersection_test<M: Meter>(
     rrects: &[Rect],
     rseq: &[usize],
     srects: &[Rect],
     sseq: &[usize],
-    cmp: &mut CmpCounter,
+    cmp: &mut M,
     out: &mut Vec<(usize, usize)>,
 ) {
     debug_assert!(is_sorted_by_xl(rrects, rseq), "rseq must be sorted by xl");
@@ -51,11 +57,11 @@ pub fn sorted_intersection_test(
         let s = &srects[sseq[j]];
         if cmp.lt(r.xl, s.xl) {
             // t = r_i: scan S forward from j.
-            internal_loop::<false>(r, rseq[i], srects, sseq, j, cmp, out);
+            internal_loop::<false, M>(r, rseq[i], srects, sseq, j, cmp, out);
             i += 1;
         } else {
             // t = s_j: scan R forward from i.
-            internal_loop::<true>(s, sseq[j], rrects, rseq, i, cmp, out);
+            internal_loop::<true, M>(s, sseq[j], rrects, rseq, i, cmp, out);
             j += 1;
         }
     }
@@ -66,13 +72,13 @@ pub fn sorted_intersection_test(
 ///
 /// `SWAPPED = false` means `t` is from R and `seq` is S (pairs are
 /// `(t, seq[k])`); `SWAPPED = true` means the converse.
-fn internal_loop<const SWAPPED: bool>(
+fn internal_loop<const SWAPPED: bool, M: Meter>(
     t: &Rect,
     t_index: usize,
     rects: &[Rect],
     seq: &[usize],
     unmarked: usize,
-    cmp: &mut CmpCounter,
+    cmp: &mut M,
     out: &mut Vec<(usize, usize)>,
 ) {
     let mut k = unmarked;
@@ -97,9 +103,167 @@ fn is_sorted_by_xl(rects: &[Rect], seq: &[usize]) -> bool {
     seq.windows(2).all(|w| rects[w[0]].xl <= rects[w[1]].xl)
 }
 
+// ---------------------------------------------------------------------------
+// Keyed kernel: the executor's cache-friendly variant.
+//
+// The streaming executor stores each (possibly ε-expanded) entry rectangle
+// next to its original entry index and sweeps over the contiguous array,
+// instead of sorting an index list and chasing `rects[seq[k]]` double
+// indirection. The counting path performs the exact same floating-point
+// comparisons in the exact same order as the index-based kernel above
+// (same stable sort, same sweep advancement), so the paper's accounting is
+// unchanged; the non-counting path additionally swaps the short-circuit
+// y-test for a branchless one and the stable sort for an unstable one —
+// representation freedoms a meter that must count short-circuits exactly
+// does not have.
+// ---------------------------------------------------------------------------
+
+/// A rectangle tagged with the index of the entry it came from.
+pub type KeyedRect = (Rect, u32);
+
+/// Sorts a keyed vector ascending by `xl`, charging comparator invocations
+/// to `cmp`.
+///
+/// The counting path must report *exactly* the comparison count of the
+/// recursion's index-list sort — and the standard library's stable sort
+/// picks its strategy based on element size, so sorting the 40-byte keyed
+/// elements directly would charge a (slightly) different count. It
+/// therefore sorts a `usize` permutation exactly like
+/// [`sort_indices_by_xl`] does (same element type, same stable algorithm,
+/// same key sequence ⇒ same count) and then applies the permutation with
+/// uncounted moves through `tmp`. The non-counting path sorts the keyed
+/// elements in place with the faster unstable sort; tie order is free
+/// there (the pair multiset is unaffected).
+pub fn sort_keyed_by_xl<M: Meter>(
+    keyed: &mut Vec<KeyedRect>,
+    perm: &mut Vec<usize>,
+    packed: &mut Vec<u128>,
+    tmp: &mut Vec<KeyedRect>,
+    cmp: &mut M,
+) {
+    if M::COUNTING {
+        perm.clear();
+        perm.extend(0..keyed.len());
+        perm.sort_by(|&a, &b| {
+            cmp.bump();
+            keyed[a]
+                .0
+                .xl
+                .partial_cmp(&keyed[b].0.xl)
+                .expect("rect coordinates must not be NaN")
+        });
+        tmp.clear();
+        tmp.extend(perm.iter().map(|&k| keyed[k]));
+        std::mem::swap(keyed, tmp);
+    } else {
+        // Pack (order-preserving xl bits, position) into one u128 and sort
+        // those: trivially branchless comparisons on 16-byte elements
+        // instead of comparator calls shuffling 40-byte rects, then one
+        // gather pass. Position in the low bits keeps the sort stable for
+        // free (distinct positions break all ties).
+        packed.clear();
+        packed.extend(
+            keyed
+                .iter()
+                .enumerate()
+                .map(|(p, k)| (u128::from(f64_order_bits(k.0.xl)) << 32) | p as u128),
+        );
+        packed.sort_unstable();
+        tmp.clear();
+        tmp.extend(packed.iter().map(|&v| keyed[(v & 0xffff_ffff) as usize]));
+        std::mem::swap(keyed, tmp);
+    }
+}
+
+/// Maps a non-NaN `f64` to a `u64` whose unsigned order equals the float's
+/// total order: flip all bits of negatives, set the sign bit of
+/// non-negatives.
+#[inline(always)]
+fn f64_order_bits(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// The `SortedIntersectionTest` of §4.2 over keyed slices sorted by `xl`.
+/// Appends every intersecting `(r entry index, s entry index)` pair to
+/// `out` in sweep order.
+pub fn sorted_intersection_test_keyed<M: Meter>(
+    rseq: &[KeyedRect],
+    sseq: &[KeyedRect],
+    cmp: &mut M,
+    out: &mut Vec<(usize, usize)>,
+) {
+    debug_assert!(rseq.windows(2).all(|w| w[0].0.xl <= w[1].0.xl));
+    debug_assert!(sseq.windows(2).all(|w| w[0].0.xl <= w[1].0.xl));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < rseq.len() && j < sseq.len() {
+        let r = &rseq[i].0;
+        let s = &sseq[j].0;
+        if cmp.lt(r.xl, s.xl) {
+            internal_loop_keyed::<false, M>(r, rseq[i].1, sseq, j, cmp, out);
+            i += 1;
+        } else {
+            internal_loop_keyed::<true, M>(s, sseq[j].1, rseq, i, cmp, out);
+            j += 1;
+        }
+    }
+}
+
+/// The `InternalLoop` over a keyed sequence: scans `seq` from `unmarked`
+/// while the x-projections can still intersect `t`, testing y-projections.
+#[inline]
+fn internal_loop_keyed<const SWAPPED: bool, M: Meter>(
+    t: &Rect,
+    t_index: u32,
+    seq: &[KeyedRect],
+    unmarked: usize,
+    cmp: &mut M,
+    out: &mut Vec<(usize, usize)>,
+) {
+    if M::COUNTING {
+        // Short-circuit evaluation with one charge per comparison — the
+        // paper's accounting, identical to the index-based kernel.
+        let mut k = unmarked;
+        while k < seq.len() && cmp.le(seq[k].0.xl, t.xu) {
+            let other = &seq[k].0;
+            if cmp.le(t.yl, other.yu) && cmp.le(other.yl, t.yu) {
+                push_pair::<SWAPPED>(t_index, seq[k].1, out);
+            }
+            k += 1;
+        }
+    } else {
+        // Branchless y-test: on node-sized inputs the y outcome is close
+        // to a coin flip, so trading the two short-circuit branches for
+        // straight-line comparisons sidesteps the mispredictions.
+        for item in &seq[unmarked..] {
+            let other = &item.0;
+            if other.xl > t.xu {
+                break;
+            }
+            if (t.yl <= other.yu) & (other.yl <= t.yu) {
+                push_pair::<SWAPPED>(t_index, item.1, out);
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn push_pair<const SWAPPED: bool>(t_index: u32, other: u32, out: &mut Vec<(usize, usize)>) {
+    if SWAPPED {
+        out.push((other as usize, t_index as usize));
+    } else {
+        out.push((t_index as usize, other as usize));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rsj_geom::{CmpCounter, NoOp};
 
     fn rects(spec: &[(f64, f64, f64, f64)]) -> Vec<Rect> {
         spec.iter()
@@ -210,6 +374,28 @@ mod tests {
         let s = rects(&[(1., 1., 2., 2.)]); // corner touch
         let (pairs, _) = run_sweep(&r, &s);
         assert_eq!(pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn noop_meter_sweep_finds_the_same_pair_multiset() {
+        let r = rects(&[
+            (0.0, 2.0, 2.5, 4.0),
+            (2.0, 0.5, 5.0, 2.5),
+            (6.0, 2.0, 8.0, 4.0),
+        ]);
+        let s = rects(&[
+            (1.0, 0.0, 3.0, 1.5),
+            (4.0, 1.0, 6.5, 3.0),
+            (6.0, 0.0, 8.5, 1.5),
+        ]);
+        let mut ri: Vec<usize> = (0..r.len()).collect();
+        let mut si: Vec<usize> = (0..s.len()).collect();
+        sort_indices_by_xl(&r, &mut ri, &mut NoOp);
+        sort_indices_by_xl(&s, &mut si, &mut NoOp);
+        let mut out = Vec::new();
+        sorted_intersection_test(&r, &ri, &s, &si, &mut NoOp, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, quadratic(&r, &s));
     }
 
     #[test]

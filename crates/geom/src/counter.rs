@@ -4,9 +4,93 @@
 //! executed while checking join conditions (§4): "a good measure for
 //! performance consists of both, the number of disk accesses and the number
 //! of comparisons". All counted geometric predicates and the plane-sweep
-//! join kernel thread a [`CmpCounter`] through explicitly — no globals, no
+//! join kernel thread a meter through explicitly — no globals, no
 //! thread-locals — so a caller can attribute comparisons to exactly the
 //! operation (join phase, sort phase, window query, ...) it is measuring.
+//!
+//! Metering is a zero-cost abstraction over the [`Meter`] trait:
+//!
+//! * [`CmpCounter`] — the counting meter; reproduces the paper's accounting
+//!   exactly (Tables 2–4).
+//! * [`NoOp`] — a zero-sized meter whose charges compile away entirely; the
+//!   production-fast "raw" execution mode, identical results with no
+//!   accounting overhead.
+
+/// Charges floating-point comparisons to some accounting sink.
+///
+/// Every hot-path predicate (`intersects_counted`, the sweep kernel, the
+/// window queries) is generic over a `Meter`, so one code path serves both
+/// the reproduction-faithful *counted* mode ([`CmpCounter`]) and the
+/// production *raw* mode ([`NoOp`], where every charge is a no-op the
+/// optimizer deletes). Implementations must not change the *outcome* of
+/// [`Meter::lt`]/[`Meter::le`] — only whether the comparison is tallied.
+pub trait Meter: Default {
+    /// `true` iff this meter actually tallies comparisons. Lets generic
+    /// code skip work that exists only to be counted.
+    const COUNTING: bool;
+
+    /// Charge a single comparison.
+    fn bump(&mut self);
+
+    /// Charge `n` comparisons at once (e.g. a sort pass reporting a total).
+    fn add(&mut self, n: u64);
+
+    /// Current tally (always 0 for non-counting meters).
+    fn get(&self) -> u64;
+
+    /// Charged `a < b` on floats — one comparison.
+    #[inline]
+    fn lt(&mut self, a: f64, b: f64) -> bool {
+        self.bump();
+        a < b
+    }
+
+    /// Charged `a <= b` on floats — one comparison.
+    #[inline]
+    fn le(&mut self, a: f64, b: f64) -> bool {
+        self.bump();
+        a <= b
+    }
+}
+
+/// The non-counting meter: a zero-sized type whose charges compile away,
+/// turning every counted predicate into its plain uncounted twin.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NoOp;
+
+impl Meter for NoOp {
+    const COUNTING: bool = false;
+
+    #[inline(always)]
+    fn bump(&mut self) {}
+
+    #[inline(always)]
+    fn add(&mut self, _n: u64) {}
+
+    #[inline(always)]
+    fn get(&self) -> u64 {
+        0
+    }
+}
+
+impl Meter for CmpCounter {
+    const COUNTING: bool = true;
+
+    #[inline]
+    fn bump(&mut self) {
+        CmpCounter::bump(self)
+    }
+
+    #[inline]
+    fn add(&mut self, n: u64) {
+        CmpCounter::add(self, n)
+    }
+
+    #[inline]
+    fn get(&self) -> u64 {
+        CmpCounter::get(self)
+    }
+}
 
 /// A monotone counter of floating-point comparisons.
 ///
@@ -93,5 +177,29 @@ mod tests {
         assert!(!c.lt(2.0, 1.0));
         assert!(c.le(2.0, 2.0));
         assert_eq!(c.get(), 3);
+    }
+
+    #[test]
+    fn noop_meter_answers_without_tallying() {
+        let mut m = NoOp;
+        assert!(Meter::lt(&mut m, 1.0, 2.0));
+        assert!(!Meter::lt(&mut m, 2.0, 1.0));
+        assert!(Meter::le(&mut m, 2.0, 2.0));
+        m.bump();
+        m.add(10);
+        assert_eq!(Meter::get(&m), 0);
+        const { assert!(!NoOp::COUNTING) };
+        const { assert!(CmpCounter::COUNTING) };
+    }
+
+    #[test]
+    fn counting_meter_matches_inherent_counter() {
+        fn drive<M: Meter>(m: &mut M) -> (bool, bool) {
+            (m.lt(1.0, 2.0), m.le(3.0, 2.0))
+        }
+        let mut c = CmpCounter::new();
+        assert_eq!(drive(&mut c), (true, false));
+        assert_eq!(Meter::get(&c), 2);
+        assert_eq!(drive(&mut NoOp), (true, false));
     }
 }

@@ -10,7 +10,9 @@
 //!   comparisons*; every hot-path predicate has a counted variant that
 //!   increments a counter exactly as often as the paper's accounting demands
 //!   (≤ 4 comparisons per rectangle intersection test, exactly 4 when the
-//!   rectangles do intersect, see §4 of the paper).
+//!   rectangles do intersect, see §4 of the paper). Counted predicates are
+//!   generic over the [`Meter`] trait, so the zero-sized [`NoOp`] meter
+//!   compiles the accounting out entirely (the production "raw" mode).
 //! * [`zorder`] / [`hilbert`] — space-filling curves. Z-ordering (the
 //!   Peano curve of §4.3, "Local z-order") drives the SJ5 read schedule;
 //!   Hilbert ordering is provided as an extension for bulk loading.
@@ -27,7 +29,7 @@ pub mod poly;
 pub mod rect;
 pub mod zorder;
 
-pub use counter::CmpCounter;
+pub use counter::{CmpCounter, Meter, NoOp};
 pub use geometry::Geometry;
 pub use poly::{Polygon, Polyline, Segment};
 pub use rect::{Point, Rect};

@@ -5,7 +5,7 @@
 //! `(xl, yl)` and upper-right corner `(xu, yu)` — the same notation the
 //! paper uses in the `SortedIntersectionTest` pseudo-code (§4.2).
 
-use crate::counter::CmpCounter;
+use crate::counter::Meter;
 
 /// A point in the two-dimensional data space.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -157,9 +157,10 @@ impl Rect {
     /// the rectangles intersect and one to three when they do not. This is
     /// precisely the accounting described in §4: "for a pair of rectilinear
     /// rectangles four comparisons are exactly required to determine that the
-    /// join condition is fulfilled".
+    /// join condition is fulfilled". With a [`crate::NoOp`] meter this
+    /// compiles down to the plain [`Rect::intersects`].
     #[inline]
-    pub fn intersects_counted(&self, other: &Rect, cmp: &mut CmpCounter) -> bool {
+    pub fn intersects_counted<M: Meter>(&self, other: &Rect, cmp: &mut M) -> bool {
         cmp.bump();
         if self.xl > other.xu {
             return false;
@@ -247,7 +248,7 @@ impl Rect {
     /// exactly 4 when `other` is inside. The cost unit for containment
     /// joins (§2.1 mentions containment as an alternative join operator).
     #[inline]
-    pub fn contains_counted(&self, other: &Rect, cmp: &mut CmpCounter) -> bool {
+    pub fn contains_counted<M: Meter>(&self, other: &Rect, cmp: &mut M) -> bool {
         cmp.bump();
         if self.xl > other.xl {
             return false;
@@ -324,6 +325,7 @@ impl Rect {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::counter::{CmpCounter, NoOp};
 
     fn r(xl: f64, yl: f64, xu: f64, yu: f64) -> Rect {
         Rect::from_corners(xl, yl, xu, yu)
@@ -410,6 +412,20 @@ mod tests {
         let mut cmp = CmpCounter::new();
         assert!(!r(0.0, 5.0, 1.0, 6.0).intersects_counted(&a, &mut cmp));
         assert_eq!(cmp.get(), 3);
+    }
+
+    #[test]
+    fn noop_meter_agrees_with_uncounted_predicates() {
+        let cases = [
+            (r(0.0, 0.0, 2.0, 2.0), r(1.0, 1.0, 3.0, 3.0)),
+            (r(0.0, 0.0, 1.0, 1.0), r(5.0, 0.0, 6.0, 1.0)),
+            (r(0.0, 0.0, 10.0, 10.0), r(1.0, 1.0, 2.0, 2.0)),
+            (r(1.0, 1.0, 2.0, 2.0), r(0.0, 0.0, 10.0, 10.0)),
+        ];
+        for (a, b) in cases {
+            assert_eq!(a.intersects_counted(&b, &mut NoOp), a.intersects(&b));
+            assert_eq!(a.contains_counted(&b, &mut NoOp), a.contains(&b));
+        }
     }
 
     #[test]

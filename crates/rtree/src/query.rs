@@ -20,7 +20,7 @@
 
 use crate::node::DataId;
 use crate::tree::RTree;
-use rsj_geom::{CmpCounter, Point, Rect};
+use rsj_geom::{CmpCounter, Meter, Point, Rect};
 use rsj_storage::{NodeAccess, PageId};
 
 impl RTree {
@@ -35,11 +35,11 @@ impl RTree {
 
     /// Window query with full accounting, starting at the subtree rooted in
     /// `start`. Results are `(rect, id)` pairs.
-    pub fn window_query_from(
+    pub fn window_query_from<M: Meter>(
         &self,
         start: PageId,
         window: &Rect,
-        cmp: &mut CmpCounter,
+        cmp: &mut M,
         on_access: &mut dyn FnMut(PageId, u32),
         out: &mut Vec<(Rect, DataId)>,
     ) {
@@ -67,11 +67,11 @@ impl RTree {
     /// A child is descended once if *any* window intersects its MBR, and
     /// only the windows that do are propagated, so each subtree page is
     /// visited at most once regardless of how many windows qualify.
-    pub fn multi_window_query_from<T: Copy>(
+    pub fn multi_window_query_from<T: Copy, M: Meter>(
         &self,
         start: PageId,
         windows: &[(T, Rect)],
-        cmp: &mut CmpCounter,
+        cmp: &mut M,
         on_access: &mut dyn FnMut(PageId, u32),
         out: &mut Vec<(T, Rect, DataId)>,
     ) {
@@ -107,11 +107,11 @@ impl RTree {
     /// [`RTree::window_query_from`] charging page accesses to a buffer
     /// hierarchy through [`NodeAccess`] — the storage/tree boundary the
     /// join executors use. `store` tags this tree in the accountant.
-    pub fn window_query_charged<A: NodeAccess>(
+    pub fn window_query_charged<M: Meter, A: NodeAccess>(
         &self,
         start: PageId,
         window: &Rect,
-        cmp: &mut CmpCounter,
+        cmp: &mut M,
         store: u8,
         access: &mut A,
         out: &mut Vec<(Rect, DataId)>,
@@ -129,11 +129,11 @@ impl RTree {
 
     /// [`RTree::multi_window_query_from`] charging page accesses through
     /// [`NodeAccess`] (see [`RTree::window_query_charged`]).
-    pub fn multi_window_query_charged<T: Copy, A: NodeAccess>(
+    pub fn multi_window_query_charged<T: Copy, M: Meter, A: NodeAccess>(
         &self,
         start: PageId,
         windows: &[(T, Rect)],
-        cmp: &mut CmpCounter,
+        cmp: &mut M,
         store: u8,
         access: &mut A,
         out: &mut Vec<(T, Rect, DataId)>,

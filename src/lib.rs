@@ -21,8 +21,11 @@
 //!   and multi-way joins, and the ID-/object-join refinement step. The
 //!   engine underneath is the **streaming executor**
 //!   [`join::exec::JoinCursor`], which yields result pairs incrementally
-//!   through `Iterator`; [`join::spatial_join`] is the materializing
-//!   wrapper over it;
+//!   through `Iterator` and allocates nothing per node pair (its scratch
+//!   arena recycles every frame buffer); [`join::spatial_join`] is the
+//!   materializing wrapper over it, and [`join::spatial_join_fast`] the
+//!   raw-mode twin whose [`geom::NoOp`] meter compiles the paper's
+//!   comparison accounting out of the hot path;
 //! * [`datagen`] — deterministic synthetic stand-ins for the paper's
 //!   TIGER/Line and region datasets.
 //!
@@ -75,11 +78,12 @@ pub use rsj_storage as storage;
 /// The names most programs need.
 pub mod prelude {
     pub use rsj_core::{
-        id_join, multiway_join, object_join, parallel_spatial_join, spatial_join, DiffHeightPolicy,
-        JoinConfig, JoinPlan, JoinPredicate, JoinResult, JoinStats, MultiwayResult, ObjectRelation,
+        id_join, multiway_join, object_join, parallel_spatial_join, spatial_join,
+        spatial_join_fast, DiffHeightPolicy, JoinConfig, JoinPlan, JoinPredicate, JoinResult,
+        JoinStats, MultiwayResult, ObjectRelation,
     };
     pub use rsj_datagen::TestId;
-    pub use rsj_geom::{CmpCounter, Geometry, Point, Rect};
+    pub use rsj_geom::{CmpCounter, Geometry, Meter, NoOp, Point, Rect};
     pub use rsj_rtree::{DataId, InsertPolicy, Neighbor, RTree, RTreeParams};
     pub use rsj_storage::{CostModel, EvictionPolicy};
 }

@@ -4,7 +4,7 @@
 //! identical result-pair set on generated presets.
 
 use rsj::prelude::*;
-use rsj_core::exec::JoinCursor;
+use rsj_core::exec::{recursive_spatial_join, JoinCursor};
 use rsj_core::{baseline, parallel_spatial_join_with_mode, ParallelMode};
 use rsj_storage::BufferPool;
 
@@ -62,6 +62,38 @@ fn all_strategies_agree_on_presets() {
         for mode in [ParallelMode::SharedNothing, ParallelMode::SharedBuffer] {
             let res = parallel_spatial_join_with_mode(&r, &s, JoinPlan::sj4(), &cfg, 4, mode);
             assert_eq!(ids(&res.pairs), want, "{test:?}: parallel {mode:?}");
+        }
+
+        // The batched different-height policy (the default §4.4 policy):
+        // its sort-and-group window construction must leave the result
+        // *and the full cost accounting* exactly where the recursive
+        // oracle puts them. Joining the taller tree against a coarser
+        // 4-KByte-page copy forces directory × leaf pairs.
+        {
+            let sparse: Vec<_> = data.s.iter().step_by(40).cloned().collect();
+            let s_short = build_tree(&sparse, 1024);
+            assert!(
+                r.height() > s_short.height(),
+                "{test:?}: fixture must give different heights"
+            );
+            let plan = JoinPlan {
+                diff_height: DiffHeightPolicy::Batched,
+                ..JoinPlan::sj4()
+            };
+            let cfg_small = JoinConfig::with_buffer(8 * 1024);
+            let batched = spatial_join(&r, &s_short, plan, &cfg_small);
+            let items_sparse = rsj::datagen::mbr_items(&sparse);
+            let (nl_sparse, _) = baseline::nested_loop_join(&items_r, &items_sparse);
+            assert_eq!(
+                ids(&batched.pairs),
+                sorted(nl_sparse),
+                "{test:?}: batched policy result"
+            );
+            let oracle = recursive_spatial_join(&r, &s_short, plan, &cfg_small);
+            assert_eq!(
+                batched.stats, oracle.stats,
+                "{test:?}: batched-policy stats changed"
+            );
         }
 
         // The streaming cursor, consumed pair by pair.

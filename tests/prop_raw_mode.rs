@@ -1,0 +1,84 @@
+//! Property tests for the raw (`NoOp`-metered) execution mode: on the
+//! generated presets, compiling the comparison accounting out must never
+//! change *what* a join computes — only what it reports. The raw join's
+//! result-pair multiset must equal the counted join's for every named
+//! plan and for both parallel deployments.
+
+use proptest::prelude::*;
+use rsj::prelude::*;
+use rsj_core::{parallel_spatial_join_fast, parallel_spatial_join_with_mode, ParallelMode};
+
+fn build_tree(objs: &[rsj::datagen::SpatialObject], page: usize) -> RTree {
+    let mut t = RTree::new(RTreeParams::for_page_size(page));
+    for o in objs {
+        t.insert(o.mbr, DataId(o.id));
+    }
+    t
+}
+
+/// Result pairs as a sorted multiset of id pairs.
+fn multiset(pairs: &[(DataId, DataId)]) -> Vec<(u64, u64)> {
+    let mut v: Vec<(u64, u64)> = pairs.iter().map(|&(a, b)| (a.0, b.0)).collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Raw mode computes the exact counted result on presets A and B, for
+    /// SJ1–SJ5 sequentially and SJ4 under both parallel modes.
+    #[test]
+    fn raw_mode_matches_counted_multiset(
+        which in 0usize..2,
+        scale in 0.002..0.005f64,
+        buf_pages in 0usize..32,
+    ) {
+        let test = if which == 0 { TestId::A } else { TestId::B };
+        let data = rsj::datagen::preset(test, scale);
+        let r = build_tree(&data.r, 1024);
+        let s = build_tree(&data.s, 1024);
+        let cfg = JoinConfig::with_buffer(buf_pages * 1024);
+
+        for plan in [
+            JoinPlan::sj1(),
+            JoinPlan::sj2(),
+            JoinPlan::sj3(),
+            JoinPlan::sj4(),
+            JoinPlan::sj5(),
+        ] {
+            let counted = spatial_join(&r, &s, plan, &cfg);
+            let raw = spatial_join_fast(&r, &s, plan, &cfg);
+            prop_assert_eq!(
+                multiset(&raw.pairs),
+                multiset(&counted.pairs),
+                "{:?} {} raw != counted", test, plan.name()
+            );
+            prop_assert_eq!(raw.stats.result_pairs, counted.stats.result_pairs);
+            // The whole point of the NoOp meter: nothing gets tallied.
+            prop_assert_eq!(raw.stats.join_comparisons, 0u64);
+            prop_assert_eq!(raw.stats.sort_comparisons, 0u64);
+            prop_assert!(counted.stats.join_comparisons > 0);
+        }
+
+        // Both parallel deployments, counted and raw, agree with the
+        // sequential counted join.
+        let want = multiset(&spatial_join(&r, &s, JoinPlan::sj4(), &cfg).pairs);
+        for mode in [ParallelMode::SharedNothing, ParallelMode::SharedBuffer] {
+            let counted_par =
+                parallel_spatial_join_with_mode(&r, &s, JoinPlan::sj4(), &cfg, 4, mode);
+            let raw_par = parallel_spatial_join_fast(&r, &s, JoinPlan::sj4(), &cfg, 4, mode);
+            prop_assert_eq!(
+                multiset(&counted_par.pairs),
+                want.clone(),
+                "{:?} counted parallel {:?}", test, mode
+            );
+            prop_assert_eq!(
+                multiset(&raw_par.pairs),
+                want.clone(),
+                "{:?} raw parallel {:?}", test, mode
+            );
+            prop_assert_eq!(raw_par.stats.join_comparisons, 0u64);
+        }
+    }
+}
