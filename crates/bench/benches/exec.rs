@@ -37,7 +37,7 @@ use rsj_core::exec::{recursive_spatial_join, JoinCursor, RawJoinCursor};
 use rsj_core::{JoinConfig, JoinPlan};
 use rsj_datagen::TestId;
 use rsj_rtree::RTree;
-use rsj_storage::BufferPool;
+use rsj_storage::{BufferPool, EvictionPolicy, FileNodeAccess, PageFile, TempDir};
 
 const PAGE: usize = 4096;
 
@@ -133,6 +133,96 @@ impl PlanReport {
     }
 }
 
+/// Cold-vs-warm measurement of the file-backed storage backend
+/// ([`FileNodeAccess`]): the trees are saved with `save_to`, reopened
+/// from disk, and joined with every buffer miss performing a real page
+/// read. "Cold" resets the whole backend (LRU, path buffers, page-file
+/// counters) before every run; "warm" reuses the populated buffer.
+struct FileReport {
+    buffer_pages: usize,
+    cold_secs: f64,
+    cold_disk: u64,
+    warm_secs: f64,
+    warm_disk: u64,
+}
+
+fn measure_file_backend(
+    r: &RTree,
+    s: &RTree,
+    plan: JoinPlan,
+    expect_pairs: u64,
+    cfg: &JoinConfig,
+    iters: u32,
+) -> FileReport {
+    let dir = TempDir::new("bench-exec").expect("temp dir");
+    let (rp, sp) = (dir.file("r.rsj"), dir.file("s.rsj"));
+    r.save_to(&rp).expect("save R");
+    s.save_to(&sp).expect("save S");
+    let rf = RTree::open_from(&rp).expect("reopen R");
+    let sf = RTree::open_from(&sp).expect("reopen S");
+    let buffer_pages = cfg.buffer_bytes / PAGE;
+    let mut access = FileNodeAccess::new(
+        vec![
+            PageFile::open(&rp).expect("open R file"),
+            PageFile::open(&sp).expect("open S file"),
+        ],
+        cfg.buffer_bytes,
+        &[rf.height() as usize, sf.height() as usize],
+        EvictionPolicy::Lru,
+    )
+    .expect("file backend");
+
+    let run = |access: &mut FileNodeAccess| -> (u64, u64) {
+        let mut cursor = JoinCursor::new(&rf, &sf, plan, &mut *access);
+        let pairs = (&mut cursor).count() as u64;
+        (pairs, cursor.stats().io.disk_accesses)
+    };
+
+    let (pairs, cold_disk) = {
+        access.reset();
+        run(&mut access)
+    };
+    assert_eq!(pairs, expect_pairs, "file backend must agree on the count");
+    let mut cold_secs = f64::INFINITY;
+    for _ in 0..iters {
+        access.reset();
+        let start = Instant::now();
+        run(&mut access);
+        cold_secs = cold_secs.min(start.elapsed().as_secs_f64());
+    }
+
+    // Warm: populate once after a reset, then measure without resetting.
+    access.reset();
+    run(&mut access);
+    let (_, warm_disk) = run(&mut access);
+    let mut warm_secs = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        run(&mut access);
+        warm_secs = warm_secs.min(start.elapsed().as_secs_f64());
+    }
+    assert!(
+        warm_disk <= cold_disk,
+        "a warm buffer cannot read more than a cold one"
+    );
+    FileReport {
+        buffer_pages,
+        cold_secs,
+        cold_disk,
+        warm_secs,
+        warm_disk,
+    }
+}
+
+impl FileReport {
+    fn json(&self) -> String {
+        format!(
+            "{{\n    \"buffer_pages\": {},\n    \"cold\": {{ \"secs_per_join\": {:.6}, \"disk_accesses\": {} }},\n    \"warm\": {{ \"secs_per_join\": {:.6}, \"disk_accesses\": {} }}\n  }}",
+            self.buffer_pages, self.cold_secs, self.cold_disk, self.warm_secs, self.warm_disk,
+        )
+    }
+}
+
 fn bench_exec(c: &mut Criterion) {
     let scale = if quick() { 0.02 } else { 0.05 };
     let iters = if quick() { 30 } else { 50 };
@@ -165,13 +255,17 @@ fn bench_exec(c: &mut Criterion) {
     // compile-time metering, dominates the profile.
     let sj2 = measure_plan(&r, &s, JoinPlan::sj2(), "SJ2", &cfg, iters);
     let sj4 = measure_plan(&r, &s, JoinPlan::sj4(), "SJ4", &cfg, iters);
+    // The persistent backend on the headline plan: same join, but the
+    // trees come off disk and every buffer miss is a real page read.
+    let file = measure_file_backend(&r, &s, JoinPlan::sj2(), sj2.pairs, &cfg, iters);
     let json = format!(
-        "{{\n  \"bench\": \"exec_three_engines\",\n  \"preset\": \"A\",\n  \"scale\": {scale},\n  \"page_bytes\": {PAGE},\n  \"iterations\": {iters},\n  \"plan\": \"{}\",\n  \"plans\": {{\n    \"{}\": {},\n    \"{}\": {}\n  }},\n  \"cursor_over_recursive\": {:.4},\n  \"raw_over_cursor\": {:.4}\n}}\n",
+        "{{\n  \"bench\": \"exec_three_engines\",\n  \"preset\": \"A\",\n  \"scale\": {scale},\n  \"page_bytes\": {PAGE},\n  \"iterations\": {iters},\n  \"plan\": \"{}\",\n  \"plans\": {{\n    \"{}\": {},\n    \"{}\": {}\n  }},\n  \"file_backend\": {},\n  \"cursor_over_recursive\": {:.4},\n  \"raw_over_cursor\": {:.4}\n}}\n",
         sj2.name,
         sj2.name,
         sj2.json(),
         sj4.name,
         sj4.json(),
+        file.json(),
         sj2.secs[0] / sj2.secs[1],
         sj2.secs[1] / sj2.secs[2],
     );

@@ -218,15 +218,14 @@ mod tests {
             true,
             &tasks,
         );
-        let got = crate::join::run_subjoin::<rsj_geom::CmpCounter>(
-            &tr,
-            &ts,
-            plan,
+        let pool = BufferPool::with_policy(
             16 * 200,
+            200,
+            &[tr.height() as usize, ts.height() as usize],
             rsj_storage::EvictionPolicy::Lru,
-            true,
-            &tasks,
         );
+        let cursor = JoinCursor::with_tasks(&tr, &ts, plan, pool, tasks.iter().copied());
+        let got = crate::join::drain(cursor, true);
         assert_eq!(got.pairs, want.pairs);
         assert_eq!(got.stats, want.stats);
     }

@@ -81,8 +81,8 @@ pub fn recursive_spatial_join(
 
 /// Runs the reference recursion over an explicit list of node-pair tasks
 /// with a private buffer pool. Root accesses are *not* charged here; the
-/// caller accounts for them once. The oracle twin of
-/// [`crate::join::run_subjoin`].
+/// caller accounts for them once. The oracle twin of the cursor's
+/// task-list mode ([`JoinCursor::metered_with_tasks`]).
 pub fn recursive_subjoin(
     r: &RTree,
     s: &RTree,

@@ -23,9 +23,9 @@
 
 use crate::exec::JoinCursor;
 use crate::plan::{JoinConfig, JoinPlan};
-use rsj_geom::{Meter, NoOp, Rect};
+use rsj_geom::{Meter, NoOp};
 use rsj_rtree::{DataId, RTree};
-use rsj_storage::{BufferPool, PageId};
+use rsj_storage::BufferPool;
 
 pub use crate::exec::{TAG_R, TAG_S};
 
@@ -79,51 +79,78 @@ pub fn spatial_join_metered<M: Meter>(
     drain(cursor, cfg.collect_pairs)
 }
 
-/// Runs the join over an explicit list of node-pair tasks with a private
-/// buffer pool — the worker unit of the shared-nothing parallel join (§6
-/// future work). Root accesses are *not* charged here; the caller accounts
-/// for them once.
-pub(crate) fn run_subjoin<M: Meter>(
+/// [`spatial_join`] over a caller-supplied [`rsj_storage::NodeAccess`]
+/// backend instead of a private [`BufferPool`] — the entry point for the
+/// file-backed [`rsj_storage::FileNodeAccess`] (or any other accountant).
+/// Returns the accountant alongside the result so its backend-specific
+/// state (file read counters, LRU contents for a warm re-run) stays
+/// inspectable. I/O in `stats` is reported relative to the accountant's
+/// tallies at entry, like [`JoinCursor::stats`].
+pub fn spatial_join_with_access<A: rsj_storage::NodeAccess>(
     r: &RTree,
     s: &RTree,
     plan: JoinPlan,
-    buffer_bytes: usize,
-    eviction: rsj_storage::EvictionPolicy,
-    collect: bool,
-    tasks: &[(PageId, PageId, Rect)],
-) -> JoinResult {
-    let pool = BufferPool::with_policy(
-        buffer_bytes,
-        r.params().page_bytes,
-        &[r.height() as usize, s.height() as usize],
-        eviction,
-    );
-    let cursor = JoinCursor::<_, M>::metered_with_tasks(r, s, plan, pool, tasks.iter().copied());
-    drain(cursor, collect)
+    collect_pairs: bool,
+    access: A,
+) -> (JoinResult, A) {
+    spatial_join_metered_with_access::<A, rsj_geom::CmpCounter>(r, s, plan, collect_pairs, access)
+}
+
+/// [`spatial_join_with_access`] in raw mode (the [`NoOp`] meter).
+pub fn spatial_join_fast_with_access<A: rsj_storage::NodeAccess>(
+    r: &RTree,
+    s: &RTree,
+    plan: JoinPlan,
+    collect_pairs: bool,
+    access: A,
+) -> (JoinResult, A) {
+    spatial_join_metered_with_access::<A, NoOp>(r, s, plan, collect_pairs, access)
+}
+
+/// The generic engine behind the `_with_access` pair.
+pub fn spatial_join_metered_with_access<A: rsj_storage::NodeAccess, M: Meter>(
+    r: &RTree,
+    s: &RTree,
+    plan: JoinPlan,
+    collect_pairs: bool,
+    access: A,
+) -> (JoinResult, A) {
+    drain_keep(
+        JoinCursor::<A, M>::metered(r, s, plan, access),
+        collect_pairs,
+    )
 }
 
 /// Exhausts a cursor into a [`JoinResult`], materializing pairs only when
-/// asked to.
-fn drain<A: rsj_storage::NodeAccess, M: Meter>(
-    mut cursor: JoinCursor<'_, A, M>,
+/// asked to. Crate-visible: the parallel workers drain their task
+/// cursors through the same path.
+pub(crate) fn drain<A: rsj_storage::NodeAccess, M: Meter>(
+    cursor: JoinCursor<'_, A, M>,
     collect: bool,
 ) -> JoinResult {
+    drain_keep(cursor, collect).0
+}
+
+/// [`drain`] that hands the page-access accountant back to the caller.
+fn drain_keep<A: rsj_storage::NodeAccess, M: Meter>(
+    mut cursor: JoinCursor<'_, A, M>,
+    collect: bool,
+) -> (JoinResult, A) {
     let mut pairs = Vec::new();
     if collect {
         pairs.extend(&mut cursor);
     } else {
         for _ in &mut cursor {}
     }
-    JoinResult {
-        stats: cursor.stats(),
-        pairs,
-    }
+    let stats = cursor.stats();
+    (JoinResult { stats, pairs }, cursor.into_access())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::plan::{DiffHeightPolicy, Schedule};
+    use rsj_geom::Rect;
     use rsj_rtree::{InsertPolicy, RTreeParams};
 
     fn build_tree(items: &[(Rect, u64)], page: usize) -> RTree {

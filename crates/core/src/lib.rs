@@ -69,11 +69,17 @@ pub mod stats;
 pub mod sweep;
 
 pub use exec::{JoinCursor, RawJoinCursor};
-pub use join::{spatial_join, spatial_join_fast, spatial_join_metered, JoinResult};
-pub use multiway::{multiway_join, multiway_join_fast, MultiwayResult};
+pub use join::{
+    spatial_join, spatial_join_fast, spatial_join_fast_with_access, spatial_join_metered,
+    spatial_join_metered_with_access, spatial_join_with_access, JoinResult,
+};
+pub use multiway::{
+    multiway_join, multiway_join_fast, multiway_join_metered_with_access,
+    multiway_join_with_access, MultiwayResult,
+};
 pub use parallel::{
-    parallel_spatial_join, parallel_spatial_join_fast, parallel_spatial_join_with_mode,
-    ParallelMode,
+    parallel_metered_with_access, parallel_spatial_join, parallel_spatial_join_fast,
+    parallel_spatial_join_with_access, parallel_spatial_join_with_mode, ParallelMode,
 };
 pub use plan::{DiffHeightPolicy, Enumerate, JoinConfig, JoinPlan, JoinPredicate, Schedule};
 pub use refine::{id_join, object_join, ObjectRelation, RefineResult};

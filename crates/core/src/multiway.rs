@@ -23,7 +23,7 @@ use crate::exec::JoinCursor;
 use crate::plan::{JoinConfig, JoinPlan};
 use rsj_geom::{CmpCounter, Meter, NoOp, Rect};
 use rsj_rtree::{DataId, RTree};
-use rsj_storage::{BufferPool, IoStats};
+use rsj_storage::{BufferPool, IoStats, NodeAccess};
 
 /// Upper bound on windows per batched probe traversal; bounds the window
 /// lists propagated down the probe tree.
@@ -61,6 +61,55 @@ fn multiway_join_metered<M: Meter>(
     plan: JoinPlan,
     cfg: &JoinConfig,
 ) -> MultiwayResult {
+    let page_bytes = trees
+        .first()
+        .expect("at least one relation")
+        .params()
+        .page_bytes;
+    multiway_join_metered_with_access::<M, _, _>(trees, plan, |stage| {
+        // Stage 0 joins trees[0] and trees[1] through one buffer; stage
+        // k >= 1 probes trees[k + 1] alone.
+        let heights: Vec<usize> = if stage == 0 {
+            vec![trees[0].height() as usize, trees[1].height() as usize]
+        } else {
+            vec![trees[stage + 1].height() as usize]
+        };
+        BufferPool::with_policy(cfg.buffer_bytes, page_bytes, &heights, cfg.eviction)
+    })
+}
+
+/// [`multiway_join`] over caller-supplied [`NodeAccess`] backends:
+/// `make_access(0)` accounts the leading binary join of `trees[0]` and
+/// `trees[1]` (stores [`crate::exec::TAG_R`]/[`crate::exec::TAG_S`]);
+/// `make_access(k)` for `k >= 1` accounts the probe pass over
+/// `trees[k + 1]` (store 0). For the file-backed deployment each stage
+/// gets a fresh [`rsj_storage::FileNodeAccess`] over the page files of
+/// the trees it touches, mirroring the private per-stage [`BufferPool`]s
+/// of the in-memory pipeline.
+pub fn multiway_join_with_access<A, F>(
+    trees: &[&RTree],
+    plan: JoinPlan,
+    make_access: F,
+) -> MultiwayResult
+where
+    A: NodeAccess,
+    F: FnMut(usize) -> A,
+{
+    multiway_join_metered_with_access::<CmpCounter, A, F>(trees, plan, make_access)
+}
+
+/// The generic engine behind every multi-way entry point; pass [`NoOp`]
+/// for raw mode.
+pub fn multiway_join_metered_with_access<M, A, F>(
+    trees: &[&RTree],
+    plan: JoinPlan,
+    mut make_access: F,
+) -> MultiwayResult
+where
+    M: Meter,
+    A: NodeAccess,
+    F: FnMut(usize) -> A,
+{
     assert!(
         trees.len() >= 2,
         "a multi-way join needs at least two relations"
@@ -83,13 +132,7 @@ fn multiway_join_metered<M: Meter>(
     // arrives, so the plain pair list is never materialized separately.
     let rects0 = rect_map(trees[0]);
     let rects1 = rect_map(trees[1]);
-    let stage1_pool = BufferPool::with_policy(
-        cfg.buffer_bytes,
-        page_bytes,
-        &[trees[0].height() as usize, trees[1].height() as usize],
-        cfg.eviction,
-    );
-    let mut cursor = JoinCursor::<_, M>::metered(trees[0], trees[1], plan, stage1_pool);
+    let mut cursor = JoinCursor::<_, M>::metered(trees[0], trees[1], plan, make_access(0));
     let mut tuples: Vec<(Vec<DataId>, Rect)> = Vec::new();
     for (a, b) in &mut cursor {
         let rect = rects0[&a]
@@ -102,13 +145,8 @@ fn multiway_join_metered<M: Meter>(
     let mut io = stage1.io;
 
     // Stages 2..k: probe each further tree with the running rectangles.
-    for tree in &trees[2..] {
-        let mut pool = BufferPool::with_policy(
-            cfg.buffer_bytes,
-            page_bytes,
-            &[tree.height() as usize],
-            cfg.eviction,
-        );
+    for (k, tree) in trees[2..].iter().enumerate() {
+        let mut pool = make_access(k + 1);
         let mut cmp = M::default();
         let mut next: Vec<(Vec<DataId>, Rect)> = Vec::new();
         for chunk in tuples.chunks(PROBE_BATCH) {
@@ -138,7 +176,7 @@ fn multiway_join_metered<M: Meter>(
             }
         }
         comparisons += cmp.get();
-        let probe_io = pool.stats();
+        let probe_io = pool.io_stats();
         io.disk_accesses += probe_io.disk_accesses;
         io.path_hits += probe_io.path_hits;
         io.lru_hits += probe_io.lru_hits;

@@ -31,12 +31,12 @@ use std::collections::VecDeque;
 use std::sync::Mutex;
 
 use crate::exec::JoinCursor;
-use crate::join::{run_subjoin, JoinResult};
+use crate::join::JoinResult;
 use crate::plan::{JoinConfig, JoinPlan};
 use crate::stats::JoinStats;
 use rsj_geom::{CmpCounter, Meter, NoOp, Rect};
 use rsj_rtree::RTree;
-use rsj_storage::{IoStats, PageId, SharedBufferPool};
+use rsj_storage::{IoStats, NodeAccess, PageId, SharedBufferPool};
 
 /// How parallel workers share buffer resources.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -101,27 +101,21 @@ pub fn parallel_spatial_join_fast(
     parallel_join_metered::<NoOp>(r, s, plan, cfg, workers, mode)
 }
 
-fn parallel_join_metered<M: Meter>(
+/// Enumerates qualifying root-entry pairs as sweep-ordered subjoin tasks
+/// — the partitioning unit shared by every parallel deployment. The
+/// qualification comparisons are charged to `cmp`.
+fn root_tasks<M: Meter>(
     r: &RTree,
     s: &RTree,
     plan: JoinPlan,
-    cfg: &JoinConfig,
-    workers: usize,
-    mode: ParallelMode,
-) -> JoinResult {
-    assert_eq!(r.params().page_bytes, s.params().page_bytes);
+    cmp: &mut M,
+) -> Vec<(PageId, PageId, Rect)> {
     let rn = r.node(r.root());
     let sn = s.node(s.root());
-    if workers <= 1 || rn.is_leaf() || sn.is_leaf() {
-        return crate::join::spatial_join_metered::<M>(r, s, plan, cfg);
-    }
-    // Enumerate qualifying root-entry pairs (cheap, done once, charged to
-    // the merged stats below).
-    let mut cmp = M::default();
     let mut tasks: Vec<(PageId, PageId, Rect)> = Vec::new();
     for er in &rn.entries {
         for es in &sn.entries {
-            if let Some(rect) = plan.search_space_counted(&er.rect, &es.rect, &mut cmp) {
+            if let Some(rect) = plan.search_space_counted(&er.rect, &es.rect, cmp) {
                 tasks.push((RTree::child_page(er), RTree::child_page(es), rect));
             }
         }
@@ -129,21 +123,20 @@ fn parallel_join_metered<M: Meter>(
     // Sweep-order the tasks for per-worker locality, then deal contiguous
     // chunks.
     tasks.sort_by(|a, b| a.2.xl.partial_cmp(&b.2.xl).expect("no NaN"));
-    let workers = workers.min(tasks.len()).max(1);
+    tasks
+}
 
-    let results = match mode {
-        ParallelMode::SharedNothing => shared_nothing::<M>(r, s, plan, cfg, workers, &tasks),
-        ParallelMode::SharedBuffer => shared_buffer::<M>(r, s, plan, cfg, workers, &tasks),
-    };
-
-    // Merge.
+/// Sums per-worker results into one [`JoinResult`]; `root_comparisons` is
+/// the coordinator's task-enumeration tally, and the two coordinator root
+/// reads are charged as disk accesses.
+fn merge_results(results: Vec<JoinResult>, root_comparisons: u64, page_bytes: usize) -> JoinResult {
     let mut pairs = Vec::new();
     let mut io = IoStats {
         // Both roots were read once by the coordinator.
         disk_accesses: 2,
         ..IoStats::default()
     };
-    let mut join_comparisons = cmp.get();
+    let mut join_comparisons = root_comparisons;
     let mut sort_comparisons = 0;
     let mut result_pairs = 0;
     for res in results {
@@ -162,9 +155,142 @@ fn parallel_join_metered<M: Meter>(
             sort_comparisons,
             io,
             result_pairs,
-            page_bytes: r.params().page_bytes,
+            page_bytes,
         },
     }
+}
+
+fn parallel_join_metered<M: Meter>(
+    r: &RTree,
+    s: &RTree,
+    plan: JoinPlan,
+    cfg: &JoinConfig,
+    workers: usize,
+    mode: ParallelMode,
+) -> JoinResult {
+    assert_eq!(r.params().page_bytes, s.params().page_bytes);
+    if workers <= 1 || r.node(r.root()).is_leaf() || s.node(s.root()).is_leaf() {
+        return crate::join::spatial_join_metered::<M>(r, s, plan, cfg);
+    }
+    let mut cmp = M::default();
+    let tasks = root_tasks(r, s, plan, &mut cmp);
+    let workers = workers.min(tasks.len()).max(1);
+
+    let results = match mode {
+        ParallelMode::SharedNothing => shared_nothing::<M>(r, s, plan, cfg, workers, &tasks),
+        ParallelMode::SharedBuffer => shared_buffer::<M>(r, s, plan, cfg, workers, &tasks),
+    };
+    merge_results(results, cmp.get(), r.params().page_bytes)
+}
+
+/// [`parallel_spatial_join`] over caller-supplied [`NodeAccess`] backends:
+/// `make_access(w)` builds worker `w`'s private accountant (for a
+/// file-backed shared-nothing deployment: a
+/// [`rsj_storage::FileNodeAccess`] over freshly-opened page files and a
+/// slice of the buffer budget — each worker gets its own file handles,
+/// like a worker process would). Tasks are partitioned statically as in
+/// shared-nothing mode; accounting semantics match
+/// [`parallel_spatial_join_with_mode`].
+///
+/// Falls back to a sequential join over `make_access(0)` when `workers <=
+/// 1` or a root is a leaf.
+pub fn parallel_spatial_join_with_access<A, F>(
+    r: &RTree,
+    s: &RTree,
+    plan: JoinPlan,
+    collect_pairs: bool,
+    workers: usize,
+    make_access: F,
+) -> JoinResult
+where
+    A: NodeAccess + Send,
+    F: Fn(usize) -> A + Sync,
+{
+    parallel_metered_with_access::<CmpCounter, A, F>(
+        r,
+        s,
+        plan,
+        collect_pairs,
+        workers,
+        make_access,
+    )
+}
+
+/// The generic engine behind [`parallel_spatial_join_with_access`]; pass
+/// [`NoOp`] for raw mode.
+pub fn parallel_metered_with_access<M, A, F>(
+    r: &RTree,
+    s: &RTree,
+    plan: JoinPlan,
+    collect_pairs: bool,
+    workers: usize,
+    make_access: F,
+) -> JoinResult
+where
+    M: Meter,
+    A: NodeAccess + Send,
+    F: Fn(usize) -> A + Sync,
+{
+    assert_eq!(r.params().page_bytes, s.params().page_bytes);
+    if workers <= 1 || r.node(r.root()).is_leaf() || s.node(s.root()).is_leaf() {
+        let (res, _access) = crate::join::spatial_join_metered_with_access::<A, M>(
+            r,
+            s,
+            plan,
+            collect_pairs,
+            make_access(0),
+        );
+        return res;
+    }
+    let mut cmp = M::default();
+    let tasks = root_tasks(r, s, plan, &mut cmp);
+    let workers = workers.min(tasks.len()).max(1);
+    let results =
+        static_partition::<M, A, F>(r, s, plan, collect_pairs, workers, &tasks, &make_access);
+    merge_results(results, cmp.get(), r.params().page_bytes)
+}
+
+/// The static-partition worker scaffold shared by every shared-nothing
+/// deployment: deal `tasks` as contiguous chunks to `workers` threads,
+/// each draining a task cursor over its own accountant from
+/// `make_access(w)`.
+fn static_partition<M, A, F>(
+    r: &RTree,
+    s: &RTree,
+    plan: JoinPlan,
+    collect: bool,
+    workers: usize,
+    tasks: &[(PageId, PageId, Rect)],
+    make_access: &F,
+) -> Vec<JoinResult>
+where
+    M: Meter,
+    A: NodeAccess + Send,
+    F: Fn(usize) -> A + Sync,
+{
+    let chunk = tasks.len().div_ceil(workers).max(1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = tasks
+            .chunks(chunk)
+            .enumerate()
+            .map(|(w, slice)| {
+                scope.spawn(move || {
+                    let cursor = JoinCursor::<A, M>::metered_with_tasks(
+                        r,
+                        s,
+                        plan,
+                        make_access(w),
+                        slice.iter().copied(),
+                    );
+                    crate::join::drain(cursor, collect)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
 }
 
 /// Static partitioning with private per-worker buffer pools.
@@ -176,29 +302,14 @@ fn shared_nothing<M: Meter>(
     workers: usize,
     tasks: &[(PageId, PageId, Rect)],
 ) -> Vec<JoinResult> {
-    let chunk = tasks.len().div_ceil(workers);
     let per_worker_buffer = cfg.buffer_bytes / workers;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = tasks
-            .chunks(chunk.max(1))
-            .map(|slice| {
-                scope.spawn(move || {
-                    run_subjoin::<M>(
-                        r,
-                        s,
-                        plan,
-                        per_worker_buffer,
-                        cfg.eviction,
-                        cfg.collect_pairs,
-                        slice,
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
+    static_partition::<M, _, _>(r, s, plan, cfg.collect_pairs, workers, tasks, &|_w| {
+        rsj_storage::BufferPool::with_policy(
+            per_worker_buffer,
+            r.params().page_bytes,
+            &[r.height() as usize, s.height() as usize],
+            cfg.eviction,
+        )
     })
 }
 

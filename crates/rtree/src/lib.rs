@@ -47,6 +47,7 @@ pub mod insert;
 pub mod knn;
 pub mod node;
 pub mod params;
+pub mod persist;
 pub mod query;
 pub mod split;
 pub mod stats;

@@ -29,21 +29,41 @@
 //! instantiates `T = Node`. Since the metric of interest is page *accesses*,
 //! not bytes moved, payloads are not serialized — the page-size parameter
 //! only determines node capacity and transfer cost.
+//!
+//! The **persistence subsystem** makes the disk real:
+//!
+//! * [`codec`] — the endian-stable binary page format (header with magic/
+//!   version/page sizes, fixed-size node slots) and its typed
+//!   [`StorageError`]s;
+//! * [`PageFile`] — a page file over `std::fs::File` with read/write
+//!   counters;
+//! * [`FileNodeAccess`] — the file-backed [`NodeAccess`] backend: the same
+//!   path-buffer → LRU hierarchy as [`BufferPool`] (bit-identical
+//!   `disk_accesses` at equal capacity), but every miss performs an actual
+//!   page read from the backing file;
+//! * [`TempDir`] — a dependency-free scratch-directory helper for tests
+//!   and benches (the environment has no `tempfile` crate).
 
 pub mod access;
+pub mod codec;
 pub mod cost;
+pub mod file;
 pub mod heapfile;
 pub mod lru;
 pub mod page;
 pub mod path;
 pub mod pool;
 pub mod shared;
+pub mod temp;
 
 pub use access::NodeAccess;
+pub use codec::{DiskEntry, DiskNode, FileHeader, StorageError};
 pub use cost::CostModel;
+pub use file::{FileNodeAccess, PageFile};
 pub use heapfile::{HeapFile, RecordId};
 pub use lru::{Access, EvictionPolicy, LruBuffer};
 pub use page::{PageId, PageStore};
 pub use path::PathBuffer;
 pub use pool::{BufKey, BufferPool, IoStats};
 pub use shared::{SharedBufferHandle, SharedBufferPool};
+pub use temp::TempDir;

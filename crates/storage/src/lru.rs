@@ -191,6 +191,15 @@ impl LruBuffer {
         self.map.get(&key).is_some_and(|&s| self.slots[s].pins > 0)
     }
 
+    /// Zeroes the hit/miss/eviction counters, keeping residents — the
+    /// counter half of a full reset (see [`LruBuffer::clear`] for the
+    /// residency half). Benches measuring consecutive runs call both.
+    pub fn reset_io(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.evictions = 0;
+    }
+
     /// Drops everything, keeping the capacity. Counters are preserved.
     pub fn clear(&mut self) {
         self.map.clear();
@@ -457,6 +466,83 @@ mod tests {
     fn unpin_of_absent_key_is_noop() {
         let mut b = LruBuffer::new(1);
         b.unpin(k(9));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn reset_io_zeroes_counters_keeps_residents() {
+        let mut b = LruBuffer::new(2);
+        b.access(k(1));
+        b.access(k(2));
+        b.access(k(1));
+        b.access(k(3)); // evicts 2
+        b.reset_io();
+        assert_eq!((b.hits(), b.misses(), b.evictions()), (0, 0, 0));
+        assert!(b.contains(k(1)), "reset_io must not drop residents");
+        assert_eq!(b.access(k(1)), Access::Hit);
+        assert_eq!(b.hits(), 1);
+    }
+
+    // --- Pin-accounting regressions (PR 3): pinned pages must survive any
+    // amount of eviction pressure, and stray unpins must never corrupt the
+    // hit/miss/eviction counters or the pin state of other pages.
+
+    #[test]
+    fn pinned_pages_survive_sustained_eviction_pressure() {
+        let mut b = LruBuffer::new(2);
+        b.access(k(1));
+        b.pin(k(1));
+        b.access(k(2));
+        b.pin(k(2));
+        // Both capacity slots are pinned: a long stream of distinct pages
+        // must each come in and leave again, never touching the pinned two.
+        for n in 10..60 {
+            b.access(k(n));
+            assert!(b.contains(k(1)), "page 1 evicted at n = {n}");
+            assert!(b.contains(k(2)), "page 2 evicted at n = {n}");
+            assert!(b.len() <= 3, "unpinned overflow must be trimmed");
+        }
+        assert_eq!(b.misses(), 52, "2 pinned + 50 streamed, all cold");
+        assert_eq!(b.evictions(), 50, "every streamed page was its own victim");
+        assert!(b.is_pinned(k(1)) && b.is_pinned(k(2)));
+        b.unpin(k(1));
+        b.unpin(k(2));
+    }
+
+    #[test]
+    fn unpin_of_non_resident_key_does_not_corrupt_counters() {
+        let mut b = LruBuffer::new(2);
+        b.access(k(1));
+        b.access(k(2));
+        b.access(k(1));
+        let before = (b.hits(), b.misses(), b.evictions(), b.len());
+        for n in [7u32, 8, 9] {
+            b.unpin(k(n)); // never resident
+        }
+        b.unpin(k(1)); // resident but never pinned: saturates at zero
+        b.unpin(k(1));
+        assert_eq!((b.hits(), b.misses(), b.evictions(), b.len()), before);
+        assert!(!b.is_pinned(k(1)));
+        // The buffer still behaves: LRU order and eviction are intact.
+        b.access(k(3)); // evicts 2, the LRU page
+        assert!(b.contains(k(1)) && b.contains(k(3)) && !b.contains(k(2)));
+        assert_eq!(b.evictions(), before.2 + 1);
+    }
+
+    #[test]
+    fn unpin_under_overflow_trims_exactly_the_overflow() {
+        let mut b = LruBuffer::new(0);
+        b.access(k(1));
+        b.pin(k(1));
+        b.access(k(2));
+        b.pin(k(2));
+        assert_eq!(b.len(), 2, "both pinned over a zero-capacity buffer");
+        let evictions = b.evictions();
+        b.unpin(k(2));
+        assert_eq!(b.len(), 1, "unpinned overflow trimmed immediately");
+        assert!(b.contains(k(1)), "the still-pinned page stays");
+        assert_eq!(b.evictions(), evictions + 1);
+        b.unpin(k(1));
         assert!(b.is_empty());
     }
 }

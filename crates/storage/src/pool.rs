@@ -134,9 +134,14 @@ impl BufferPool {
         self.paths.len()
     }
 
-    /// Empties all buffers and zeroes the statistics.
+    /// Empties all buffers and zeroes the statistics — including the LRU
+    /// buffer's own hit/miss/eviction counters, so a reset pool reports a
+    /// genuinely cold start on every channel (benches rely on this; the
+    /// file-backed twin [`crate::FileNodeAccess::reset`] additionally
+    /// zeroes its page-file counters in the same way).
     pub fn reset(&mut self) {
         self.lru.clear();
+        self.lru.reset_io();
         for p in &mut self.paths {
             p.clear();
         }

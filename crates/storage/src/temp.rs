@@ -1,0 +1,80 @@
+//! A dependency-free temporary-directory helper.
+//!
+//! The build environment has no crate registry, so the usual `tempfile`
+//! crate is unavailable; tests and benches that need scratch files use
+//! this minimal stand-in instead. Directories are created under the
+//! system temp dir with a collision-checked unique name and removed on
+//! drop (best effort — a failing cleanup never panics a test that already
+//! passed).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely-named directory under `std::env::temp_dir()`, deleted
+/// recursively when dropped.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `"<tmp>/rsj-<prefix>-<pid>-<n>"`, retrying on the (only
+    /// theoretically possible) collision.
+    pub fn new(prefix: &str) -> std::io::Result<Self> {
+        let base = std::env::temp_dir();
+        let pid = std::process::id();
+        loop {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = base.join(format!("rsj-{prefix}-{pid}-{n}"));
+            match std::fs::create_dir(&path) {
+                Ok(()) => return Ok(TempDir { path }),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The directory path.
+    #[inline]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path for `name` inside the directory (not created).
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans_up() {
+        let kept;
+        {
+            let d = TempDir::new("selftest").unwrap();
+            kept = d.path().to_path_buf();
+            assert!(kept.is_dir());
+            std::fs::write(d.file("x.bin"), b"abc").unwrap();
+            assert!(d.file("x.bin").is_file());
+        }
+        assert!(!kept.exists(), "dropped TempDir must be removed");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let a = TempDir::new("uniq").unwrap();
+        let b = TempDir::new("uniq").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

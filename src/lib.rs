@@ -12,9 +12,13 @@
 //!   exact polyline/polygon geometry;
 //! * [`storage`] — simulated paged disk, LRU buffer with pinning, path
 //!   buffers, the paper's cost model, a slotted-page heap file, and the
-//!   pluggable [`storage::NodeAccess`] boundary with its two buffer
-//!   backends (private [`storage::BufferPool`], sharded
-//!   [`storage::SharedBufferPool`] for concurrent workers);
+//!   pluggable [`storage::NodeAccess`] boundary with its three backends:
+//!   private [`storage::BufferPool`], sharded [`storage::SharedBufferPool`]
+//!   for concurrent workers, and the persistent [`storage::FileNodeAccess`]
+//!   over real [`storage::PageFile`]s (endian-stable binary page format,
+//!   typed [`storage::StorageError`]s) — trees saved with
+//!   [`rtree::RTree::save_to`] reopen cold via [`rtree::RTree::open_from`]
+//!   and join with honest cold/warm buffer behavior;
 //! * [`rtree`] — the R\*-tree (plus Guttman baselines and bulk loading);
 //! * [`join`] — the spatial-join algorithms SJ1–SJ5, different-height
 //!   policies, baselines, the parallel (shared-nothing and shared-buffer)
@@ -67,6 +71,28 @@
 //! let streamed: u64 = 1 + cursor.by_ref().count() as u64;
 //! assert_eq!(streamed, result.stats.result_pairs);
 //! assert_eq!(cursor.stats().io.disk_accesses, result.stats.io.disk_accesses);
+//!
+//! // Or persist the trees and join them again from disk: same pairs and
+//! // the same disk-access counts, but every buffer miss is now a real
+//! // page read from the backing files.
+//! let dir = rsj::storage::TempDir::new("quickstart").unwrap();
+//! let (rp, sp) = (dir.file("r.rsj"), dir.file("s.rsj"));
+//! r.save_to(&rp).unwrap();
+//! s.save_to(&sp).unwrap();
+//! let (r2, s2) = (RTree::open_from(&rp).unwrap(), RTree::open_from(&sp).unwrap());
+//! let access = FileNodeAccess::new(
+//!     vec![PageFile::open(&rp).unwrap(), PageFile::open(&sp).unwrap()],
+//!     128 * 1024,
+//!     &[r2.height() as usize, s2.height() as usize],
+//!     EvictionPolicy::Lru,
+//! ).unwrap();
+//! let (from_disk, access) = spatial_join_with_access(&r2, &s2, JoinPlan::sj4(), true, access);
+//! assert_eq!(from_disk.stats.result_pairs, result.stats.result_pairs);
+//! assert_eq!(from_disk.stats.io.disk_accesses, result.stats.io.disk_accesses);
+//! assert_eq!(
+//!     access.file(0).reads() + access.file(1).reads(),
+//!     from_disk.stats.io.disk_accesses,
+//! );
 //! ```
 
 pub use rsj_core as join;
@@ -78,12 +104,13 @@ pub use rsj_storage as storage;
 /// The names most programs need.
 pub mod prelude {
     pub use rsj_core::{
-        id_join, multiway_join, object_join, parallel_spatial_join, spatial_join,
-        spatial_join_fast, DiffHeightPolicy, JoinConfig, JoinPlan, JoinPredicate, JoinResult,
-        JoinStats, MultiwayResult, ObjectRelation,
+        id_join, multiway_join, multiway_join_with_access, object_join, parallel_spatial_join,
+        parallel_spatial_join_with_access, spatial_join, spatial_join_fast,
+        spatial_join_with_access, DiffHeightPolicy, JoinConfig, JoinPlan, JoinPredicate,
+        JoinResult, JoinStats, MultiwayResult, ObjectRelation,
     };
     pub use rsj_datagen::TestId;
     pub use rsj_geom::{CmpCounter, Geometry, Meter, NoOp, Point, Rect};
     pub use rsj_rtree::{DataId, InsertPolicy, Neighbor, RTree, RTreeParams};
-    pub use rsj_storage::{CostModel, EvictionPolicy};
+    pub use rsj_storage::{CostModel, EvictionPolicy, FileNodeAccess, PageFile, StorageError};
 }
