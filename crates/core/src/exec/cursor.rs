@@ -45,22 +45,14 @@
 
 use std::collections::VecDeque;
 
+use crate::exec::schedule::{self, DirPair, OrderScratch, ReadSchedule};
 use crate::exec::{TAG_R, TAG_S};
 use crate::plan::{DiffHeightPolicy, Enumerate, JoinPlan};
 use crate::stats::JoinStats;
 use crate::sweep::{sort_keyed_by_xl, sorted_intersection_test_keyed, KeyedRect};
-use rsj_geom::{zorder, CmpCounter, Meter, NoOp, Rect};
+use rsj_geom::{CmpCounter, Meter, NoOp, Rect};
 use rsj_rtree::{DataId, Entry, RTree};
 use rsj_storage::{IoStats, NodeAccess, PageId};
-
-/// A scheduled directory pair: entry indices plus the intersection of the
-/// two entry rectangles (the restricted search space passed down).
-#[derive(Debug, Clone, Copy)]
-struct DirPair {
-    ir: usize,
-    js: usize,
-    rect: Rect,
-}
 
 /// Which side of a directory pair is pinned during a drain.
 #[derive(Debug, Clone, Copy)]
@@ -199,10 +191,11 @@ struct ExecScratch {
     ktmp: Vec<KeyedRect>,
     /// Enumeration output: qualifying `(i, j)` pairs in schedule order.
     raw: Vec<(usize, usize)>,
-    /// Z-order keys of directory-pair intersection rectangles.
-    zkeys: Vec<u64>,
-    /// Sort permutation for the z-order schedule.
-    zorder: Vec<usize>,
+    /// Scratch of the §4.3 pair-ordering step (z-order keys and
+    /// permutation), owned by [`schedule::order_dir_pairs`].
+    order: OrderScratch,
+    /// The materialized schedule tail announced to hint-aware backends.
+    sched: ReadSchedule,
     /// First-occurrence rank per directory entry (batched grouping).
     first_seen: Vec<u32>,
     /// Sorted copy of the mixed pairs during batched grouping.
@@ -404,6 +397,11 @@ pub struct JoinCursor<'t, A: NodeAccess, M: Meter = CmpCounter> {
     /// reports the delta, so a borrowed accountant reused across cursors
     /// (e.g. a worker's `&mut SharedBufferHandle`) is not double-counted.
     io_baseline: IoStats,
+    /// Whether the backend consumes read-schedule hints
+    /// ([`NodeAccess::wants_hints`] at construction). When false the
+    /// cursor skips schedule materialization entirely, so accounting-only
+    /// backends run the exact pre-hint hot path.
+    hinting: bool,
     stack: Vec<Frame>,
     pending: VecDeque<(DataId, DataId)>,
     scratch: ExecScratch,
@@ -486,6 +484,13 @@ impl<'t, A: NodeAccess, M: Meter> JoinCursor<'t, A, M> {
     ) -> Self {
         let mut cursor = Self::empty(r, s, plan, access, true);
         cursor.tasks.extend(tasks);
+        if cursor.hinting {
+            // The whole task list is the outermost read schedule: each
+            // task charges its two pages when it starts.
+            cursor.scratch.sched.clear();
+            schedule::push_tasks(&mut cursor.scratch.sched, r, s, &cursor.tasks);
+            cursor.scratch.sched.announce(&mut cursor.access);
+        }
         cursor
     }
 
@@ -501,6 +506,7 @@ impl<'t, A: NodeAccess, M: Meter> JoinCursor<'t, A, M> {
             "distance-join epsilon must be finite and >= 0"
         );
         let io_baseline = access.io_stats();
+        let hinting = access.wants_hints();
         JoinCursor {
             r,
             s,
@@ -515,6 +521,7 @@ impl<'t, A: NodeAccess, M: Meter> JoinCursor<'t, A, M> {
             tasks: VecDeque::new(),
             charge_tasks,
             io_baseline,
+            hinting,
             stack: Vec::new(),
             pending: VecDeque::new(),
             scratch: ExecScratch::default(),
@@ -670,31 +677,25 @@ impl<'t, A: NodeAccess, M: Meter> JoinCursor<'t, A, M> {
                             .expect("qualifying pair must intersect"),
                     }
                 }));
-                if self.plan.zorders() {
-                    // Local z-order (§4.3); comparator invocations charged
-                    // like a sort, exactly as in the recursion.
-                    let frame = self.zframe;
-                    let scratch = &mut self.scratch;
-                    scratch.zkeys.clear();
-                    scratch
-                        .zkeys
-                        .extend(pairs.iter().map(|p| zorder::z_center(&p.rect, &frame, 16)));
-                    scratch.zorder.clear();
-                    scratch.zorder.extend(0..pairs.len());
-                    let keys = &scratch.zkeys;
-                    if M::COUNTING {
-                        let sort_cmp = &mut self.sort_cmp;
-                        scratch.zorder.sort_by(|&x, &y| {
-                            sort_cmp.bump();
-                            keys[x].cmp(&keys[y])
-                        });
-                    } else {
-                        scratch.zorder.sort_unstable_by_key(|&x| keys[x]);
-                    }
-                    let mut sorted = scratch.take_dir();
-                    sorted.extend(scratch.zorder.iter().map(|&k| pairs[k]));
-                    scratch.dir_pool.push(pairs);
-                    pairs = sorted;
+                // The §4.3 read schedule is decided here, before any
+                // descent — ordering lives in the schedule module.
+                schedule::order_dir_pairs(
+                    &self.plan,
+                    &self.zframe,
+                    &mut pairs,
+                    &mut self.scratch.order,
+                    &mut self.sort_cmp,
+                );
+                if self.hinting {
+                    // Announce the frame's materialized schedule tail: the
+                    // child pages of every pair, in schedule order.
+                    let (rd, sd) = (
+                        self.r.depth_of_level(rn.level - 1),
+                        self.s.depth_of_level(sn.level - 1),
+                    );
+                    self.scratch.sched.clear();
+                    schedule::push_dir_children(&mut self.scratch.sched, rn, sn, rd, sd, &pairs);
+                    self.scratch.sched.announce(&mut self.access);
                 }
                 let mut done = self.scratch.take_done();
                 done.resize(pairs.len(), false);
@@ -801,6 +802,14 @@ impl<'t, A: NodeAccess, M: Meter> JoinCursor<'t, A, M> {
                 MixedState::SweepOuter { done, k: 0 }
             }
         };
+        if self.hinting && dir_node.level > 0 {
+            // The frame's schedule: the subtree root under each pair's
+            // directory entry, queried in pair order (§4.4).
+            let depth = self.tree(dir_tag).depth_of_level(dir_node.level - 1);
+            self.scratch.sched.clear();
+            schedule::push_mixed_roots(&mut self.scratch.sched, dir_tag, dir_node, depth, &pairs);
+            self.scratch.sched.announce(&mut self.access);
+        }
         self.stack.push(Frame::Mixed(MixedFrame {
             dir_tag,
             dir_page,
@@ -887,6 +896,31 @@ impl<'t, A: NodeAccess, M: Meter> JoinCursor<'t, A, M> {
                     PinSide::S(_) => TAG_S,
                 };
                 self.access.pin(tag, page);
+                if self.hinting {
+                    // The pin reorders the schedule: the drain's pairs run
+                    // next. Re-announce that tail in its actual order.
+                    let (rn, sn) = (self.r.node(f.rp), self.s.node(f.sp));
+                    let (rd, sd) = (
+                        self.r.depth_of_level(rn.level - 1),
+                        self.s.depth_of_level(sn.level - 1),
+                    );
+                    let drained = f
+                        .pairs
+                        .iter()
+                        .enumerate()
+                        .skip(f.k + 1)
+                        .filter(|&(l, p)| {
+                            !f.done[l]
+                                && match side {
+                                    PinSide::R(ir) => p.ir == ir,
+                                    PinSide::S(js) => p.js == js,
+                                }
+                        })
+                        .map(|(_, p)| p);
+                    self.scratch.sched.clear();
+                    schedule::push_dir_children(&mut self.scratch.sched, rn, sn, rd, sd, drained);
+                    self.scratch.sched.announce(&mut self.access);
+                }
                 f.state = DirState::Drain {
                     side,
                     page,

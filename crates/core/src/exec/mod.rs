@@ -12,6 +12,13 @@
 //! * [`recursive_spatial_join`] / [`recursive_subjoin`] — the original
 //!   recursive driver, kept as the accounting oracle for differential
 //!   tests and the `exec` bench.
+//! * [`schedule`] — the §4.3 read schedule as a first-class artifact:
+//!   pair ordering (sweep/z-order) extracted out of the cursor, plus the
+//!   materialized `(store, page, depth)` tails the cursor announces to
+//!   hint-aware backends ([`rsj_storage::NodeAccess::hint`]) so a
+//!   prefetching backend can overlap reads with computation. Hints are
+//!   advisory and accounting-neutral; backends that don't opt in via
+//!   [`rsj_storage::NodeAccess::wants_hints`] cost nothing.
 //!
 //! The two executors are *accounting-equivalent*: for every sequential
 //! plan they report identical `result_pairs`, `disk_accesses`,
@@ -22,9 +29,11 @@
 
 pub mod cursor;
 pub mod recursive;
+pub mod schedule;
 
 pub use cursor::{JoinCursor, RawJoinCursor};
 pub use recursive::{recursive_spatial_join, recursive_subjoin};
+pub use schedule::ReadSchedule;
 
 /// Buffer-pool store tag of tree R.
 pub const TAG_R: u8 = 0;

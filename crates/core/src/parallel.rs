@@ -188,9 +188,14 @@ fn parallel_join_metered<M: Meter>(
 /// file-backed shared-nothing deployment: a
 /// [`rsj_storage::FileNodeAccess`] over freshly-opened page files and a
 /// slice of the buffer budget — each worker gets its own file handles,
-/// like a worker process would). Tasks are partitioned statically as in
-/// shared-nothing mode; accounting semantics match
-/// [`parallel_spatial_join_with_mode`].
+/// like a worker process would; for genuinely disjoint physical files, a
+/// [`rsj_storage::ShardedFileAccess`] over subtree-sharded files, whose
+/// partition matches the subtree-pair tasks dealt here). Tasks are
+/// partitioned statically as in shared-nothing mode; accounting
+/// semantics match [`parallel_spatial_join_with_mode`]. Each worker's
+/// cursor announces its task list — and every frame schedule below it —
+/// as read-schedule hints, so a hint-aware backend (e.g.
+/// [`rsj_storage::PrefetchingFileAccess`]) prefetches per worker.
 ///
 /// Falls back to a sequential join over `make_access(0)` when `workers <=
 /// 1` or a root is a leaf.

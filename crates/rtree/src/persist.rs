@@ -1,10 +1,16 @@
-//! Tree persistence: `save_to` / `open_from` over [`rsj_storage::PageFile`].
+//! Tree persistence: `save_to` / `open_from` over [`rsj_storage::PageFile`],
+//! and the sharded twins `save_sharded_to` / `open_sharded_from` over
+//! [`rsj_storage::ShardedPageFile`].
 //!
 //! A saved tree is one page file in the [`rsj_storage::codec`] format.
 //! Every allocated page of the in-memory store is written to the slot of
 //! the same index — including pages unreachable after merges — so
 //! [`PageId`]s survive the round trip unchanged and a reopened tree
 //! traverses (and therefore charges buffers) exactly like the original.
+//! The sharded variant keeps the same global page-id space but distributes
+//! the pages over N physical files by **root-entry subtree** (see
+//! [`RTree::shard_assignment`]), so shared-nothing parallel workers
+//! joining disjoint subtree pairs read genuinely disjoint files.
 //!
 //! The header's 40-byte metadata blob carries the tree-level state the
 //! page payloads cannot: root page, entry count, and the structural
@@ -26,7 +32,7 @@ use crate::params::{InsertPolicy, RTreeParams};
 use crate::tree::RTree;
 use rsj_geom::Rect;
 use rsj_storage::codec::{self, DiskEntry, DiskNode, StorageError, META_BYTES};
-use rsj_storage::{PageFile, PageId, PageStore};
+use rsj_storage::{partition, PageFile, PageId, PageStore, ShardedPageFile};
 
 const POLICY_RSTAR: u8 = 0;
 const POLICY_GUTTMAN_QUADRATIC: u8 = 1;
@@ -133,20 +139,61 @@ fn from_disk(disk: DiskNode, page_count: u32) -> Result<Node, StorageError> {
     })
 }
 
+/// Builds a tree from `page_count` decoded pages pulled through
+/// `read_page` — the shared assembly path of [`RTree::load`] and
+/// [`RTree::load_sharded`].
+fn assemble(
+    page_bytes: usize,
+    page_count: u32,
+    meta: &[u8; META_BYTES],
+    mut read_page: impl FnMut(PageId, &mut Vec<u8>) -> Result<(), StorageError>,
+) -> Result<RTree, StorageError> {
+    if page_count == 0 {
+        return Err(StorageError::Corrupt("page file holds no pages".into()));
+    }
+    let (root, len, params) = decode_meta(meta, page_bytes, page_count)?;
+    let mut store: PageStore<Node> = PageStore::new(params.page_bytes);
+    let mut buf = Vec::new();
+    for id in 0..page_count {
+        read_page(PageId(id), &mut buf)?;
+        let node = from_disk(codec::decode_node(&buf)?, page_count)?;
+        store.alloc(node);
+    }
+    store.reset_io(); // loading is not join I/O
+    let tree = RTree {
+        store,
+        root,
+        params,
+        len,
+    };
+    // A decodable file can still be structurally broken (reference
+    // cycles, unbalanced levels, lying entry counts); the invariant
+    // checker is cycle-safe, so corruption surfaces here as a typed
+    // error instead of hanging the first traversal.
+    tree.validate()
+        .map_err(|e| StorageError::Corrupt(e.to_string()))?;
+    Ok(tree)
+}
+
 impl RTree {
+    /// Physical slot size for this tree: the params' capacity, but never
+    /// below the fattest node actually present (defensive: a saved tree
+    /// should satisfy len <= M everywhere, but the format does not depend
+    /// on it).
+    fn slot_bytes(&self) -> usize {
+        let mut capacity = self.params().max_entries;
+        for id in 0..self.page_store().len() {
+            capacity = capacity.max(self.node(PageId(id as u32)).len());
+        }
+        codec::slot_bytes_for(capacity)
+    }
+
     /// Writes the tree to `path` in the [`rsj_storage::codec`] page-file
     /// format: one slot per allocated page (ids preserved), tree metadata
     /// in the header. Returns the closed-over [`PageFile`] so callers can
     /// immediately hand it to a [`rsj_storage::FileNodeAccess`].
     pub fn save_to(&self, path: impl AsRef<Path>) -> Result<PageFile, StorageError> {
-        // Slot size from the params' capacity, but never below the fattest
-        // node actually present (defensive: a saved tree should satisfy
-        // len <= M everywhere, but the format does not depend on it).
-        let mut capacity = self.params().max_entries;
-        for id in 0..self.page_store().len() {
-            capacity = capacity.max(self.node(PageId(id as u32)).len());
-        }
-        let slot = codec::slot_bytes_for(capacity);
+        let slot = self.slot_bytes();
         let mut file = PageFile::create(path, self.params().page_bytes, slot)?;
         let mut buf = Vec::with_capacity(slot);
         for id in 0..self.page_store().len() {
@@ -171,32 +218,88 @@ impl RTree {
 
     /// [`RTree::open_from`] over an already-open [`PageFile`].
     pub fn load(file: &mut PageFile) -> Result<RTree, StorageError> {
-        let page_count = file.page_count();
-        if page_count == 0 {
-            return Err(StorageError::Corrupt("page file holds no pages".into()));
+        let (page_bytes, page_count, meta) = (file.page_bytes(), file.page_count(), *file.meta());
+        assemble(page_bytes, page_count, &meta, |id, buf| {
+            file.read_page_into(id, buf)
+        })
+    }
+
+    /// Partitions this tree's pages over `shards` physical files by
+    /// **root-entry subtree**: all pages below the root's `i`-th entry go
+    /// to shard [`partition`]`(i, shards)`, so the subtree-pair tasks a
+    /// parallel join deals to its workers resolve to disjoint files. The
+    /// root page and pages outside any subtree (unreachable after merges)
+    /// fall back to [`partition`] over their page id. `shards` is clamped
+    /// to the manifest's `1..=255` range.
+    pub fn shard_assignment(&self, shards: usize) -> Vec<u8> {
+        let shards = shards.clamp(1, rsj_storage::sharded::MAX_SHARDS);
+        let mut assign: Vec<u8> = (0..self.page_store().len())
+            .map(|id| partition(id as u64, shards) as u8)
+            .collect();
+        let root_node = self.node(self.root);
+        if !root_node.is_leaf() {
+            for (i, e) in root_node.entries.iter().enumerate() {
+                let shard = partition(i as u64, shards) as u8;
+                let mut stack = vec![Self::child_page(e)];
+                while let Some(page) = stack.pop() {
+                    assign[page.0 as usize] = shard;
+                    let node = self.node(page);
+                    if !node.is_leaf() {
+                        stack.extend(node.entries.iter().map(Self::child_page));
+                    }
+                }
+            }
         }
-        let (root, len, params) = decode_meta(file.meta(), file.page_bytes(), page_count)?;
-        let mut store: PageStore<Node> = PageStore::new(params.page_bytes);
-        let mut buf = Vec::new();
-        for id in 0..page_count {
-            file.read_page_into(PageId(id), &mut buf)?;
-            let node = from_disk(codec::decode_node(&buf)?, page_count)?;
-            store.alloc(node);
+        assign
+    }
+
+    /// [`RTree::save_to`] over N physical files: writes the manifest at
+    /// `base` and the pages into `base.shard0..shard{N-1}` under the
+    /// subtree partition of [`RTree::shard_assignment`]. Global page ids
+    /// (and therefore traversal order and buffer charging) are identical
+    /// to the single-file format.
+    pub fn save_sharded_to(
+        &self,
+        base: impl AsRef<Path>,
+        shards: usize,
+    ) -> Result<ShardedPageFile, StorageError> {
+        let slot = self.slot_bytes();
+        let assignment = self.shard_assignment(shards);
+        let shard_count = shards.clamp(1, rsj_storage::sharded::MAX_SHARDS);
+        let mut file = ShardedPageFile::create(
+            base,
+            self.params().page_bytes,
+            slot,
+            shard_count,
+            &assignment,
+        )?;
+        let mut buf = Vec::with_capacity(slot);
+        for id in 0..self.page_store().len() {
+            let disk = to_disk(self.node(PageId(id as u32)));
+            codec::encode_node(&disk, slot, &mut buf)?;
+            file.append_page(&buf)?;
         }
-        store.reset_io(); // loading is not join I/O
-        let tree = RTree {
-            store,
-            root,
-            params,
-            len,
-        };
-        // A decodable file can still be structurally broken (reference
-        // cycles, unbalanced levels, lying entry counts); the invariant
-        // checker is cycle-safe, so corruption surfaces here as a typed
-        // error instead of hanging the first traversal.
-        tree.validate()
-            .map_err(|e| StorageError::Corrupt(e.to_string()))?;
-        Ok(tree)
+        file.set_meta(encode_meta(self));
+        file.flush()?;
+        Ok(file)
+    }
+
+    /// Reopens a tree saved with [`RTree::save_sharded_to`]. Page ids,
+    /// root, parameters and entry count are restored exactly — the same
+    /// guarantees as [`RTree::open_from`], with the pages pulled from
+    /// whichever shard owns them.
+    pub fn open_sharded_from(base: impl AsRef<Path>) -> Result<RTree, StorageError> {
+        let mut file = ShardedPageFile::open(base)?;
+        Self::load_sharded(&mut file)
+    }
+
+    /// [`RTree::open_sharded_from`] over an already-open
+    /// [`ShardedPageFile`].
+    pub fn load_sharded(file: &mut ShardedPageFile) -> Result<RTree, StorageError> {
+        let (page_bytes, page_count, meta) = (file.page_bytes(), file.page_count(), *file.meta());
+        assemble(page_bytes, page_count, &meta, |id, buf| {
+            file.read_page_into(id, buf)
+        })
     }
 }
 
@@ -333,6 +436,73 @@ mod tests {
             RTree::open_from(&path).unwrap_err(),
             StorageError::Truncated { .. }
         ));
+    }
+
+    #[test]
+    fn sharded_save_then_open_round_trips_everything() {
+        let dir = TempDir::new("rtree-persist").unwrap();
+        let tree = build(400);
+        for shards in [1usize, 2, 4, 7] {
+            let base = dir.file(&format!("t{shards}.rsj"));
+            let file = tree.save_sharded_to(&base, shards).unwrap();
+            assert_eq!(file.page_count() as usize, tree.allocated_pages());
+            assert_eq!(file.shard_count(), shards);
+
+            let back = RTree::open_sharded_from(&base).unwrap();
+            back.validate().unwrap();
+            assert_eq!(back.len(), tree.len());
+            assert_eq!(back.root(), tree.root());
+            assert_eq!(back.params(), tree.params());
+            assert_eq!(sorted_entries(&back), sorted_entries(&tree));
+            // Page-by-page identity across the shard split: traversals
+            // must charge the same global page ids.
+            for id in 0..tree.page_store().len() {
+                let p = PageId(id as u32);
+                assert_eq!(back.node(p), tree.node(p), "page {p} at {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_assignment_is_a_subtree_partition() {
+        let tree = build(400);
+        assert!(!tree.node(tree.root()).is_leaf(), "fixture needs depth");
+        let shards = 4;
+        let assign = tree.shard_assignment(shards);
+        assert_eq!(assign.len(), tree.allocated_pages());
+        assert!(assign.iter().all(|&s| usize::from(s) < shards));
+        // Every page of one root subtree shares that subtree's shard.
+        let root_node = tree.node(tree.root());
+        for (i, e) in root_node.entries.iter().enumerate() {
+            let want = rsj_storage::partition(i as u64, shards) as u8;
+            let mut stack = vec![RTree::child_page(e)];
+            while let Some(page) = stack.pop() {
+                assert_eq!(
+                    assign[page.0 as usize], want,
+                    "page {page} of subtree {i} not on its shard"
+                );
+                let node = tree.node(page);
+                if !node.is_leaf() {
+                    stack.extend(node.entries.iter().map(RTree::child_page));
+                }
+            }
+        }
+        // Clamping: any shard request collapses into the manifest range.
+        assert!(
+            tree.shard_assignment(0).iter().all(|&s| s == 0),
+            "zero clamps to one shard"
+        );
+    }
+
+    #[test]
+    fn sharded_empty_tree_round_trips() {
+        let dir = TempDir::new("rtree-persist").unwrap();
+        let tree = build(0);
+        let base = dir.file("empty.rsj");
+        tree.save_sharded_to(&base, 3).unwrap();
+        let back = RTree::open_sharded_from(&base).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.height(), 1);
     }
 
     #[test]

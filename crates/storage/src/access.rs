@@ -4,21 +4,62 @@
 //! trees hand out charge-free borrows ([`crate::PageStore::peek`]) and the
 //! executor *reports* every logical page access so the buffer hierarchy can
 //! answer the paper's question: "would this access have gone to disk?"
-//! [`NodeAccess`] is that reporting interface. Two implementations ship:
+//! [`NodeAccess`] is that reporting interface. Implementations:
 //!
 //! * [`crate::BufferPool`] — the sequential stack of §4.1 (path buffer →
 //!   LRU → disk), owned by one executor;
 //! * [`crate::SharedBufferHandle`] — a per-worker handle onto the sharded,
 //!   lock-based [`crate::SharedBufferPool`], for concurrent workers that
 //!   share one system buffer (each worker keeps private path buffers, as
-//!   each drives its own traversal).
+//!   each drives its own traversal);
+//! * [`crate::FileNodeAccess`] — the same hierarchy over real page files,
+//!   where every miss performs an actual read;
+//! * [`crate::PrefetchingFileAccess`] — the file backend plus a small
+//!   thread-pool that services *read-schedule hints* ahead of demand;
+//! * [`crate::ShardedFileAccess`] — the file backend over trees split
+//!   across several physical files by subtree partition.
 //!
 //! `&mut A` also implements the trait, so an executor can borrow a caller's
 //! accountant instead of owning it — the shared-buffer parallel join runs
 //! many cursors against one worker handle this way.
+//!
+//! ## Read-schedule hints
+//!
+//! SJ3–SJ5 compute the order in which child pages will be visited *before*
+//! descending (the §4.3 read schedule). [`NodeAccess::hint`] and
+//! [`NodeAccess::will_access`] let the executor hand that tail of the
+//! schedule to the backend as **advisory** information: a backend may start
+//! fetching hinted pages early (overlap I/O with computation), but hints
+//! carry no accounting weight — `disk_accesses` is charged by the demand
+//! [`NodeAccess::access`] exactly as the paper charges it, whether or not a
+//! prefetch completed first. The executor's contract is that every hinted
+//! page is subsequently demanded (hints are a prefix of the true access
+//! sequence, never phantom reads), assuming the join runs to completion.
+//! Both methods default to no-ops, so accounting-only backends ignore the
+//! schedule entirely.
 
 use crate::page::PageId;
 use crate::pool::IoStats;
+
+/// One upcoming page access of a read schedule: which store, which page,
+/// at which depth (0 = root) it will be charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageRef {
+    /// Which participating tree/store the page belongs to.
+    pub store: u8,
+    /// The page within that store.
+    pub page: PageId,
+    /// Distance from the root at which the access will be charged.
+    pub depth: usize,
+}
+
+impl PageRef {
+    /// Creates a schedule entry.
+    #[inline]
+    pub const fn new(store: u8, page: PageId, depth: usize) -> Self {
+        PageRef { store, page, depth }
+    }
+}
 
 /// Records logical page accesses and pinning against a buffer hierarchy.
 ///
@@ -38,6 +79,29 @@ pub trait NodeAccess {
 
     /// I/O statistics accumulated by this accountant so far.
     fn io_stats(&self) -> IoStats;
+
+    /// Whether this backend does anything with read-schedule hints.
+    /// Executors may skip materializing schedules entirely when this is
+    /// `false` (the default), so accounting-only backends pay nothing
+    /// for the hint machinery.
+    fn wants_hints(&self) -> bool {
+        false
+    }
+
+    /// Advisory: the executor will access `page` of `store` at `depth`
+    /// soon (module docs, "Read-schedule hints"). Must not change any
+    /// accounting. Default: no-op.
+    fn will_access(&mut self, _store: u8, _page: PageId, _depth: usize) {}
+
+    /// Advisory: the tail of the read schedule — the upcoming accesses in
+    /// the order the executor plans to make them. Must not change any
+    /// accounting. Default: decomposes into [`NodeAccess::will_access`]
+    /// calls, so backends can implement either granularity.
+    fn hint(&mut self, upcoming: &[PageRef]) {
+        for r in upcoming {
+            self.will_access(r.store, r.page, r.depth);
+        }
+    }
 }
 
 impl<A: NodeAccess + ?Sized> NodeAccess for &mut A {
@@ -55,6 +119,18 @@ impl<A: NodeAccess + ?Sized> NodeAccess for &mut A {
 
     fn io_stats(&self) -> IoStats {
         (**self).io_stats()
+    }
+
+    fn wants_hints(&self) -> bool {
+        (**self).wants_hints()
+    }
+
+    fn will_access(&mut self, store: u8, page: PageId, depth: usize) {
+        (**self).will_access(store, page, depth)
+    }
+
+    fn hint(&mut self, upcoming: &[PageRef]) {
+        (**self).hint(upcoming)
     }
 }
 
@@ -85,5 +161,37 @@ mod tests {
         let stats = drive(&mut &mut pool);
         assert_eq!(stats, pool.stats());
         assert_eq!(stats.disk_accesses, 1);
+    }
+
+    #[test]
+    fn hints_are_accounting_neutral_on_default_impls() {
+        let mut pool = BufferPool::with_capacity_pages(4, &[2]);
+        let before = pool.stats();
+        pool.hint(&[PageRef::new(0, PageId(3), 1), PageRef::new(0, PageId(4), 1)]);
+        pool.will_access(0, PageId(5), 1);
+        assert_eq!(pool.stats(), before, "hints must not charge anything");
+        assert!(pool.access(0, PageId(3), 1), "hinted page is still cold");
+    }
+
+    #[test]
+    fn default_hint_decomposes_into_will_access() {
+        #[derive(Default)]
+        struct Recorder(Vec<(u8, PageId, usize)>);
+        impl NodeAccess for Recorder {
+            fn access(&mut self, _: u8, _: PageId, _: usize) -> bool {
+                false
+            }
+            fn pin(&mut self, _: u8, _: PageId) {}
+            fn unpin(&mut self, _: u8, _: PageId) {}
+            fn io_stats(&self) -> IoStats {
+                IoStats::default()
+            }
+            fn will_access(&mut self, store: u8, page: PageId, depth: usize) {
+                self.0.push((store, page, depth));
+            }
+        }
+        let mut r = Recorder::default();
+        r.hint(&[PageRef::new(1, PageId(7), 2), PageRef::new(0, PageId(9), 3)]);
+        assert_eq!(r.0, vec![(1, PageId(7), 2), (0, PageId(9), 3)]);
     }
 }

@@ -20,7 +20,7 @@ use std::path::{Path, PathBuf};
 
 use crate::access::NodeAccess;
 use crate::codec::{FileHeader, StorageError, HEADER_BYTES, META_BYTES, SLOT_HEADER_BYTES};
-use crate::lru::{Access, BufKey, EvictionPolicy, LruBuffer};
+use crate::lru::{BufKey, EvictionPolicy, LruBuffer};
 use crate::page::PageId;
 use crate::path::PathBuffer;
 use crate::pool::IoStats;
@@ -38,6 +38,10 @@ pub struct PageFile {
     header: FileHeader,
     reads: u64,
     writes: u64,
+    /// Slot-sized zero block reused for write padding, so the steady-state
+    /// append/overwrite path allocates nothing (lazily sized on first use
+    /// — read-only files never pay for it).
+    pad: Vec<u8>,
 }
 
 impl PageFile {
@@ -77,6 +81,7 @@ impl PageFile {
             header,
             reads: 0,
             writes: 0,
+            pad: Vec::new(),
         })
     }
 
@@ -105,6 +110,7 @@ impl PageFile {
             header,
             reads: 0,
             writes: 0,
+            pad: Vec::new(),
         })
     }
 
@@ -165,9 +171,9 @@ impl PageFile {
         Ok(HEADER_BYTES as u64 + u64::from(id.0) * u64::from(self.header.slot_bytes))
     }
 
-    /// Appends one encoded page (at most `slot_bytes` long; zero-padded)
-    /// and returns its id. Charges one write.
-    pub fn append_page(&mut self, payload: &[u8]) -> Result<PageId, StorageError> {
+    /// Writes `payload` at `off`, zero-padded to the slot size, reusing
+    /// the file's pad block instead of allocating per write.
+    fn write_slot_at(&mut self, off: u64, payload: &[u8]) -> Result<(), StorageError> {
         let slot = self.slot_bytes();
         if payload.len() > slot {
             return Err(StorageError::NodeTooLarge {
@@ -175,35 +181,32 @@ impl PageFile {
                 slot,
             });
         }
-        let id = PageId(self.header.page_count);
-        let off = HEADER_BYTES as u64 + u64::from(id.0) * u64::from(self.header.slot_bytes);
         self.file.seek(SeekFrom::Start(off))?;
         self.file.write_all(payload)?;
         if payload.len() < slot {
-            self.file.write_all(&vec![0u8; slot - payload.len()])?;
+            if self.pad.len() < slot {
+                self.pad.resize(slot, 0);
+            }
+            self.file.write_all(&self.pad[..slot - payload.len()])?;
         }
-        self.header.page_count += 1;
         self.writes += 1;
+        Ok(())
+    }
+
+    /// Appends one encoded page (at most `slot_bytes` long; zero-padded)
+    /// and returns its id. Charges one write.
+    pub fn append_page(&mut self, payload: &[u8]) -> Result<PageId, StorageError> {
+        let id = PageId(self.header.page_count);
+        let off = HEADER_BYTES as u64 + u64::from(id.0) * u64::from(self.header.slot_bytes);
+        self.write_slot_at(off, payload)?;
+        self.header.page_count += 1;
         Ok(id)
     }
 
     /// Overwrites an existing page in place. Charges one write.
     pub fn write_page(&mut self, id: PageId, payload: &[u8]) -> Result<(), StorageError> {
-        let slot = self.slot_bytes();
-        if payload.len() > slot {
-            return Err(StorageError::NodeTooLarge {
-                need: payload.len(),
-                slot,
-            });
-        }
         let off = self.slot_offset(id)?;
-        self.file.seek(SeekFrom::Start(off))?;
-        self.file.write_all(payload)?;
-        if payload.len() < slot {
-            self.file.write_all(&vec![0u8; slot - payload.len()])?;
-        }
-        self.writes += 1;
-        Ok(())
+        self.write_slot_at(off, payload)
     }
 
     /// Reads one slot into `buf` (resized to `slot_bytes`). Charges one
@@ -252,6 +255,37 @@ impl PageFile {
     }
 }
 
+/// Shared constructor validation of the file-backend family
+/// ([`FileNodeAccess`], [`crate::PrefetchingFileAccess`],
+/// [`crate::ShardedFileAccess`]): one backing store per tree height, and
+/// every store on one logical page size.
+pub(crate) fn validate_stores<T>(
+    stores: &[T],
+    heights: &[usize],
+    page_bytes: impl Fn(&T) -> usize,
+) -> Result<(), StorageError> {
+    if stores.len() != heights.len() {
+        return Err(StorageError::Corrupt(format!(
+            "{} backing stores but {} tree heights",
+            stores.len(),
+            heights.len()
+        )));
+    }
+    if let Some((first, rest)) = stores.split_first() {
+        let expected = page_bytes(first);
+        for s in rest {
+            let found = page_bytes(s);
+            if found != expected {
+                return Err(StorageError::PageSizeMismatch {
+                    expected: expected as u32,
+                    found: found as u32,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The file-backed [`NodeAccess`] backend: path buffers + one LRU buffer
 /// over a set of [`PageFile`]s, one per participating tree/store.
 ///
@@ -280,18 +314,7 @@ impl FileNodeAccess {
         heights: &[usize],
         policy: EvictionPolicy,
     ) -> Result<Self, StorageError> {
-        if files.len() != heights.len() {
-            return Err(StorageError::Corrupt(format!(
-                "{} files but {} tree heights",
-                files.len(),
-                heights.len()
-            )));
-        }
-        if let Some((first, rest)) = files.split_first() {
-            for f in rest {
-                f.check_page_bytes(first.page_bytes())?;
-            }
-        }
+        validate_stores(&files, heights, PageFile::page_bytes)?;
         Ok(FileNodeAccess {
             files,
             lru: LruBuffer::with_policy(cap_pages, policy),
@@ -359,28 +382,23 @@ impl FileNodeAccess {
 
 impl NodeAccess for FileNodeAccess {
     fn access(&mut self, store: u8, page: PageId, depth: usize) -> bool {
-        let key = BufKey::new(store, page);
-        let path = &mut self.paths[store as usize];
-        if path.probe(page) {
-            self.stats.path_hits += 1;
-            path.install(depth, page);
-            return false;
+        let miss = crate::pool::hierarchy_access(
+            &mut self.lru,
+            &mut self.paths,
+            &mut self.stats,
+            store,
+            page,
+            depth,
+        );
+        if miss {
+            // The honest part: a miss is a real read from the file, into
+            // the backend's one reusable scratch buffer (steady-state
+            // misses allocate nothing).
+            self.files[store as usize]
+                .read_page_into(page, &mut self.scratch)
+                .expect("page file read failed mid-join");
         }
-        path.install(depth, page);
-        match self.lru.access(key) {
-            Access::Hit => {
-                self.stats.lru_hits += 1;
-                false
-            }
-            Access::Miss => {
-                // The honest part: a miss is a real read from the file.
-                self.files[store as usize]
-                    .read_page_into(page, &mut self.scratch)
-                    .expect("page file read failed mid-join");
-                self.stats.disk_accesses += 1;
-                true
-            }
-        }
+        miss
     }
 
     fn pin(&mut self, store: u8, page: PageId) {

@@ -41,6 +41,16 @@
 //!   path-buffer → LRU hierarchy as [`BufferPool`] (bit-identical
 //!   `disk_accesses` at equal capacity), but every miss performs an actual
 //!   page read from the backing file;
+//! * [`PrefetchingFileAccess`] — the file backend plus a small thread-pool
+//!   servicing the executor's read-schedule hints ([`NodeAccess::hint`]):
+//!   hinted pages are staged ahead of demand, overlapping I/O with
+//!   computation while leaving every `IoStats` number untouched;
+//! * [`ShardedPageFile`] / [`ShardedFileAccess`] — one tree split across N
+//!   physical files (manifest + per-shard page files; the R\*-tree crate
+//!   partitions by root-entry subtree), so shared-nothing parallel workers
+//!   read genuinely disjoint files;
+//! * [`partition`] — the one Fibonacci-hash partitioner shared by the
+//!   buffer shards and the subtree partitioner;
 //! * [`TempDir`] — a dependency-free scratch-directory helper for tests
 //!   and benches (the environment has no `tempfile` crate).
 
@@ -51,19 +61,25 @@ pub mod file;
 pub mod heapfile;
 pub mod lru;
 pub mod page;
+pub mod partition;
 pub mod path;
 pub mod pool;
+pub mod prefetch;
+pub mod sharded;
 pub mod shared;
 pub mod temp;
 
-pub use access::NodeAccess;
+pub use access::{NodeAccess, PageRef};
 pub use codec::{DiskEntry, DiskNode, FileHeader, StorageError};
 pub use cost::CostModel;
 pub use file::{FileNodeAccess, PageFile};
 pub use heapfile::{HeapFile, RecordId};
 pub use lru::{Access, EvictionPolicy, LruBuffer};
 pub use page::{PageId, PageStore};
+pub use partition::{partition, partition_key};
 pub use path::PathBuffer;
 pub use pool::{BufKey, BufferPool, IoStats};
+pub use prefetch::{PrefetchConfig, PrefetchingFileAccess};
+pub use sharded::{ShardedFileAccess, ShardedPageFile};
 pub use shared::{SharedBufferHandle, SharedBufferPool};
 pub use temp::TempDir;

@@ -38,6 +38,44 @@ impl IoStats {
     }
 }
 
+/// The §4.1 access decision shared by every backend that owns its buffers
+/// privately ([`BufferPool`], [`crate::FileNodeAccess`] and its prefetching
+/// and sharded siblings): probe the owning tree's path buffer, fall through
+/// to the LRU buffer, and charge a disk access on a miss. Returns `true`
+/// iff the caller must actually fetch the page.
+///
+/// Keeping this in one function is what makes the backends' `disk_accesses`
+/// *bit-identical by construction* — only what a miss does differs.
+#[inline]
+pub(crate) fn hierarchy_access(
+    lru: &mut LruBuffer,
+    paths: &mut [PathBuffer],
+    stats: &mut IoStats,
+    store: u8,
+    page: PageId,
+    depth: usize,
+) -> bool {
+    let path = &mut paths[store as usize];
+    if path.probe(page) {
+        stats.path_hits += 1;
+        // A path-buffered page is still "used", but the path buffer is
+        // separate memory owned by the tree — do not force LRU residency.
+        path.install(depth, page);
+        return false;
+    }
+    path.install(depth, page);
+    match lru.access(BufKey::new(store, page)) {
+        Access::Hit => {
+            stats.lru_hits += 1;
+            false
+        }
+        Access::Miss => {
+            stats.disk_accesses += 1;
+            true
+        }
+    }
+}
+
 /// The buffer hierarchy shared by the trees participating in a join.
 #[derive(Debug, Clone)]
 pub struct BufferPool {
@@ -82,27 +120,14 @@ impl BufferPool {
     /// Records an access by tree `store` to `page` at depth `level`
     /// (0 = root). Returns `true` if the access had to go to disk.
     pub fn access(&mut self, store: u8, page: PageId, level: usize) -> bool {
-        let key = BufKey::new(store, page);
-        let path = &mut self.paths[store as usize];
-        if path.probe(page) {
-            self.stats.path_hits += 1;
-            // A path-buffered page is still "used": refresh its LRU recency
-            // only if it is resident there — do not force residency, the
-            // path buffer is separate memory owned by the tree.
-            path.install(level, page);
-            return false;
-        }
-        path.install(level, page);
-        match self.lru.access(key) {
-            Access::Hit => {
-                self.stats.lru_hits += 1;
-                false
-            }
-            Access::Miss => {
-                self.stats.disk_accesses += 1;
-                true
-            }
-        }
+        hierarchy_access(
+            &mut self.lru,
+            &mut self.paths,
+            &mut self.stats,
+            store,
+            page,
+            level,
+        )
     }
 
     /// Pins `store`'s `page` in the LRU buffer (see

@@ -1,0 +1,604 @@
+//! Sharded page files: one logical tree split across N physical files.
+//!
+//! A shared-nothing parallel join models workers with private disks; with
+//! a single page file per tree that model is a fiction — every worker's
+//! handle ultimately seeks in the same file. [`ShardedPageFile`] makes
+//! the separation physical: the tree's pages are distributed over
+//! `shard_count` ordinary [`PageFile`]s according to a caller-supplied
+//! assignment (the R\*-tree crate partitions by *root-entry subtree*, so
+//! workers joining disjoint subtree pairs read genuinely disjoint files),
+//! plus a small **manifest** recording the assignment:
+//!
+//! ```text
+//! manifest (base path):  magic "RSJS" | version u16 | reserved u16
+//!                        shard_count u32 | page_count u32
+//!                        page_count × (shard u8)
+//! shard i (base.shardN): an ordinary PageFile holding, in global-id
+//!                        order, the pages assigned to shard i
+//! ```
+//!
+//! Global [`PageId`]s are preserved: page `p` lives in shard
+//! `assignment[p]` at a local slot equal to its rank among that shard's
+//! pages, and the manifest makes the mapping total — so a tree reopened
+//! from shards traverses (and charges buffers) exactly like the original.
+//! The tree metadata blob rides in shard 0's header.
+//!
+//! [`ShardedFileAccess`] is the matching [`NodeAccess`] backend: the same
+//! path-buffer → LRU hierarchy as every other backend (shared decision
+//! code ⇒ bit-identical `disk_accesses`), with each miss reading from
+//! whichever shard owns the page.
+
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::access::NodeAccess;
+use crate::codec::{StorageError, META_BYTES};
+use crate::file::PageFile;
+use crate::lru::{BufKey, EvictionPolicy, LruBuffer};
+use crate::page::PageId;
+use crate::path::PathBuffer;
+use crate::pool::IoStats;
+
+/// Manifest signature.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"RSJS";
+
+/// Manifest format version.
+pub const MANIFEST_VERSION: u16 = 1;
+
+/// Fixed manifest header length in bytes.
+pub const MANIFEST_HEADER_BYTES: usize = 16;
+
+/// Maximum shard count (the assignment stores one byte per page).
+pub const MAX_SHARDS: usize = u8::MAX as usize;
+
+/// Path of shard `i` of the sharded file at `base`.
+fn shard_path(base: &Path, i: usize) -> PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(format!(".shard{i}"));
+    PathBuf::from(os)
+}
+
+/// One tree's pages across several physical page files (module docs).
+#[derive(Debug)]
+pub struct ShardedPageFile {
+    base: PathBuf,
+    shards: Vec<PageFile>,
+    /// Owning shard per global page id.
+    assign: Vec<u8>,
+    /// Local slot within the owning shard per global page id.
+    local: Vec<u32>,
+    /// Pages appended so far (the write protocol appends in global order).
+    appended: u32,
+}
+
+impl ShardedPageFile {
+    /// Creates a sharded file at `base` for exactly `assignment.len()`
+    /// pages distributed per `assignment` over `shard_count` files. The
+    /// write protocol mirrors [`PageFile`]: append every page in global-id
+    /// order, set the metadata, then [`ShardedPageFile::flush`].
+    pub fn create(
+        base: impl AsRef<Path>,
+        page_bytes: usize,
+        slot_bytes: usize,
+        shard_count: usize,
+        assignment: &[u8],
+    ) -> Result<Self, StorageError> {
+        if shard_count == 0 || shard_count > MAX_SHARDS {
+            return Err(StorageError::Corrupt(format!(
+                "shard count {shard_count} outside 1..={MAX_SHARDS}"
+            )));
+        }
+        if assignment.len() > u32::MAX as usize {
+            return Err(StorageError::Corrupt("page count exceeds u32".into()));
+        }
+        if let Some(&bad) = assignment.iter().find(|&&s| usize::from(s) >= shard_count) {
+            return Err(StorageError::Corrupt(format!(
+                "assignment references shard {bad} of {shard_count}"
+            )));
+        }
+        let base = base.as_ref().to_path_buf();
+        let shards = (0..shard_count)
+            .map(|i| PageFile::create(shard_path(&base, i), page_bytes, slot_bytes))
+            .collect::<Result<Vec<_>, _>>()?;
+        let local = local_slots(assignment, shard_count);
+        Ok(ShardedPageFile {
+            base,
+            shards,
+            assign: assignment.to_vec(),
+            local,
+            appended: 0,
+        })
+    }
+
+    /// Opens a sharded file read-only: parses the manifest, opens every
+    /// shard, and validates that the shards hold exactly the pages the
+    /// manifest assigns them at a consistent page size.
+    pub fn open(base: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let base = base.as_ref().to_path_buf();
+        let mut f = std::fs::OpenOptions::new().read(true).open(&base)?;
+        let file_len = f.metadata()?.len();
+        if file_len < MANIFEST_HEADER_BYTES as u64 {
+            return Err(StorageError::Truncated {
+                expected_bytes: MANIFEST_HEADER_BYTES as u64,
+                found_bytes: file_len,
+            });
+        }
+        let mut head = [0u8; MANIFEST_HEADER_BYTES];
+        f.seek(SeekFrom::Start(0))?;
+        f.read_exact(&mut head)?;
+        if head[0..4] != MANIFEST_MAGIC {
+            return Err(StorageError::Corrupt(format!(
+                "bad manifest magic {:?}, expected {MANIFEST_MAGIC:?}",
+                &head[0..4]
+            )));
+        }
+        let version = u16::from_le_bytes([head[4], head[5]]);
+        if version != MANIFEST_VERSION {
+            return Err(StorageError::BadVersion { found: version });
+        }
+        let shard_count = u32::from_le_bytes(head[8..12].try_into().expect("slice of 4")) as usize;
+        let page_count = u32::from_le_bytes(head[12..16].try_into().expect("slice of 4"));
+        if shard_count == 0 || shard_count > MAX_SHARDS {
+            return Err(StorageError::Corrupt(format!(
+                "manifest shard count {shard_count} outside 1..={MAX_SHARDS}"
+            )));
+        }
+        let expected = MANIFEST_HEADER_BYTES as u64 + u64::from(page_count);
+        if file_len < expected {
+            return Err(StorageError::Truncated {
+                expected_bytes: expected,
+                found_bytes: file_len,
+            });
+        }
+        let mut assign = vec![0u8; page_count as usize];
+        f.read_exact(&mut assign)?;
+        if let Some(&bad) = assign.iter().find(|&&s| usize::from(s) >= shard_count) {
+            return Err(StorageError::Corrupt(format!(
+                "manifest assigns a page to shard {bad} of {shard_count}"
+            )));
+        }
+        let shards = (0..shard_count)
+            .map(|i| PageFile::open(shard_path(&base, i)))
+            .collect::<Result<Vec<_>, _>>()?;
+        // Per-shard page tallies and page sizes must match the manifest.
+        let mut tally = vec![0u32; shard_count];
+        for &s in &assign {
+            tally[usize::from(s)] += 1;
+        }
+        let page_bytes = shards[0].page_bytes();
+        for (i, shard) in shards.iter().enumerate() {
+            shard.check_page_bytes(page_bytes)?;
+            if shard.page_count() != tally[i] {
+                return Err(StorageError::Corrupt(format!(
+                    "shard {i} holds {} pages, manifest assigns {}",
+                    shard.page_count(),
+                    tally[i]
+                )));
+            }
+        }
+        let local = local_slots(&assign, shard_count);
+        Ok(ShardedPageFile {
+            base,
+            shards,
+            local,
+            appended: page_count,
+            assign,
+        })
+    }
+
+    /// The manifest path this sharded file lives at.
+    #[inline]
+    pub fn base(&self) -> &Path {
+        &self.base
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Logical page size in bytes.
+    #[inline]
+    pub fn page_bytes(&self) -> usize {
+        self.shards[0].page_bytes()
+    }
+
+    /// Total pages across all shards.
+    #[inline]
+    pub fn page_count(&self) -> u32 {
+        self.assign.len() as u32
+    }
+
+    /// The owner metadata blob (carried by shard 0).
+    #[inline]
+    pub fn meta(&self) -> &[u8; META_BYTES] {
+        self.shards[0].meta()
+    }
+
+    /// Replaces the owner metadata (persisted on flush).
+    pub fn set_meta(&mut self, meta: [u8; META_BYTES]) {
+        self.shards[0].set_meta(meta);
+    }
+
+    /// Errors if the logical page size differs from `expected`.
+    pub fn check_page_bytes(&self, expected: usize) -> Result<(), StorageError> {
+        self.shards[0].check_page_bytes(expected)
+    }
+
+    /// The shard owning global page `id` (bench/test inspection).
+    pub fn shard_of(&self, id: PageId) -> Result<usize, StorageError> {
+        self.assign
+            .get(id.0 as usize)
+            .map(|&s| usize::from(s))
+            .ok_or_else(|| {
+                StorageError::Corrupt(format!(
+                    "page {id} out of range of a {}-page sharded file",
+                    self.assign.len()
+                ))
+            })
+    }
+
+    /// Appends the next page in global-id order to its assigned shard and
+    /// returns its global id. Charges one write on that shard.
+    pub fn append_page(&mut self, payload: &[u8]) -> Result<PageId, StorageError> {
+        let id = self.appended as usize;
+        let Some(&shard) = self.assign.get(id) else {
+            return Err(StorageError::Corrupt(format!(
+                "appending page {id} beyond the assignment of {} pages",
+                self.assign.len()
+            )));
+        };
+        self.shards[usize::from(shard)].append_page(payload)?;
+        self.appended += 1;
+        Ok(PageId(id as u32))
+    }
+
+    /// Reads global page `id` into `buf` from its owning shard. Charges
+    /// one read on that shard.
+    pub fn read_page_into(&mut self, id: PageId, buf: &mut Vec<u8>) -> Result<(), StorageError> {
+        let shard = self.shard_of(id)?;
+        self.shards[shard].read_page_into(PageId(self.local[id.0 as usize]), buf)
+    }
+
+    /// Persists every shard header and writes the manifest. Errors if not
+    /// every assigned page was appended.
+    pub fn flush(&mut self) -> Result<(), StorageError> {
+        if (self.appended as usize) != self.assign.len() {
+            return Err(StorageError::Corrupt(format!(
+                "flush after {} of {} assigned pages",
+                self.appended,
+                self.assign.len()
+            )));
+        }
+        for shard in &mut self.shards {
+            shard.flush()?;
+        }
+        let mut head = [0u8; MANIFEST_HEADER_BYTES];
+        head[0..4].copy_from_slice(&MANIFEST_MAGIC);
+        head[4..6].copy_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        head[8..12].copy_from_slice(&(self.shards.len() as u32).to_le_bytes());
+        head[12..16].copy_from_slice(&(self.assign.len() as u32).to_le_bytes());
+        let mut f = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&self.base)?;
+        f.write_all(&head)?;
+        f.write_all(&self.assign)?;
+        f.flush()?;
+        Ok(())
+    }
+
+    /// Page reads charged so far, summed over shards.
+    pub fn reads(&self) -> u64 {
+        self.shards.iter().map(PageFile::reads).sum()
+    }
+
+    /// Page reads charged so far on shard `i` alone — the per-spindle
+    /// number a disk-array deployment would observe.
+    pub fn shard_reads(&self, i: usize) -> u64 {
+        self.shards[i].reads()
+    }
+
+    /// Page writes charged so far, summed over shards.
+    pub fn writes(&self) -> u64 {
+        self.shards.iter().map(PageFile::writes).sum()
+    }
+
+    /// Resets the read/write counters of every shard.
+    pub fn reset_io(&mut self) {
+        for s in &mut self.shards {
+            s.reset_io();
+        }
+    }
+}
+
+/// Local slot per global page: its rank among the pages of its shard.
+fn local_slots(assign: &[u8], shard_count: usize) -> Vec<u32> {
+    let mut next = vec![0u32; shard_count];
+    assign
+        .iter()
+        .map(|&s| {
+            let l = next[usize::from(s)];
+            next[usize::from(s)] += 1;
+            l
+        })
+        .collect()
+}
+
+/// The sharded-file [`NodeAccess`] backend: path buffers + one LRU buffer
+/// over a set of [`ShardedPageFile`]s, one per participating tree/store.
+/// Same decision hierarchy as every other backend (bit-identical
+/// `disk_accesses` at equal capacity); a miss reads from whichever shard
+/// owns the page.
+#[derive(Debug)]
+pub struct ShardedFileAccess {
+    files: Vec<ShardedPageFile>,
+    lru: LruBuffer,
+    paths: Vec<PathBuffer>,
+    stats: IoStats,
+    scratch: Vec<u8>,
+}
+
+impl ShardedFileAccess {
+    /// Backend over `files` (store `i` resolves to `files[i]`) with an
+    /// LRU of `cap_pages` and one path buffer per entry of `heights`.
+    pub fn with_capacity_pages(
+        files: Vec<ShardedPageFile>,
+        cap_pages: usize,
+        heights: &[usize],
+        policy: EvictionPolicy,
+    ) -> Result<Self, StorageError> {
+        crate::file::validate_stores(&files, heights, ShardedPageFile::page_bytes)?;
+        Ok(ShardedFileAccess {
+            files,
+            lru: LruBuffer::with_policy(cap_pages, policy),
+            paths: heights.iter().map(|&h| PathBuffer::new(h)).collect(),
+            stats: IoStats::default(),
+            scratch: Vec::new(),
+        })
+    }
+
+    /// [`ShardedFileAccess::with_capacity_pages`] with the capacity given
+    /// as a byte budget over the files' logical page size.
+    pub fn new(
+        files: Vec<ShardedPageFile>,
+        buffer_bytes: usize,
+        heights: &[usize],
+        policy: EvictionPolicy,
+    ) -> Result<Self, StorageError> {
+        let page_bytes = files
+            .first()
+            .map(ShardedPageFile::page_bytes)
+            .ok_or_else(|| StorageError::Corrupt("no sharded files".into()))?;
+        Self::with_capacity_pages(files, buffer_bytes / page_bytes, heights, policy)
+    }
+
+    /// Statistics so far.
+    #[inline]
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// The backing sharded file of `store`.
+    #[inline]
+    pub fn file(&self, store: u8) -> &ShardedPageFile {
+        &self.files[store as usize]
+    }
+
+    /// The underlying LRU buffer (for inspection in tests).
+    #[inline]
+    pub fn lru(&self) -> &LruBuffer {
+        &self.lru
+    }
+
+    /// Empties all buffers and zeroes every I/O counter, including the
+    /// per-shard read/write counters — consecutive runs start cold.
+    pub fn reset(&mut self) {
+        self.lru.clear();
+        self.lru.reset_io();
+        for p in &mut self.paths {
+            p.clear();
+        }
+        for f in &mut self.files {
+            f.reset_io();
+        }
+        self.stats = IoStats::default();
+    }
+
+    /// Consumes the backend, returning the sharded files.
+    pub fn into_files(self) -> Vec<ShardedPageFile> {
+        self.files
+    }
+}
+
+impl NodeAccess for ShardedFileAccess {
+    fn access(&mut self, store: u8, page: PageId, depth: usize) -> bool {
+        let miss = crate::pool::hierarchy_access(
+            &mut self.lru,
+            &mut self.paths,
+            &mut self.stats,
+            store,
+            page,
+            depth,
+        );
+        if miss {
+            self.files[store as usize]
+                .read_page_into(page, &mut self.scratch)
+                .expect("sharded page read failed mid-join");
+        }
+        miss
+    }
+
+    fn pin(&mut self, store: u8, page: PageId) {
+        self.lru.pin(BufKey::new(store, page));
+    }
+
+    fn unpin(&mut self, store: u8, page: PageId) {
+        self.lru.unpin(BufKey::new(store, page));
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec;
+    use crate::temp::TempDir;
+
+    fn payload(i: u32, slot: usize) -> Vec<u8> {
+        let node = codec::DiskNode {
+            level: 0,
+            entries: vec![codec::DiskEntry {
+                rect: [i as f64, 0.0, i as f64 + 1.0, 1.0],
+                child: u64::from(i),
+            }],
+        };
+        let mut buf = Vec::new();
+        codec::encode_node(&node, slot, &mut buf).unwrap();
+        buf
+    }
+
+    fn build(dir: &TempDir, name: &str, assign: &[u8], shards: usize) -> PathBuf {
+        let slot = codec::slot_bytes_for(2);
+        let base = dir.file(name);
+        let mut f = ShardedPageFile::create(&base, 1024, slot, shards, assign).unwrap();
+        for i in 0..assign.len() as u32 {
+            f.append_page(&payload(i, slot)).unwrap();
+        }
+        f.set_meta([5; META_BYTES]);
+        f.flush().unwrap();
+        base
+    }
+
+    #[test]
+    fn round_trips_pages_across_shards() {
+        let dir = TempDir::new("sharded").unwrap();
+        let assign = [0u8, 2, 1, 0, 2, 2];
+        let base = build(&dir, "t.rsj", &assign, 3);
+        let mut f = ShardedPageFile::open(&base).unwrap();
+        assert_eq!(f.shard_count(), 3);
+        assert_eq!(f.page_count(), 6);
+        assert_eq!(f.meta(), &[5; META_BYTES]);
+        let mut buf = Vec::new();
+        for i in 0..6u32 {
+            f.read_page_into(PageId(i), &mut buf).unwrap();
+            let node = codec::decode_node(&buf).unwrap();
+            assert_eq!(node.entries[0].child, u64::from(i), "page {i}");
+            assert_eq!(
+                f.shard_of(PageId(i)).unwrap(),
+                usize::from(assign[i as usize])
+            );
+        }
+        assert_eq!(f.reads(), 6);
+        assert_eq!(f.shard_reads(2), 3, "shard 2 owns pages 1, 4, 5");
+        f.reset_io();
+        assert_eq!(f.reads(), 0);
+    }
+
+    #[test]
+    fn create_rejects_bad_assignments() {
+        let dir = TempDir::new("sharded").unwrap();
+        let slot = codec::slot_bytes_for(2);
+        assert!(matches!(
+            ShardedPageFile::create(dir.file("a"), 1024, slot, 0, &[]).unwrap_err(),
+            StorageError::Corrupt(_)
+        ));
+        assert!(matches!(
+            ShardedPageFile::create(dir.file("b"), 1024, slot, 2, &[0, 2]).unwrap_err(),
+            StorageError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn flush_requires_every_assigned_page() {
+        let dir = TempDir::new("sharded").unwrap();
+        let slot = codec::slot_bytes_for(2);
+        let mut f = ShardedPageFile::create(dir.file("t"), 1024, slot, 2, &[0, 1]).unwrap();
+        f.append_page(&payload(0, slot)).unwrap();
+        assert!(matches!(f.flush().unwrap_err(), StorageError::Corrupt(_)));
+        f.append_page(&payload(1, slot)).unwrap();
+        f.flush().unwrap();
+        assert!(matches!(
+            f.append_page(&payload(2, slot)).unwrap_err(),
+            StorageError::Corrupt(_),
+        ));
+    }
+
+    #[test]
+    fn corrupt_manifest_is_a_typed_error() {
+        let dir = TempDir::new("sharded").unwrap();
+        let base = build(&dir, "t.rsj", &[0, 1, 0], 2);
+        // Point a page at a shard beyond the count.
+        let bytes = std::fs::read(&base).unwrap();
+        let mut bad = bytes.clone();
+        bad[MANIFEST_HEADER_BYTES] = 9;
+        std::fs::write(&base, &bad).unwrap();
+        assert!(matches!(
+            ShardedPageFile::open(&base).unwrap_err(),
+            StorageError::Corrupt(_)
+        ));
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        std::fs::write(&base, &bad).unwrap();
+        assert!(matches!(
+            ShardedPageFile::open(&base).unwrap_err(),
+            StorageError::Corrupt(_)
+        ));
+        // Truncated assignment.
+        std::fs::write(&base, &bytes[..bytes.len() - 1]).unwrap();
+        assert!(matches!(
+            ShardedPageFile::open(&base).unwrap_err(),
+            StorageError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_shard_page_is_detected_on_open() {
+        let dir = TempDir::new("sharded").unwrap();
+        let base = build(&dir, "t.rsj", &[0, 1, 1], 2);
+        // Rewrite shard 1 with only one page: tally mismatch.
+        let slot = codec::slot_bytes_for(2);
+        let mut shard1 = PageFile::create(shard_path(&base, 1), 1024, slot).unwrap();
+        shard1.append_page(&payload(7, slot)).unwrap();
+        shard1.flush().unwrap();
+        drop(shard1);
+        assert!(matches!(
+            ShardedPageFile::open(&base).unwrap_err(),
+            StorageError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn access_backend_counts_like_buffer_pool_and_reads_for_real() {
+        let dir = TempDir::new("sharded").unwrap();
+        let base = build(&dir, "t.rsj", &[0, 1, 0, 1], 2);
+        let f = ShardedPageFile::open(&base).unwrap();
+        let mut acc =
+            ShardedFileAccess::with_capacity_pages(vec![f], 2, &[2], EvictionPolicy::Lru).unwrap();
+        let mut pool = crate::BufferPool::with_capacity_pages(2, &[2]);
+        let seq = [
+            (PageId(0), 0usize),
+            (PageId(1), 1),
+            (PageId(2), 1),
+            (PageId(1), 1),
+            (PageId(3), 1),
+        ];
+        for &(p, d) in &seq {
+            let a = acc.access(0, p, d);
+            let b = pool.access(0, p, d);
+            assert_eq!(a, b, "page {p} depth {d}");
+        }
+        assert_eq!(acc.stats(), pool.stats());
+        assert_eq!(acc.file(0).reads(), acc.stats().disk_accesses);
+        acc.reset();
+        assert_eq!(acc.stats(), IoStats::default());
+        assert_eq!(acc.file(0).reads(), 0);
+        assert!(acc.access(0, PageId(0), 0), "cold again after reset");
+    }
+}

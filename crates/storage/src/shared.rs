@@ -94,11 +94,7 @@ impl SharedBufferPool {
     }
 
     fn shard(&self, key: BufKey) -> &Mutex<LruBuffer> {
-        // Fibonacci hashing over the packed key; cheap and well-spread for
-        // the sequential page ids a PageStore allocates.
-        let packed = (u64::from(key.store) << 32) | u64::from(key.page.0);
-        let h = packed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        &self.shards[(h >> 32) as usize % self.shards.len()]
+        &self.shards[crate::partition::partition_key(key, self.shards.len())]
     }
 }
 

@@ -1,0 +1,170 @@
+//! Cold starts over persistent trees: plain, warm, prefetched, sharded.
+//!
+//! Builds the preset-(A) relations, saves both R*-trees to disk (single
+//! page files *and* subtree-sharded files), then runs the same SJ4 join
+//! four ways and prints the I/O story of each:
+//!
+//! 1. **cold** — a fresh `FileNodeAccess`: every buffer miss is a real
+//!    page read;
+//! 2. **warm** — the same accountant again: the LRU still holds the
+//!    working set;
+//! 3. **prefetched** — a cold `PrefetchingFileAccess`: the executor's
+//!    read-schedule hints let worker threads stage pages ahead of demand
+//!    (identical `disk_accesses`, part of the misses served early);
+//! 4. **sharded** — a cold `ShardedFileAccess` over 4 files per tree,
+//!    split by root-entry subtree: the physical layout a shared-nothing
+//!    parallel deployment would put on separate spindles.
+//!
+//! Run with: `cargo run --release --example cold_start`
+
+use rsj::prelude::*;
+use rsj::storage::{
+    PrefetchConfig, PrefetchingFileAccess, ShardedFileAccess, ShardedPageFile, TempDir,
+};
+use rsj_storage::IoStats;
+
+const PAGE: usize = 1024;
+const BUFFER: usize = 32 * PAGE;
+const SHARDS: usize = 4;
+
+fn build(objs: &[rsj::datagen::SpatialObject]) -> RTree {
+    let mut t = RTree::new(RTreeParams::for_page_size(PAGE));
+    for o in objs {
+        t.insert(o.mbr, DataId(o.id));
+    }
+    t
+}
+
+fn report(label: &str, io: IoStats, extra: &str) {
+    println!(
+        "  {label:<11} disk {:>5}  path hits {:>6}  lru hits {:>6}{}",
+        io.disk_accesses, io.path_hits, io.lru_hits, extra
+    );
+}
+
+fn main() {
+    let data = rsj::datagen::preset(TestId::A, 0.01);
+    let (r, s) = (build(&data.r), build(&data.s));
+    let plan = JoinPlan::sj4();
+    println!(
+        "preset A: |R| = {}, |S| = {}, heights {} and {}, SJ4, {} KB buffer",
+        r.len(),
+        s.len(),
+        r.height(),
+        s.height(),
+        BUFFER / 1024
+    );
+    println!(
+        "SJ4 pins, so its read schedule is {} — drain tails are re-hinted after each pin",
+        if plan.schedule_is_exact() {
+            "exact up front"
+        } else {
+            "set-accurate up front"
+        }
+    );
+
+    let dir = TempDir::new("cold-start").expect("temp dir");
+    let (rp, sp) = (dir.file("r.rsj"), dir.file("s.rsj"));
+    r.save_to(&rp).expect("save R");
+    s.save_to(&sp).expect("save S");
+    let (rb, sb) = (dir.file("r.sharded.rsj"), dir.file("s.sharded.rsj"));
+    r.save_sharded_to(&rb, SHARDS).expect("save sharded R");
+    s.save_sharded_to(&sb, SHARDS).expect("save sharded S");
+
+    // Reopen everything cold from disk.
+    let (rf, sf) = (
+        RTree::open_from(&rp).expect("reopen R"),
+        RTree::open_from(&sp).expect("reopen S"),
+    );
+    let heights = [rf.height() as usize, sf.height() as usize];
+    let open_files = || {
+        vec![
+            PageFile::open(&rp).expect("open R file"),
+            PageFile::open(&sp).expect("open S file"),
+        ]
+    };
+
+    // 1 + 2: cold, then warm on the same accountant.
+    let access = FileNodeAccess::new(open_files(), BUFFER, &heights, EvictionPolicy::Lru)
+        .expect("file backend");
+    let (cold, access) = rsj_core::spatial_join_with_access(&rf, &sf, plan, false, access);
+    println!("\n{} result pairs\n", cold.stats.result_pairs);
+    report(
+        "cold",
+        cold.stats.io,
+        &format!(
+            "  ({} real page reads)",
+            access.file(0).reads() + access.file(1).reads()
+        ),
+    );
+    let (warm, _) = rsj_core::spatial_join_with_access(&rf, &sf, plan, false, access);
+    report(
+        "warm",
+        warm.stats.io,
+        &format!(
+            "  ({} fewer disk accesses than cold)",
+            cold.stats.io.disk_accesses - warm.stats.io.disk_accesses
+        ),
+    );
+
+    // 3: prefetched cold run — same accounting, misses served early.
+    let access = PrefetchingFileAccess::new(
+        open_files(),
+        BUFFER,
+        &heights,
+        EvictionPolicy::Lru,
+        PrefetchConfig::default(),
+    )
+    .expect("prefetch backend");
+    let (pre, access) = rsj_core::spatial_join_with_access(&rf, &sf, plan, false, access);
+    assert_eq!(pre.stats.io, cold.stats.io, "prefetch never moves IoStats");
+    report(
+        "prefetched",
+        pre.stats.io,
+        &format!(
+            "  ({} of {} misses staged ahead of demand)",
+            access.prefetch_hits(),
+            access.prefetch_hits() + access.demand_reads()
+        ),
+    );
+    println!(
+        "               (the staged share is timing-dependent: this demo joins in\n\
+         \u{20}               microseconds out of the page cache — a real disk gives the\n\
+         \u{20}               workers milliseconds of lead per hint)"
+    );
+
+    // 4: sharded cold run — same accounting, reads spread over 4 files.
+    let (rsh, ssh) = (
+        RTree::open_sharded_from(&rb).expect("reopen sharded R"),
+        RTree::open_sharded_from(&sb).expect("reopen sharded S"),
+    );
+    let access = ShardedFileAccess::new(
+        vec![
+            ShardedPageFile::open(&rb).expect("open sharded R"),
+            ShardedPageFile::open(&sb).expect("open sharded S"),
+        ],
+        BUFFER,
+        &heights,
+        EvictionPolicy::Lru,
+    )
+    .expect("sharded backend");
+    let (sharded, access) = rsj_core::spatial_join_with_access(&rsh, &ssh, plan, false, access);
+    assert_eq!(
+        sharded.stats.io, cold.stats.io,
+        "sharding never moves IoStats"
+    );
+    let per_shard: Vec<u64> = (0..SHARDS)
+        .map(|i| access.file(0).shard_reads(i) + access.file(1).shard_reads(i))
+        .collect();
+    report(
+        "sharded",
+        sharded.stats.io,
+        &format!("  (reads per shard: {per_shard:?})"),
+    );
+
+    println!(
+        "\nall four runs report identical disk accesses — the paper's metric is\n\
+         a property of the schedule and the buffer, not of where the bytes live\n\
+         or when they were fetched."
+    );
+}

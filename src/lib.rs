@@ -12,13 +12,19 @@
 //!   exact polyline/polygon geometry;
 //! * [`storage`] — simulated paged disk, LRU buffer with pinning, path
 //!   buffers, the paper's cost model, a slotted-page heap file, and the
-//!   pluggable [`storage::NodeAccess`] boundary with its three backends:
+//!   pluggable [`storage::NodeAccess`] boundary with its five backends:
 //!   private [`storage::BufferPool`], sharded [`storage::SharedBufferPool`]
-//!   for concurrent workers, and the persistent [`storage::FileNodeAccess`]
+//!   for concurrent workers, the persistent [`storage::FileNodeAccess`]
 //!   over real [`storage::PageFile`]s (endian-stable binary page format,
-//!   typed [`storage::StorageError`]s) — trees saved with
-//!   [`rtree::RTree::save_to`] reopen cold via [`rtree::RTree::open_from`]
-//!   and join with honest cold/warm buffer behavior;
+//!   typed [`storage::StorageError`]s), the hint-driven
+//!   [`storage::PrefetchingFileAccess`] whose worker threads service the
+//!   executor's read-schedule hints ahead of demand, and the
+//!   [`storage::ShardedFileAccess`] over trees split across N physical
+//!   files by subtree partition — trees saved with
+//!   [`rtree::RTree::save_to`] (or [`rtree::RTree::save_sharded_to`])
+//!   reopen cold via [`rtree::RTree::open_from`] /
+//!   [`rtree::RTree::open_sharded_from`] and join with honest cold/warm
+//!   buffer behavior;
 //! * [`rtree`] — the R\*-tree (plus Guttman baselines and bulk loading);
 //! * [`join`] — the spatial-join algorithms SJ1–SJ5, different-height
 //!   policies, baselines, the parallel (shared-nothing and shared-buffer)
@@ -112,5 +118,8 @@ pub mod prelude {
     pub use rsj_datagen::TestId;
     pub use rsj_geom::{CmpCounter, Geometry, Meter, NoOp, Point, Rect};
     pub use rsj_rtree::{DataId, InsertPolicy, Neighbor, RTree, RTreeParams};
-    pub use rsj_storage::{CostModel, EvictionPolicy, FileNodeAccess, PageFile, StorageError};
+    pub use rsj_storage::{
+        CostModel, EvictionPolicy, FileNodeAccess, PageFile, PageRef, PrefetchConfig,
+        PrefetchingFileAccess, ShardedFileAccess, ShardedPageFile, StorageError,
+    };
 }

@@ -1,7 +1,9 @@
-//! Storage-backend conformance: the three [`rsj_storage::NodeAccess`]
+//! Storage-backend conformance: the [`rsj_storage::NodeAccess`]
 //! implementations — the in-memory [`BufferPool`], a single-handle
-//! [`SharedBufferPool`], and the persistent [`FileNodeAccess`] — must be
-//! interchangeable under every join algorithm.
+//! [`SharedBufferPool`], the persistent [`FileNodeAccess`], the
+//! hint-driven [`PrefetchingFileAccess`], and the [`ShardedFileAccess`]
+//! over subtree-partitioned page files — must be interchangeable under
+//! every join algorithm.
 //!
 //! For SJ1–SJ5 on presets A and B the suite asserts, at the same LRU
 //! capacity and from a cold start:
@@ -22,7 +24,8 @@
 use rsj::prelude::*;
 use rsj_core::spatial_join_with_access;
 use rsj_storage::{
-    BufferPool, FileNodeAccess, IoStats, NodeAccess, PageFile, SharedBufferPool, TempDir,
+    BufferPool, FileNodeAccess, IoStats, NodeAccess, PageFile, PrefetchConfig,
+    PrefetchingFileAccess, ShardedFileAccess, SharedBufferPool, TempDir,
 };
 
 const PAGE: usize = 1024;
@@ -63,6 +66,9 @@ fn run<A: NodeAccess>(
     (sorted_ids(&res.pairs), res.stats.io, access)
 }
 
+/// Shard count the sharded fixture files are partitioned into.
+const SHARDS: usize = 4;
+
 struct Fixture {
     r: RTree,
     s: RTree,
@@ -70,6 +76,9 @@ struct Fixture {
     _dir: TempDir,
     r_path: std::path::PathBuf,
     s_path: std::path::PathBuf,
+    /// Sharded twins of the page files (subtree partition, 4 shards).
+    r_sharded: std::path::PathBuf,
+    s_sharded: std::path::PathBuf,
     /// The trees reopened cold from disk.
     r_file: RTree,
     s_file: RTree,
@@ -84,6 +93,9 @@ impl Fixture {
         let (r_path, s_path) = (dir.file("r.rsj"), dir.file("s.rsj"));
         r.save_to(&r_path).unwrap();
         s.save_to(&s_path).unwrap();
+        let (r_sharded, s_sharded) = (dir.file("r.sharded.rsj"), dir.file("s.sharded.rsj"));
+        r.save_sharded_to(&r_sharded, SHARDS).unwrap();
+        s.save_sharded_to(&s_sharded, SHARDS).unwrap();
         let r_file = RTree::open_from(&r_path).unwrap();
         let s_file = RTree::open_from(&s_path).unwrap();
         Fixture {
@@ -92,6 +104,8 @@ impl Fixture {
             _dir: dir,
             r_path,
             s_path,
+            r_sharded,
+            s_sharded,
             r_file,
             s_file,
         }
@@ -112,6 +126,35 @@ impl Fixture {
         ];
         FileNodeAccess::with_capacity_pages(files, cap_pages, &self.heights(), EvictionPolicy::Lru)
             .unwrap()
+    }
+
+    fn prefetch_access(&self) -> PrefetchingFileAccess {
+        let files = vec![
+            PageFile::open(&self.r_path).unwrap(),
+            PageFile::open(&self.s_path).unwrap(),
+        ];
+        PrefetchingFileAccess::with_capacity_pages(
+            files,
+            CAP_PAGES,
+            &self.heights(),
+            EvictionPolicy::Lru,
+            PrefetchConfig::default(),
+        )
+        .unwrap()
+    }
+
+    fn sharded_access(&self) -> ShardedFileAccess {
+        let files = vec![
+            rsj_storage::ShardedPageFile::open(&self.r_sharded).unwrap(),
+            rsj_storage::ShardedPageFile::open(&self.s_sharded).unwrap(),
+        ];
+        ShardedFileAccess::with_capacity_pages(
+            files,
+            CAP_PAGES,
+            &self.heights(),
+            EvictionPolicy::Lru,
+        )
+        .unwrap()
     }
 }
 
@@ -305,4 +348,138 @@ fn parallel_and_multiway_run_over_the_file_backend() {
     assert_eq!(tuples(&got), tuples(&want));
     assert_eq!(got.io.disk_accesses, want.io.disk_accesses);
     assert_eq!(got.comparisons, want.comparisons);
+}
+
+#[test]
+fn prefetch_backend_agrees_on_pairs_and_disk_accesses() {
+    // The prefetching backend must be a drop-in replacement: identical
+    // pair multisets and identical IoStats to the in-memory BufferPool
+    // for SJ1–SJ5 on both presets — prefetching changes when the physical
+    // read happens, never what is charged.
+    for (test, scale) in [(TestId::A, 0.003), (TestId::B, 0.003)] {
+        let fx = Fixture::new(test, scale);
+        for (plan, name) in plans() {
+            let label = format!("{test:?}/{name}");
+            let pool = BufferPool::with_capacity_pages(CAP_PAGES, &fx.heights());
+            let (want_pairs, want_io, _) = run(&fx.r, &fx.s, plan, pool);
+
+            let (pairs, io, access) = run(&fx.r_file, &fx.s_file, plan, fx.prefetch_access());
+            assert_eq!(pairs, want_pairs, "{label}: prefetch pairs");
+            assert_eq!(io, want_io, "{label}: prefetch I/O");
+            // Honesty: every charged miss was served exactly once, either
+            // by a consumed prefetch or by a synchronous demand read.
+            assert_eq!(
+                access.demand_reads() + access.prefetch_hits(),
+                io.disk_accesses,
+                "{label}: miss service split"
+            );
+            // And the physical read tally covers at least the misses
+            // (prefetch over-reads beyond the window are legal, phantom
+            // *charges* are not).
+            assert!(access.file_reads() >= io.disk_accesses, "{label}");
+        }
+    }
+}
+
+#[test]
+fn prefetch_backend_cold_warm_and_reset() {
+    let fx = Fixture::new(TestId::A, 0.003);
+    let plan = JoinPlan::sj4();
+    let mut access = fx.prefetch_access();
+
+    let (cold_pairs, cold_io, a) = run(&fx.r_file, &fx.s_file, plan, access);
+    access = a;
+    assert!(cold_io.disk_accesses > 0, "cold start must hit the files");
+
+    let (warm_pairs, warm_io, a) = run(&fx.r_file, &fx.s_file, plan, access);
+    access = a;
+    assert_eq!(warm_pairs, cold_pairs);
+    assert!(
+        warm_io.disk_accesses < cold_io.disk_accesses,
+        "warm run reuses the buffer"
+    );
+
+    access.reset();
+    let (reset_pairs, reset_io, access) = run(&fx.r_file, &fx.s_file, plan, access);
+    assert_eq!(reset_pairs, cold_pairs);
+    assert_eq!(
+        reset_io, cold_io,
+        "a reset backend must replay the cold run"
+    );
+    assert_eq!(
+        access.demand_reads() + access.prefetch_hits(),
+        reset_io.disk_accesses
+    );
+}
+
+#[test]
+fn sharded_backend_agrees_on_pairs_and_disk_accesses() {
+    // Sharding redistributes pages over physical files but preserves the
+    // global page-id space, so traversal — and with it every buffer
+    // decision — is identical to the single-file backend.
+    for (test, scale) in [(TestId::A, 0.003), (TestId::B, 0.003)] {
+        let fx = Fixture::new(test, scale);
+        // The sharded files round-trip the trees page-identically.
+        let r_back = RTree::open_sharded_from(&fx.r_sharded).unwrap();
+        assert_eq!(r_back.len(), fx.r.len());
+        assert_eq!(r_back.root(), fx.r.root());
+        for id in 0..fx.r.page_store().len() {
+            let p = rsj_storage::PageId(id as u32);
+            assert_eq!(r_back.node(p), fx.r.node(p), "{test:?}: page {p}");
+        }
+        let s_back = RTree::open_sharded_from(&fx.s_sharded).unwrap();
+
+        for (plan, name) in plans() {
+            let label = format!("{test:?}/{name}");
+            let pool = BufferPool::with_capacity_pages(CAP_PAGES, &fx.heights());
+            let (want_pairs, want_io, _) = run(&fx.r, &fx.s, plan, pool);
+
+            let (pairs, io, access) = run(&r_back, &s_back, plan, fx.sharded_access());
+            assert_eq!(pairs, want_pairs, "{label}: sharded pairs");
+            assert_eq!(io, want_io, "{label}: sharded I/O");
+            // Honesty: every reported disk access was a real page read
+            // from some shard.
+            let real_reads = access.file(0).reads() + access.file(1).reads();
+            assert_eq!(real_reads, io.disk_accesses, "{label}: real reads");
+            // The reads actually spread over the shard files.
+            let touched = (0..SHARDS)
+                .filter(|&i| access.file(0).shard_reads(i) > 0)
+                .count();
+            assert!(touched > 1, "{label}: all reads landed on one shard");
+        }
+    }
+}
+
+#[test]
+fn sharded_parallel_workers_read_disjoint_subtree_files() {
+    // The point of the subtree partition: shared-nothing workers joining
+    // disjoint subtree pairs pull from disjoint physical files. Run the
+    // file-backed parallel join with per-worker sharded handles and pin
+    // that the summed I/O matches the in-memory shared-nothing run.
+    use rsj_core::parallel_spatial_join_with_access;
+    let fx = Fixture::new(TestId::A, 0.003);
+    let workers = 4;
+    let r_back = RTree::open_sharded_from(&fx.r_sharded).unwrap();
+    let s_back = RTree::open_sharded_from(&fx.s_sharded).unwrap();
+    let cfg = JoinConfig::with_buffer(CAP_PAGES * PAGE);
+    let seq = rsj_core::parallel_spatial_join(&fx.r, &fx.s, JoinPlan::sj4(), &cfg, workers);
+    let par =
+        parallel_spatial_join_with_access(&r_back, &s_back, JoinPlan::sj4(), true, workers, |_w| {
+            let files = vec![
+                rsj_storage::ShardedPageFile::open(&fx.r_sharded).unwrap(),
+                rsj_storage::ShardedPageFile::open(&fx.s_sharded).unwrap(),
+            ];
+            ShardedFileAccess::with_capacity_pages(
+                files,
+                CAP_PAGES / workers,
+                &fx.heights(),
+                EvictionPolicy::Lru,
+            )
+            .unwrap()
+        });
+    assert_eq!(sorted_ids(&par.pairs), sorted_ids(&seq.pairs));
+    assert_eq!(
+        par.stats.io.disk_accesses, seq.stats.io.disk_accesses,
+        "sharded file-backed shared-nothing matches in-memory shared-nothing I/O"
+    );
 }
