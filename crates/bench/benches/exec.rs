@@ -36,10 +36,10 @@ use rsj_bench::Workbench;
 use rsj_core::exec::{recursive_spatial_join, JoinCursor, RawJoinCursor};
 use rsj_core::{JoinConfig, JoinPlan};
 use rsj_datagen::TestId;
-use rsj_rtree::RTree;
+use rsj_rtree::{DataId, OpenFileTree, RTree};
 use rsj_storage::{
-    BufferPool, EvictionPolicy, FileNodeAccess, PageFile, PrefetchConfig, PrefetchingFileAccess,
-    ShardedFileAccess, ShardedPageFile, TempDir,
+    BufferPool, EntryFormat, EvictionPolicy, FileNodeAccess, PageFile, PrefetchConfig,
+    PrefetchingFileAccess, ShardReaderConfig, ShardedFileAccess, ShardedPageFile, TempDir,
 };
 
 const PAGE: usize = 4096;
@@ -153,8 +153,9 @@ struct FileReport {
     prefetch_secs: f64,
     prefetch_disk: u64,
     prefetch_hits: u64,
-    /// `(shard_count, best cold secs, disk accesses)` per sweep point.
-    shards: Vec<(usize, f64, u64)>,
+    /// `(shard_count, best cold secs, disk accesses, best parallel-reader
+    /// secs, staged hits)` per sweep point.
+    shards: Vec<(usize, f64, u64, f64, u64)>,
 }
 
 fn measure_file_backend(
@@ -258,7 +259,8 @@ fn measure_file_backend(
         prefetch_hits = prefetch_hits.max(pre.prefetch_hits());
     }
 
-    // Shard-count sweep: the same join over subtree-partitioned files.
+    // Shard-count sweep: the same join over subtree-partitioned files,
+    // demand-only and with the per-shard parallel reader pool.
     let mut shards = Vec::new();
     for shard_count in [2usize, 4, 8] {
         let (rb, sb) = (
@@ -300,7 +302,45 @@ fn measure_file_backend(
             run_sharded(&mut access);
             secs = secs.min(start.elapsed().as_secs_f64());
         }
-        shards.push((shard_count, secs, disk));
+
+        // The same sweep point with one reader thread per physical shard
+        // file eating the executor's hints: accounting must not move; the
+        // staged split shows how much demand latency the spindles covered.
+        let mut par = ShardedFileAccess::with_parallel_readers(
+            vec![
+                ShardedPageFile::open(&rb).expect("open sharded R"),
+                ShardedPageFile::open(&sb).expect("open sharded S"),
+            ],
+            buffer_pages, // capacity in PAGES — same budget as every other backend here
+            &[rs.height() as usize, ss.height() as usize],
+            EvictionPolicy::Lru,
+            ShardReaderConfig::default(),
+        )
+        .expect("parallel sharded backend");
+        let run_par = |access: &mut ShardedFileAccess| -> (u64, u64) {
+            let mut cursor = JoinCursor::new(&rs, &ss, plan, &mut *access);
+            let pairs = (&mut cursor).count() as u64;
+            (pairs, cursor.stats().io.disk_accesses)
+        };
+        let (pairs, par_disk) = {
+            par.reset();
+            run_par(&mut par)
+        };
+        assert_eq!(pairs, expect_pairs, "parallel sharded backend must agree");
+        assert_eq!(
+            par_disk, cold_disk,
+            "parallel shard readers must not move the disk-access accounting"
+        );
+        let mut par_secs = f64::INFINITY;
+        let mut staged_hits = 0;
+        for _ in 0..iters {
+            par.reset();
+            let start = Instant::now();
+            run_par(&mut par);
+            par_secs = par_secs.min(start.elapsed().as_secs_f64());
+            staged_hits = staged_hits.max(par.staged_hits());
+        }
+        shards.push((shard_count, secs, disk, par_secs, staged_hits));
     }
 
     FileReport {
@@ -324,9 +364,10 @@ impl FileReport {
         let shards = self
             .shards
             .iter()
-            .map(|&(n, secs, disk)| {
+            .map(|&(n, secs, disk, par_secs, staged)| {
                 format!(
-                    "{{ \"shards\": {n}, \"secs_per_join\": {secs:.6}, \"disk_accesses\": {disk} }}"
+                    "{{ \"shards\": {n}, \"secs_per_join\": {secs:.6}, \"disk_accesses\": {disk}, \
+                     \"parallel_secs_per_join\": {par_secs:.6}, \"staged_hits\": {staged} }}"
                 )
             })
             .collect::<Vec<_>>()
@@ -343,6 +384,285 @@ impl FileReport {
             self.prefetch_hits,
             shards,
             cursor_secs / self.cold_secs,
+        )
+    }
+}
+
+/// The write path under the same fixture: a scripted update mix applied
+/// through an [`OpenFileTree`] (dirty write-back, free-list reuse), then
+/// the CI-guarded invariant — a cold SJ2 over the updated file costs
+/// exactly as many disk accesses as over a *freshly saved* tree that
+/// applied the same updates in memory.
+struct UpdateReport {
+    ops: usize,
+    update_secs: f64,
+    update_reads: u64,
+    page_writes: u64,
+    reused_slots: u64,
+    pages_before: u32,
+    pages_after: u32,
+    post_update_cold_disk: u64,
+    post_update_secs: f64,
+    fresh_save_cold_disk: u64,
+    fresh_save_secs: f64,
+}
+
+/// The scripted update mix, phased like real churn: delete a 60% band of
+/// R (CondenseTree dissolves underfull nodes onto the free list), insert
+/// translated copies (splits allocate off the free list —
+/// reuse-before-append), then delete half of those again. The phasing
+/// matters: a tight delete-insert interleave keeps node occupancy flat
+/// and would never exercise dissolution or reuse.
+fn update_ops(data: &rsj_datagen::PresetData) -> Vec<(rsj_geom::Rect, DataId, bool)> {
+    let n = data.r.len() * 3 / 5;
+    let band = &data.r[..n];
+    let translated: Vec<(rsj_geom::Rect, DataId)> = band
+        .iter()
+        .enumerate()
+        .map(|(k, o)| {
+            let d = 1e-4 * ((k % 7) as f64 - 3.0);
+            (
+                rsj_geom::Rect::from_corners(
+                    o.mbr.xl + d,
+                    o.mbr.yl - d,
+                    o.mbr.xu + d,
+                    o.mbr.yu - d,
+                ),
+                DataId(10_000_000 + k as u64),
+            )
+        })
+        .collect();
+    let mut ops = Vec::new();
+    for o in band {
+        ops.push((o.mbr, DataId(o.id), false));
+    }
+    for &(r, id) in &translated {
+        ops.push((r, id, true));
+    }
+    for &(r, id) in translated.iter().step_by(2) {
+        ops.push((r, id, false));
+    }
+    ops
+}
+
+fn measure_update_path(
+    w: &Workbench,
+    r: &RTree,
+    s: &RTree,
+    cfg: &JoinConfig,
+    iters: u32,
+) -> UpdateReport {
+    let dir = TempDir::new("bench-update").expect("temp dir");
+    let (rp, sp) = (dir.file("r.rsj"), dir.file("s.rsj"));
+    r.save_to(&rp).expect("save R");
+    s.save_to(&sp).expect("save S");
+    let ops = update_ops(&w.data);
+    let cap_pages = cfg.buffer_bytes / PAGE;
+
+    // In-memory twin + fresh save (the baseline the guard compares to).
+    let mut oracle = r.clone();
+    for &(rect, id, ins) in &ops {
+        if ins {
+            oracle.insert(rect, id);
+        } else {
+            oracle.delete(&rect, id);
+        }
+    }
+    let fresh = dir.file("r.fresh.rsj");
+    oracle.save_to(&fresh).expect("save updated oracle");
+
+    // Timed update runs, each on a pristine copy of the original file.
+    let upd = dir.file("r.upd.rsj");
+    let mut update_secs = f64::INFINITY;
+    let mut update_reads = 0;
+    let mut page_writes = 0;
+    let mut reused_slots = 0;
+    let mut pages_after = 0;
+    for _ in 0..iters.clamp(1, 10) {
+        std::fs::copy(&rp, &upd).expect("copy page file");
+        let start = Instant::now();
+        let mut open = OpenFileTree::open(&upd, cap_pages).expect("open for update");
+        let mut reused = 0u64;
+        for &(rect, id, ins) in &ops {
+            if ins {
+                let free_before = open.tree().free_page_count();
+                open.insert(rect, id).expect("insert");
+                reused += free_before.saturating_sub(open.tree().free_page_count()) as u64;
+            } else {
+                open.delete(&rect, id).expect("delete");
+            }
+        }
+        open.flush().expect("flush");
+        update_secs = update_secs.min(start.elapsed().as_secs_f64());
+        let io = open.io_stats();
+        update_reads = io.disk_accesses;
+        page_writes = io.page_writes;
+        reused_slots = reused;
+        pages_after = open.access().file(0).page_count();
+    }
+
+    // Cold SJ2 over the updated file vs the freshly saved oracle file.
+    let cold_sj2 = |r_path: &std::path::Path| -> (u64, u64, f64) {
+        let rt = RTree::open_from(r_path).expect("reopen updated R");
+        let st = RTree::open_from(&sp).expect("reopen S");
+        let mut access = FileNodeAccess::new(
+            vec![
+                PageFile::open(r_path).expect("open R file"),
+                PageFile::open(&sp).expect("open S file"),
+            ],
+            cfg.buffer_bytes,
+            &[rt.height() as usize, st.height() as usize],
+            EvictionPolicy::Lru,
+        )
+        .expect("file backend");
+        let run = |access: &mut FileNodeAccess| -> (u64, u64) {
+            let mut cursor = JoinCursor::new(&rt, &st, JoinPlan::sj2(), &mut *access);
+            let pairs = (&mut cursor).count() as u64;
+            (pairs, cursor.stats().io.disk_accesses)
+        };
+        let (pairs, disk) = {
+            access.reset();
+            run(&mut access)
+        };
+        let mut secs = f64::INFINITY;
+        for _ in 0..iters {
+            access.reset();
+            let start = Instant::now();
+            run(&mut access);
+            secs = secs.min(start.elapsed().as_secs_f64());
+        }
+        (pairs, disk, secs)
+    };
+    let (pairs_upd, post_update_cold_disk, post_update_secs) = cold_sj2(&upd);
+    let (pairs_fresh, fresh_save_cold_disk, fresh_save_secs) = cold_sj2(&fresh);
+    assert_eq!(pairs_upd, pairs_fresh, "updated file must join identically");
+
+    UpdateReport {
+        ops: ops.len(),
+        update_secs,
+        update_reads,
+        page_writes,
+        reused_slots,
+        pages_before: PageFile::open(&rp).expect("reopen original").page_count(),
+        pages_after,
+        post_update_cold_disk,
+        post_update_secs,
+        fresh_save_cold_disk,
+        fresh_save_secs,
+    }
+}
+
+impl UpdateReport {
+    fn json(&self) -> String {
+        format!(
+            "{{\n    \"ops\": {},\n    \"update_secs\": {:.6},\n    \"updates_per_sec\": {:.0},\n    \"update_disk_reads\": {},\n    \"page_writes\": {},\n    \"reused_slots\": {},\n    \"file_pages\": {{ \"before\": {}, \"after\": {} }},\n    \"post_update_cold\": {{ \"secs_per_join\": {:.6}, \"disk_accesses\": {} }},\n    \"fresh_save_cold\": {{ \"secs_per_join\": {:.6}, \"disk_accesses\": {} }}\n  }}",
+            self.ops,
+            self.update_secs,
+            self.ops as f64 / self.update_secs,
+            self.update_reads,
+            self.page_writes,
+            self.reused_slots,
+            self.pages_before,
+            self.pages_after,
+            self.post_update_secs,
+            self.post_update_cold_disk,
+            self.fresh_save_secs,
+            self.fresh_save_cold_disk,
+        )
+    }
+}
+
+/// The f32 compression ablation: the same trees saved in the 40-byte f64
+/// format and the paper's literal 20-byte entry format — file size, cold
+/// SJ2 I/O, result drift and maximum coordinate drift in one table.
+struct F32Report {
+    f64_bytes: u64,
+    f32_bytes: u64,
+    pairs_f64: u64,
+    pairs_f32: u64,
+    cold_disk_f64: u64,
+    cold_disk_f32: u64,
+    max_drift: f64,
+}
+
+fn measure_f32_ablation(r: &RTree, s: &RTree, cfg: &JoinConfig) -> F32Report {
+    let dir = TempDir::new("bench-f32").expect("temp dir");
+    let cold_sj2 = |rp: &std::path::Path, sp: &std::path::Path| -> (u64, u64) {
+        let rt = RTree::open_from(rp).expect("reopen R");
+        let st = RTree::open_from(sp).expect("reopen S");
+        let access = FileNodeAccess::new(
+            vec![
+                PageFile::open(rp).expect("open R"),
+                PageFile::open(sp).expect("open S"),
+            ],
+            cfg.buffer_bytes,
+            &[rt.height() as usize, st.height() as usize],
+            EvictionPolicy::Lru,
+        )
+        .expect("file backend");
+        let mut cursor = JoinCursor::new(&rt, &st, JoinPlan::sj2(), access);
+        let pairs = (&mut cursor).count() as u64;
+        (pairs, cursor.stats().io.disk_accesses)
+    };
+
+    let (r64, s64) = (dir.file("r64.rsj"), dir.file("s64.rsj"));
+    r.save_to(&r64).expect("save R f64");
+    s.save_to(&s64).expect("save S f64");
+    let (pairs_f64, cold_disk_f64) = cold_sj2(&r64, &s64);
+
+    let (r32, s32) = (dir.file("r32.rsj"), dir.file("s32.rsj"));
+    r.save_to_with_format(&r32, EntryFormat::F32)
+        .expect("save R f32");
+    s.save_to_with_format(&s32, EntryFormat::F32)
+        .expect("save S f32");
+    let (pairs_f32, cold_disk_f32) = cold_sj2(&r32, &s32);
+
+    // Maximum coordinate drift across all data entries of R.
+    let back = RTree::open_from(&r32).expect("reopen f32 R");
+    let originals: std::collections::HashMap<u64, rsj_geom::Rect> = r
+        .data_entries()
+        .into_iter()
+        .map(|(rect, id)| (id.0, rect))
+        .collect();
+    let mut max_drift = 0f64;
+    for (rect, id) in back.data_entries() {
+        let o = originals[&id.0];
+        for (a, b) in [
+            (rect.xl, o.xl),
+            (rect.yl, o.yl),
+            (rect.xu, o.xu),
+            (rect.yu, o.yu),
+        ] {
+            max_drift = max_drift.max((a - b).abs());
+        }
+    }
+
+    F32Report {
+        f64_bytes: std::fs::metadata(&r64).expect("stat").len()
+            + std::fs::metadata(&s64).expect("stat").len(),
+        f32_bytes: std::fs::metadata(&r32).expect("stat").len()
+            + std::fs::metadata(&s32).expect("stat").len(),
+        pairs_f64,
+        pairs_f32,
+        cold_disk_f64,
+        cold_disk_f32,
+        max_drift,
+    }
+}
+
+impl F32Report {
+    fn json(&self) -> String {
+        format!(
+            "{{\n    \"f64_file_bytes\": {},\n    \"f32_file_bytes\": {},\n    \"bytes_ratio\": {:.4},\n    \"pairs_f64\": {},\n    \"pairs_f32\": {},\n    \"pairs_delta\": {},\n    \"cold_disk_f64\": {},\n    \"cold_disk_f32\": {},\n    \"max_coord_drift\": {:.3e}\n  }}",
+            self.f64_bytes,
+            self.f32_bytes,
+            self.f32_bytes as f64 / self.f64_bytes as f64,
+            self.pairs_f64,
+            self.pairs_f32,
+            self.pairs_f32 as i64 - self.pairs_f64 as i64,
+            self.cold_disk_f64,
+            self.cold_disk_f32,
+            self.max_drift,
         )
     }
 }
@@ -383,14 +703,21 @@ fn bench_exec(c: &mut Criterion) {
     // trees come off disk and every buffer miss is a real page read.
     let file = measure_file_backend(&r, &s, JoinPlan::sj2(), sj2.pairs, &cfg, iters);
     let file_json = file.json(sj2.secs[1]);
+    // The write path: scripted updates through an open file, then the
+    // updated-vs-freshly-saved cold-join guard.
+    let update = measure_update_path(&w, &r, &s, &cfg, iters);
+    // The f32 compression ablation on the same fixture.
+    let f32_ablation = measure_f32_ablation(&r, &s, &cfg);
     let json = format!(
-        "{{\n  \"bench\": \"exec_three_engines\",\n  \"preset\": \"A\",\n  \"scale\": {scale},\n  \"page_bytes\": {PAGE},\n  \"iterations\": {iters},\n  \"plan\": \"{}\",\n  \"plans\": {{\n    \"{}\": {},\n    \"{}\": {}\n  }},\n  \"file_backend\": {},\n  \"cursor_over_recursive\": {:.4},\n  \"raw_over_cursor\": {:.4}\n}}\n",
+        "{{\n  \"bench\": \"exec_three_engines\",\n  \"preset\": \"A\",\n  \"scale\": {scale},\n  \"page_bytes\": {PAGE},\n  \"iterations\": {iters},\n  \"plan\": \"{}\",\n  \"plans\": {{\n    \"{}\": {},\n    \"{}\": {}\n  }},\n  \"file_backend\": {},\n  \"update\": {},\n  \"f32_ablation\": {},\n  \"cursor_over_recursive\": {:.4},\n  \"raw_over_cursor\": {:.4}\n}}\n",
         sj2.name,
         sj2.name,
         sj2.json(),
         sj4.name,
         sj4.json(),
         file_json,
+        update.json(),
+        f32_ablation.json(),
         sj2.secs[0] / sj2.secs[1],
         sj2.secs[1] / sj2.secs[2],
     );

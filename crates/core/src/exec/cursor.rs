@@ -544,6 +544,7 @@ impl<'t, A: NodeAccess, M: Meter> JoinCursor<'t, A, M> {
                 disk_accesses: io.disk_accesses - self.io_baseline.disk_accesses,
                 path_hits: io.path_hits - self.io_baseline.path_hits,
                 lru_hits: io.lru_hits - self.io_baseline.lru_hits,
+                page_writes: io.page_writes - self.io_baseline.page_writes,
             },
             result_pairs: self.emitted,
             page_bytes: self.page_bytes,

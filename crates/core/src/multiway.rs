@@ -183,6 +183,7 @@ where
         io.disk_accesses += probe_io.disk_accesses;
         io.path_hits += probe_io.path_hits;
         io.lru_hits += probe_io.lru_hits;
+        io.page_writes += probe_io.page_writes;
         tuples = next;
         if tuples.is_empty() {
             break;

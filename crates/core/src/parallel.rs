@@ -144,6 +144,7 @@ fn merge_results(results: Vec<JoinResult>, root_comparisons: u64, page_bytes: us
         io.disk_accesses += res.stats.io.disk_accesses;
         io.path_hits += res.stats.io.path_hits;
         io.lru_hits += res.stats.io.lru_hits;
+        io.page_writes += res.stats.io.page_writes;
         join_comparisons += res.stats.join_comparisons;
         sort_comparisons += res.stats.sort_comparisons;
         result_pairs += res.stats.result_pairs;

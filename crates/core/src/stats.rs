@@ -76,6 +76,7 @@ mod tests {
                 disk_accesses: 100,
                 path_hits: 5,
                 lru_hits: 7,
+                page_writes: 0,
             },
             result_pairs: 42,
             page_bytes: 1024,

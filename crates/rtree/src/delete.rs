@@ -64,11 +64,13 @@ impl RTree {
         while let Some((parent, idx)) = path.pop() {
             let node_len = self.node(page).len();
             if node_len < self.params().min_entries {
-                // Dissolve: orphan the survivors, drop the parent entry.
+                // Dissolve: orphan the survivors, drop the parent entry,
+                // release the page for reuse.
                 let level = self.node(page).level;
                 let entries = std::mem::take(&mut self.node_mut(page).entries);
                 orphans.extend(entries.into_iter().map(|e| (e, level)));
                 self.node_mut(parent).entries.remove(idx);
+                self.free_node(page);
             } else {
                 // Tighten the parent rectangle.
                 let bb = self.node(page).mbr();
@@ -84,12 +86,15 @@ impl RTree {
             let level = level.min(self.node(self.root()).level);
             self.insert_entry(e, level, &mut reinserted);
         }
-        // Shrink the root while it is a directory with a single child.
+        // Shrink the root while it is a directory with a single child,
+        // releasing each abandoned root page.
         while {
             let root = self.node(self.root());
             !root.is_leaf() && root.len() == 1
         } {
+            let old = self.root;
             self.root = Self::child_page(&self.node(self.root()).entries[0]);
+            self.free_node(old);
         }
     }
 }

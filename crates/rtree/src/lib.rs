@@ -46,6 +46,7 @@ pub mod delete;
 pub mod insert;
 pub mod knn;
 pub mod node;
+pub mod open_tree;
 pub mod params;
 pub mod persist;
 pub mod query;
@@ -56,6 +57,7 @@ pub mod validate;
 
 pub use knn::Neighbor;
 pub use node::{ChildRef, DataId, Entry, Node};
+pub use open_tree::{OpenFileTree, OpenShardedTree, OpenTree};
 pub use params::{InsertPolicy, RTreeParams};
 pub use stats::TreeStats;
 pub use tree::RTree;

@@ -1,0 +1,573 @@
+//! Incremental updates on open page files: [`OpenTree`].
+//!
+//! PRs 3–4 made persistence real but read-only — any update forced a
+//! whole-tree `save_to` rewrite. [`OpenTree`] closes the gap the paper's
+//! §3.1 premise demands (an R-tree is *completely dynamic*; insertions and
+//! deletions intermix with queries with no global reorganization):
+//! `insert` and `delete` run against a tree sitting on an **open**
+//! [`rsj_storage::PageFile`] (or [`rsj_storage::ShardedPageFile`]), with
+//! every page effect flowing through the buffer manager —
+//!
+//! * pages the update descends through are charged as reads
+//!   ([`rsj_storage::NodeAccess::access`]: path buffer → LRU → real read);
+//! * mutated pages are registered dirty with their encoded payload
+//!   ([`rsj_storage::NodeAccessMut::write`]) and written back when evicted
+//!   (pin-aware) or at [`OpenTree::flush`] — a node split and re-split
+//!   between evictions costs one physical write;
+//! * R\*-splits allocate their sibling pages from the file's persistent
+//!   **free list** (reuse-before-append), and CondenseTree releases
+//!   dissolved pages onto it, so delete-heavy churn does not grow the file;
+//! * root, entry count and parameters land in the header metadata at
+//!   flush.
+//!
+//! The invariant that makes this safe (enforced by the update-conformance
+//! suite): the in-memory tree driving the updates *is* a plain [`RTree`]
+//! running the standard insertion/deletion code, and the in-memory page
+//! store uses the same reuse-before-append allocator as the file — so
+//! after any update sequence, `flush` + `open_from` yields a tree that is
+//! **page-for-page identical** to an in-memory tree that applied the same
+//! updates. Identical pages mean identical traversals, which mean
+//! bit-identical join results *and* `IoStats` on SJ1–SJ5.
+//!
+//! The mechanism: the page store records [`PageEvent`]s (touched /
+//! allocated / freed, in order) while the tree code runs; after each
+//! update the events replay against the backend — `Alloc` goes to
+//! [`WritablePageFile::allocate`] (which must hand back the very same page
+//! id the in-memory allocator chose; divergence is a hard error), `Freed`
+//! to [`WritablePageFile::release`] plus a dirty-state discard, `Touched`
+//! to an access charge plus a dirty registration.
+
+use rsj_geom::Rect;
+use rsj_storage::codec::{self, StorageError};
+use rsj_storage::{
+    EvictionPolicy, FileNodeAccess, IoStats, PageEvent, PageFile, ShardedFileAccess,
+    ShardedPageFile, UpdateBackend, WritablePageFile,
+};
+use std::path::Path;
+
+use crate::node::DataId;
+use crate::persist::{encode_meta, to_disk};
+use crate::tree::RTree;
+
+/// Path buffers of an updatable tree are sized for any height the tree
+/// can grow to, not the height at open time — a root split shifts every
+/// depth.
+const MAX_HEIGHT: usize = 64;
+
+/// The store tag updates are charged under (an `OpenTree` owns its
+/// backend, which serves exactly one file).
+const STORE: u8 = 0;
+
+/// An R\*-tree open for incremental updates on its backing page file
+/// (module docs). Generic over the [`UpdateBackend`]:
+/// [`OpenFileTree`] for single page files, [`OpenShardedTree`] for
+/// manifest-sharded ones.
+#[derive(Debug)]
+pub struct OpenTree<B: UpdateBackend> {
+    tree: RTree,
+    access: B,
+    /// Event-replay scratch.
+    events: Vec<PageEvent>,
+    /// Node-encoding scratch.
+    buf: Vec<u8>,
+    /// Physical slot size of the file (fixed at creation).
+    slot: usize,
+    /// On-disk entry format of the file.
+    format: codec::EntryFormat,
+    /// Set when an event replay failed partway: the in-memory tree has
+    /// the update, the file has only a prefix of it. Every further
+    /// update or flush is refused — persisting the divergence would
+    /// corrupt the file silently.
+    poisoned: bool,
+}
+
+/// [`OpenTree`] over a single [`PageFile`].
+pub type OpenFileTree = OpenTree<FileNodeAccess>;
+
+/// [`OpenTree`] over a [`ShardedPageFile`] (birth-shard migration policy;
+/// see `rsj_storage::sharded`).
+pub type OpenShardedTree = OpenTree<ShardedFileAccess>;
+
+impl OpenFileTree {
+    /// Opens the page file at `path` read-write for incremental updates,
+    /// buffering through an LRU of `cap_pages`.
+    pub fn open(path: impl AsRef<Path>, cap_pages: usize) -> Result<Self, StorageError> {
+        let mut file = PageFile::open_rw(path)?;
+        let tree = RTree::load(&mut file)?;
+        file.reset_io(); // loading is not update I/O
+        let access = FileNodeAccess::with_capacity_pages(
+            vec![file],
+            cap_pages,
+            &[MAX_HEIGHT],
+            EvictionPolicy::Lru,
+        )?;
+        Self::from_parts(tree, access)
+    }
+}
+
+impl OpenShardedTree {
+    /// Opens the sharded file at `base` read-write for incremental
+    /// updates, buffering through an LRU of `cap_pages`.
+    pub fn open_sharded(base: impl AsRef<Path>, cap_pages: usize) -> Result<Self, StorageError> {
+        let mut file = ShardedPageFile::open_rw(base)?;
+        let tree = RTree::load_sharded(&mut file)?;
+        file.reset_io();
+        let access = ShardedFileAccess::with_capacity_pages(
+            vec![file],
+            cap_pages,
+            &[MAX_HEIGHT],
+            EvictionPolicy::Lru,
+        )?;
+        Self::from_parts(tree, access)
+    }
+}
+
+impl<B: UpdateBackend> OpenTree<B> {
+    /// Builds an open tree from a loaded [`RTree`] and a write-capable
+    /// backend whose store 0 serves the file the tree was loaded from.
+    /// Validates that tree and file agree on page count, page size and
+    /// free list — the lockstep the event replay depends on.
+    pub fn from_parts(mut tree: RTree, access: B) -> Result<Self, StorageError> {
+        if !access.supports_writes() {
+            return Err(StorageError::Corrupt(
+                "backend is read-only in this configuration (parallel shard \
+                 readers hold independent file handles a write could race)"
+                    .into(),
+            ));
+        }
+        let file = access.store_file(STORE);
+        if file.page_count() as usize != tree.allocated_pages() {
+            return Err(StorageError::Corrupt(format!(
+                "file holds {} pages but the tree allocated {}",
+                file.page_count(),
+                tree.allocated_pages()
+            )));
+        }
+        file.check_consistent_page_bytes(tree.params().page_bytes)?;
+        if file.free_pages() != tree.page_store().free_pages() {
+            return Err(StorageError::Corrupt(
+                "file and tree disagree on the free list".into(),
+            ));
+        }
+        let slot = file.slot_bytes();
+        let format = file.entry_format();
+        if format != codec::EntryFormat::F64 {
+            // F32 encoding is lossy: replaying an insert would write
+            // outward-rounded coordinates while the in-memory tree keeps
+            // exact f64 — the flush+reopen page-identity invariant (and
+            // with it exact-rect deletion) would silently break. Updates
+            // on compressed files need rounding applied in memory first;
+            // until then, refuse rather than corrupt.
+            return Err(StorageError::Corrupt(
+                "in-place updates require the f64 entry format; \
+                 re-save compressed files with EntryFormat::F64 first"
+                    .into(),
+            ));
+        }
+        tree.store.enable_event_tracking();
+        Ok(OpenTree {
+            tree,
+            access,
+            events: Vec::new(),
+            buf: Vec::new(),
+            slot,
+            format,
+            poisoned: false,
+        })
+    }
+
+    /// True once an event replay failed partway (module field docs):
+    /// the pair is desynchronized and refuses further updates/flushes.
+    #[inline]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn check_poisoned(&self) -> Result<(), StorageError> {
+        if self.poisoned {
+            return Err(StorageError::Corrupt(
+                "open tree is poisoned: a previous update replay failed \
+                 partway, so the file no longer matches the in-memory tree \
+                 — reopen from the last flushed state"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The tree, for queries and joins. Mutating it directly would
+    /// desynchronize the file — all mutation goes through
+    /// [`OpenTree::insert`] / [`OpenTree::delete`].
+    #[inline]
+    pub fn tree(&self) -> &RTree {
+        &self.tree
+    }
+
+    /// The backend (counter inspection).
+    #[inline]
+    pub fn access(&self) -> &B {
+        &self.access
+    }
+
+    /// I/O charged by the updates so far (reads through the buffer
+    /// hierarchy plus [`IoStats::page_writes`] write-backs).
+    #[inline]
+    pub fn io_stats(&self) -> IoStats {
+        self.access.io_stats()
+    }
+
+    /// Inserts a data rectangle, through the buffer manager.
+    pub fn insert(&mut self, rect: Rect, id: DataId) -> Result<(), StorageError> {
+        self.check_poisoned()?;
+        self.tree.insert(rect, id);
+        self.apply_events()
+    }
+
+    /// Deletes the data entry `(rect, id)`, through the buffer manager.
+    /// Returns `true` if an entry was removed.
+    pub fn delete(&mut self, rect: &Rect, id: DataId) -> Result<bool, StorageError> {
+        self.check_poisoned()?;
+        let hit = self.tree.delete(rect, id);
+        self.apply_events()?;
+        Ok(hit)
+    }
+
+    /// Replays the recorded page events of one update against the
+    /// backend, in mutation order (module docs). A failure poisons the
+    /// handle: the in-memory update already happened, the file holds
+    /// only a prefix of it, and nothing may widen that gap.
+    fn apply_events(&mut self) -> Result<(), StorageError> {
+        let res = self.apply_events_inner();
+        if res.is_err() {
+            self.poisoned = true;
+        }
+        res
+    }
+
+    fn apply_events_inner(&mut self) -> Result<(), StorageError> {
+        self.events.clear();
+        self.tree.store.take_events(&mut self.events);
+        for i in 0..self.events.len() {
+            match self.events[i] {
+                PageEvent::Touched(p) => {
+                    // The depth only drives path-buffer bookkeeping; the
+                    // node's current level gives its depth in the current
+                    // tree (a page freed later in this batch reads as a
+                    // cleared leaf — harmless, its dirty state dies with
+                    // the Freed event).
+                    let depth = self
+                        .tree
+                        .depth_of_level(self.tree.node(p).level)
+                        .min(MAX_HEIGHT - 1);
+                    self.access.access(STORE, p, depth);
+                    codec::encode_node_fmt(
+                        &to_disk(self.tree.node(p)),
+                        self.slot,
+                        self.format,
+                        &mut self.buf,
+                    )?;
+                    self.access.write(STORE, p, &self.buf);
+                }
+                PageEvent::Alloc(p) => {
+                    codec::encode_node_fmt(
+                        &to_disk(self.tree.node(p)),
+                        self.slot,
+                        self.format,
+                        &mut self.buf,
+                    )?;
+                    let got = self.access.store_file_mut(STORE).allocate(&self.buf)?;
+                    if got != p {
+                        return Err(StorageError::Corrupt(format!(
+                            "allocator divergence: file allocated {got}, tree expected {p}"
+                        )));
+                    }
+                }
+                PageEvent::Freed(p) => {
+                    self.access.discard(STORE, p);
+                    self.access.store_file_mut(STORE).release(p)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes back every dirty page, stores root/len/params in the header
+    /// metadata, and persists headers durably. After a flush,
+    /// `open_from`/`open_sharded_from` on the same path yields a tree
+    /// page-for-page identical to [`OpenTree::tree`].
+    pub fn flush(&mut self) -> Result<(), StorageError> {
+        self.check_poisoned()?;
+        self.access.flush_writes()?;
+        let meta = encode_meta(&self.tree);
+        let file = self.access.store_file_mut(STORE);
+        file.set_meta(meta);
+        file.flush()?;
+        debug_assert_eq!(
+            self.access.store_file(STORE).free_pages(),
+            self.tree.page_store().free_pages(),
+            "file and tree free lists must stay in lockstep"
+        );
+        Ok(())
+    }
+
+    /// Flushes and returns the backend (and with it the file handles).
+    /// On a flush failure the handle comes back alongside the error —
+    /// dirty payloads intact — so the caller can recover (free space,
+    /// retry [`OpenTree::flush`]) instead of silently losing acknowledged
+    /// updates with the dropped handle.
+    #[allow(clippy::result_large_err)] // the handle IS the recovery path
+    pub fn close(mut self) -> Result<B, (Self, StorageError)> {
+        match self.flush() {
+            Ok(()) => Ok(self.access),
+            Err(e) => Err((self, e)),
+        }
+    }
+}
+
+/// The page-size consistency check, expressed on the trait so
+/// [`OpenTree::from_parts`] works for any backend.
+trait CheckPageBytes {
+    fn check_consistent_page_bytes(&self, expected: usize) -> Result<(), StorageError>;
+}
+
+impl<F: WritablePageFile> CheckPageBytes for F {
+    fn check_consistent_page_bytes(&self, expected: usize) -> Result<(), StorageError> {
+        if self.page_bytes() != expected {
+            return Err(StorageError::PageSizeMismatch {
+                expected: expected as u32,
+                found: self.page_bytes() as u32,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{InsertPolicy, RTreeParams};
+    use rsj_storage::{PageId, TempDir};
+
+    fn rect_for(i: u64) -> Rect {
+        let x = (i % 25) as f64 * 10.0;
+        let y = (i / 25) as f64 * 10.0;
+        Rect::from_corners(x, y, x + 7.0, y + 7.0)
+    }
+
+    fn build(n: u64) -> RTree {
+        let mut t = RTree::new(RTreeParams::explicit(256, 8, 3, InsertPolicy::RStar));
+        for i in 0..n {
+            t.insert(rect_for(i), DataId(i));
+        }
+        t
+    }
+
+    /// Applies the same scripted update mix to any sink: the callback
+    /// receives `(rect, id, is_insert)`.
+    fn script(mut op: impl FnMut(Rect, DataId, bool)) {
+        for i in 0..60u64 {
+            op(rect_for(i * 3 % 200), DataId(i * 3 % 200), false);
+            op(rect_for(500 + i), DataId(500 + i), true);
+            if i % 7 == 0 {
+                op(rect_for(500 + i), DataId(500 + i), false);
+            }
+        }
+    }
+
+    fn assert_page_identical(a: &RTree, b: &RTree) {
+        assert_eq!(a.allocated_pages(), b.allocated_pages());
+        assert_eq!(a.root(), b.root());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.page_store().free_pages(), b.page_store().free_pages());
+        for id in 0..a.allocated_pages() {
+            let p = PageId(id as u32);
+            assert_eq!(a.node(p), b.node(p), "page {p}");
+        }
+    }
+
+    #[test]
+    fn updates_through_the_file_match_the_in_memory_oracle() {
+        let dir = TempDir::new("open-tree").unwrap();
+        let path = dir.file("t.rsj");
+        let seed = build(200);
+        seed.save_to(&path).unwrap();
+
+        // Oracle: plain in-memory updates.
+        let mut oracle = seed.clone();
+        script(|r, id, ins| {
+            if ins {
+                oracle.insert(r, id);
+            } else {
+                oracle.delete(&r, id);
+            }
+        });
+
+        // Device under test: the same updates through the open file.
+        let mut open = OpenFileTree::open(&path, 16).unwrap();
+        script(|r, id, ins| {
+            if ins {
+                open.insert(r, id).unwrap();
+            } else {
+                open.delete(&r, id).unwrap();
+            }
+        });
+        let io = open.io_stats();
+        assert!(io.disk_accesses > 0, "updates must charge reads");
+        open.flush().unwrap();
+        assert!(io.page_writes <= open.io_stats().page_writes);
+        assert!(open.io_stats().page_writes > 0, "updates must write");
+        assert_page_identical(open.tree(), &oracle);
+        drop(open);
+
+        // And the file itself round-trips the updated tree exactly.
+        let back = RTree::open_from(&path).unwrap();
+        back.validate().unwrap();
+        assert_page_identical(&back, &oracle);
+    }
+
+    #[test]
+    fn delete_heavy_churn_reuses_pages_instead_of_growing_the_file() {
+        let dir = TempDir::new("open-tree").unwrap();
+        let path = dir.file("t.rsj");
+        build(300).save_to(&path).unwrap();
+        let mut open = OpenFileTree::open(&path, 16).unwrap();
+        let before = open.access().store_file(STORE).page_count();
+        // Churn: delete a block, insert a block, repeatedly. Deletions
+        // must populate the free list and insertions must drain it —
+        // that is the reuse the file-growth bound depends on.
+        let mut saw_free = 0usize;
+        let mut reused = 0usize;
+        for round in 0..6u64 {
+            for i in 0..40 {
+                let id = round * 40 + i;
+                open.delete(&rect_for(id % 300), DataId(id % 300)).unwrap();
+            }
+            let freed = open.tree().free_page_count();
+            saw_free = saw_free.max(freed);
+            for i in 0..40 {
+                let id = round * 40 + i;
+                open.insert(rect_for(id % 300), DataId(id % 300)).unwrap();
+            }
+            reused += freed.saturating_sub(open.tree().free_page_count());
+        }
+        open.flush().unwrap();
+        let after = open.access().store_file(STORE).page_count();
+        assert!(saw_free > 0, "deletions must release pages");
+        assert!(reused > 0, "insertions must reuse released pages");
+        assert!(
+            after <= before + 16,
+            "free-list reuse must bound file growth: {before} -> {after} pages \
+             ({reused} slots reused)"
+        );
+        let freed = open.tree().free_page_count();
+        drop(open);
+        let back = RTree::open_from(&path).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.free_page_count(), freed, "free list round-trips");
+        assert_eq!(back.len(), 300);
+    }
+
+    #[test]
+    fn sharded_updates_keep_birth_shards_and_round_trip() {
+        let dir = TempDir::new("open-tree").unwrap();
+        let base = dir.file("t.sharded.rsj");
+        let seed = build(250);
+        seed.save_sharded_to(&base, 4).unwrap();
+        let mut oracle = seed.clone();
+        let mut open = OpenShardedTree::open_sharded(&base, 16).unwrap();
+        script(|r, id, ins| {
+            if ins {
+                oracle.insert(r, id);
+                open.insert(r, id).unwrap();
+            } else {
+                oracle.delete(&r, id);
+                open.delete(&r, id).unwrap();
+            }
+        });
+        open.flush().unwrap();
+        assert_page_identical(open.tree(), &oracle);
+        drop(open);
+        let back = RTree::open_sharded_from(&base).unwrap();
+        back.validate().unwrap();
+        assert_page_identical(&back, &oracle);
+    }
+
+    #[test]
+    fn zero_capacity_buffer_writes_through() {
+        // The paper's "buffer size = 0" configuration: nothing can stay
+        // resident, so every dirty page writes through immediately — and
+        // the updated file must still be byte-equivalent to the oracle.
+        let dir = TempDir::new("open-tree").unwrap();
+        let path = dir.file("t.rsj");
+        let seed = build(200);
+        seed.save_to(&path).unwrap();
+        let mut oracle = seed.clone();
+        let mut open = OpenFileTree::open(&path, 0).unwrap();
+        script(|r, id, ins| {
+            if ins {
+                oracle.insert(r, id);
+                open.insert(r, id).unwrap();
+            } else {
+                oracle.delete(&r, id);
+                open.delete(&r, id).unwrap();
+            }
+        });
+        assert!(open.io_stats().page_writes > 0, "write-through charges");
+        open.flush().unwrap();
+        assert_page_identical(open.tree(), &oracle);
+        drop(open);
+        let back = RTree::open_from(&path).unwrap();
+        back.validate().unwrap();
+        assert_page_identical(&back, &oracle);
+    }
+
+    #[test]
+    fn f32_files_refuse_in_place_updates() {
+        // Lossy re-encoding would desynchronize file and tree (and make
+        // entries undeletable by their exact rects after reopen) — a
+        // typed refusal, not silent corruption.
+        use rsj_storage::EntryFormat;
+        let dir = TempDir::new("open-tree").unwrap();
+        let path = dir.file("t32.rsj");
+        build(150)
+            .save_to_with_format(&path, EntryFormat::F32)
+            .unwrap();
+        let err = OpenFileTree::open(&path, 8).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn from_parts_rejects_a_read_only_parallel_reader_backend() {
+        use rsj_storage::{ShardReaderConfig, ShardedFileAccess, ShardedPageFile};
+        let dir = TempDir::new("open-tree").unwrap();
+        let base = dir.file("t.sharded.rsj");
+        let tree = build(150);
+        tree.save_sharded_to(&base, 2).unwrap();
+        let loaded = RTree::open_sharded_from(&base).unwrap();
+        let access = ShardedFileAccess::with_parallel_readers(
+            vec![ShardedPageFile::open_rw(&base).unwrap()],
+            8,
+            &[MAX_HEIGHT],
+            EvictionPolicy::Lru,
+            ShardReaderConfig::default(),
+        )
+        .unwrap();
+        // Typed refusal up front — not a panic on the first update.
+        let err = OpenTree::from_parts(loaded, access).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn from_parts_rejects_a_desynchronized_pair() {
+        let dir = TempDir::new("open-tree").unwrap();
+        let path = dir.file("t.rsj");
+        build(100).save_to(&path).unwrap();
+        let other = build(200); // a different tree: page counts disagree
+        let file = PageFile::open_rw(&path).unwrap();
+        let access =
+            FileNodeAccess::with_capacity_pages(vec![file], 8, &[MAX_HEIGHT], EvictionPolicy::Lru)
+                .unwrap();
+        let err = OpenTree::from_parts(other, access).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)), "{err}");
+    }
+}

@@ -25,20 +25,23 @@
 //! (never below the params' capacity M), so any node the insertion
 //! algorithms can produce fits its slot.
 
+use std::collections::HashMap;
 use std::path::Path;
 
 use crate::node::{ChildRef, DataId, Entry, Node};
 use crate::params::{InsertPolicy, RTreeParams};
 use crate::tree::RTree;
 use rsj_geom::Rect;
-use rsj_storage::codec::{self, DiskEntry, DiskNode, StorageError, META_BYTES};
+use rsj_storage::codec::{
+    self, DiskEntry, DiskNode, DiskPage, EntryFormat, StorageError, META_BYTES,
+};
 use rsj_storage::{partition, PageFile, PageId, PageStore, ShardedPageFile};
 
 const POLICY_RSTAR: u8 = 0;
 const POLICY_GUTTMAN_QUADRATIC: u8 = 1;
 const POLICY_GUTTMAN_LINEAR: u8 = 2;
 
-fn encode_meta(tree: &RTree) -> [u8; META_BYTES] {
+pub(crate) fn encode_meta(tree: &RTree) -> [u8; META_BYTES] {
     let mut meta = [0u8; META_BYTES];
     meta[0..4].copy_from_slice(&tree.root().0.to_le_bytes());
     meta[4..12].copy_from_slice(&(tree.len() as u64).to_le_bytes());
@@ -97,7 +100,7 @@ fn decode_meta(
     ))
 }
 
-fn to_disk(node: &Node) -> DiskNode {
+pub(crate) fn to_disk(node: &Node) -> DiskNode {
     DiskNode {
         level: node.level,
         entries: node
@@ -141,24 +144,51 @@ fn from_disk(disk: DiskNode, page_count: u32) -> Result<Node, StorageError> {
 
 /// Builds a tree from `page_count` decoded pages pulled through
 /// `read_page` — the shared assembly path of [`RTree::load`] and
-/// [`RTree::load_sharded`].
+/// [`RTree::load_sharded`]. `format` is the file's entry format; `free`
+/// is the file's (already chain-validated) free list, reconstructed into
+/// the store so later updates allocate exactly like the tree that was
+/// saved.
 fn assemble(
     page_bytes: usize,
     page_count: u32,
     meta: &[u8; META_BYTES],
+    format: EntryFormat,
+    free: &[PageId],
     mut read_page: impl FnMut(PageId, &mut Vec<u8>) -> Result<(), StorageError>,
 ) -> Result<RTree, StorageError> {
     if page_count == 0 {
         return Err(StorageError::Corrupt("page file holds no pages".into()));
     }
     let (root, len, params) = decode_meta(meta, page_bytes, page_count)?;
+    let free_set: std::collections::HashSet<PageId> = free.iter().copied().collect();
     let mut store: PageStore<Node> = PageStore::new(params.page_bytes);
     let mut buf = Vec::new();
     for id in 0..page_count {
-        read_page(PageId(id), &mut buf)?;
-        let node = from_disk(codec::decode_node(&buf)?, page_count)?;
-        store.alloc(node);
+        let id = PageId(id);
+        read_page(id, &mut buf)?;
+        match codec::decode_page_fmt(&buf, format)? {
+            DiskPage::Node(disk) => {
+                if free_set.contains(&id) {
+                    return Err(StorageError::Corrupt(format!(
+                        "free chain claims live page {id}"
+                    )));
+                }
+                store.alloc(from_disk(disk, page_count)?);
+            }
+            DiskPage::Free { .. } => {
+                // The chain itself was validated by the file layer; here
+                // we only reject markers the chain does not account for
+                // (a free page no allocation could ever reach again).
+                if !free_set.contains(&id) {
+                    return Err(StorageError::Corrupt(format!(
+                        "page {id} is a free marker but not on the free chain"
+                    )));
+                }
+                store.alloc(Node::leaf()); // placeholder, unreachable
+            }
+        }
     }
+    store.restore_free_list(free.to_vec());
     store.reset_io(); // loading is not join I/O
     let tree = RTree {
         store,
@@ -166,6 +196,12 @@ fn assemble(
         params,
         len,
     };
+    if free_set.contains(&tree.root) {
+        return Err(StorageError::Corrupt(format!(
+            "root page {} is on the free chain",
+            tree.root
+        )));
+    }
     // A decodable file can still be structurally broken (reference
     // cycles, unbalanced levels, lying entry counts); the invariant
     // checker is cycle-safe, so corruption surfaces here as a typed
@@ -180,27 +216,58 @@ impl RTree {
     /// below the fattest node actually present (defensive: a saved tree
     /// should satisfy len <= M everywhere, but the format does not depend
     /// on it).
-    fn slot_bytes(&self) -> usize {
+    fn slot_bytes(&self, format: EntryFormat) -> usize {
         let mut capacity = self.params().max_entries;
         for id in 0..self.page_store().len() {
             capacity = capacity.max(self.node(PageId(id as u32)).len());
         }
-        codec::slot_bytes_for(capacity)
+        codec::slot_bytes_for_fmt(capacity, format)
+    }
+
+    /// Marker chain `page → next` for this tree's free list: the last
+    /// freed page is the head, each marker links to the one freed before
+    /// it.
+    fn free_chain(&self) -> HashMap<PageId, Option<PageId>> {
+        let free = self.page_store().free_pages();
+        free.iter()
+            .enumerate()
+            .map(|(i, &id)| (id, if i == 0 { None } else { Some(free[i - 1]) }))
+            .collect()
     }
 
     /// Writes the tree to `path` in the [`rsj_storage::codec`] page-file
-    /// format: one slot per allocated page (ids preserved), tree metadata
-    /// in the header. Returns the closed-over [`PageFile`] so callers can
-    /// immediately hand it to a [`rsj_storage::FileNodeAccess`].
+    /// format: one slot per allocated page (ids preserved — free slots
+    /// become chain markers), tree metadata in the header. Returns the
+    /// closed-over [`PageFile`] so callers can immediately hand it to a
+    /// [`rsj_storage::FileNodeAccess`] or reopen it for updates.
     pub fn save_to(&self, path: impl AsRef<Path>) -> Result<PageFile, StorageError> {
-        let slot = self.slot_bytes();
-        let mut file = PageFile::create(path, self.params().page_bytes, slot)?;
+        self.save_to_with_format(path, EntryFormat::F64)
+    }
+
+    /// [`RTree::save_to`] with an explicit on-disk entry format.
+    /// [`EntryFormat::F32`] stores the paper's literal 20-byte entries —
+    /// half the bytes, Table 1's page capacities on disk — at the cost of
+    /// outward-rounded coordinates: a tree reopened from an F32 file may
+    /// report spurious *candidate* intersections near rectangle borders
+    /// but never misses one (MBRs only grow).
+    pub fn save_to_with_format(
+        &self,
+        path: impl AsRef<Path>,
+        format: EntryFormat,
+    ) -> Result<PageFile, StorageError> {
+        let slot = self.slot_bytes(format);
+        let mut file = PageFile::create_with_format(path, self.params().page_bytes, slot, format)?;
+        let chain = self.free_chain();
         let mut buf = Vec::with_capacity(slot);
         for id in 0..self.page_store().len() {
-            let disk = to_disk(self.node(PageId(id as u32)));
-            codec::encode_node(&disk, slot, &mut buf)?;
+            let id = PageId(id as u32);
+            match chain.get(&id) {
+                Some(&next) => codec::encode_free_page(next, slot, &mut buf)?,
+                None => codec::encode_node_fmt(&to_disk(self.node(id)), slot, format, &mut buf)?,
+            }
             file.append_page(&buf)?;
         }
+        file.set_free_list(self.page_store().free_pages())?;
         file.set_meta(encode_meta(self));
         file.flush()?;
         Ok(file)
@@ -209,8 +276,8 @@ impl RTree {
     /// Reopens a tree saved with [`RTree::save_to`]: decodes every page
     /// into a fresh in-memory store, so queries and joins run unchanged
     /// — while a [`rsj_storage::FileNodeAccess`] over the same file makes
-    /// the buffer misses real. Page ids, root, parameters and entry count
-    /// are restored exactly.
+    /// the buffer misses real. Page ids, root, parameters, entry count
+    /// and the free list are restored exactly.
     pub fn open_from(path: impl AsRef<Path>) -> Result<RTree, StorageError> {
         let mut file = PageFile::open(path)?;
         Self::load(&mut file)
@@ -219,7 +286,9 @@ impl RTree {
     /// [`RTree::open_from`] over an already-open [`PageFile`].
     pub fn load(file: &mut PageFile) -> Result<RTree, StorageError> {
         let (page_bytes, page_count, meta) = (file.page_bytes(), file.page_count(), *file.meta());
-        assemble(page_bytes, page_count, &meta, |id, buf| {
+        let format = file.entry_format();
+        let free = file.free_pages().to_vec();
+        assemble(page_bytes, page_count, &meta, format, &free, |id, buf| {
             file.read_page_into(id, buf)
         })
     }
@@ -263,22 +332,38 @@ impl RTree {
         base: impl AsRef<Path>,
         shards: usize,
     ) -> Result<ShardedPageFile, StorageError> {
-        let slot = self.slot_bytes();
+        self.save_sharded_to_with_format(base, shards, EntryFormat::F64)
+    }
+
+    /// [`RTree::save_sharded_to`] with an explicit on-disk entry format.
+    pub fn save_sharded_to_with_format(
+        &self,
+        base: impl AsRef<Path>,
+        shards: usize,
+        format: EntryFormat,
+    ) -> Result<ShardedPageFile, StorageError> {
+        let slot = self.slot_bytes(format);
         let assignment = self.shard_assignment(shards);
         let shard_count = shards.clamp(1, rsj_storage::sharded::MAX_SHARDS);
-        let mut file = ShardedPageFile::create(
+        let mut file = ShardedPageFile::create_with_format(
             base,
             self.params().page_bytes,
             slot,
             shard_count,
             &assignment,
+            format,
         )?;
+        let chain = self.free_chain();
         let mut buf = Vec::with_capacity(slot);
         for id in 0..self.page_store().len() {
-            let disk = to_disk(self.node(PageId(id as u32)));
-            codec::encode_node(&disk, slot, &mut buf)?;
+            let id = PageId(id as u32);
+            match chain.get(&id) {
+                Some(&next) => codec::encode_free_page(next, slot, &mut buf)?,
+                None => codec::encode_node_fmt(&to_disk(self.node(id)), slot, format, &mut buf)?,
+            }
             file.append_page(&buf)?;
         }
+        file.set_free_list(self.page_store().free_pages())?;
         file.set_meta(encode_meta(self));
         file.flush()?;
         Ok(file)
@@ -297,7 +382,9 @@ impl RTree {
     /// [`ShardedPageFile`].
     pub fn load_sharded(file: &mut ShardedPageFile) -> Result<RTree, StorageError> {
         let (page_bytes, page_count, meta) = (file.page_bytes(), file.page_count(), *file.meta());
-        assemble(page_bytes, page_count, &meta, |id, buf| {
+        let format = file.entry_format();
+        let free = file.free_pages().to_vec();
+        assemble(page_bytes, page_count, &meta, format, &free, |id, buf| {
             file.read_page_into(id, buf)
         })
     }
@@ -503,6 +590,118 @@ mod tests {
         let back = RTree::open_sharded_from(&base).unwrap();
         assert!(back.is_empty());
         assert_eq!(back.height(), 1);
+    }
+
+    #[test]
+    fn free_list_round_trips_through_save_and_open() {
+        let dir = TempDir::new("rtree-persist").unwrap();
+        let mut tree = build(400);
+        // Delete enough to dissolve nodes: the free list becomes
+        // non-trivial.
+        for i in 0..300u64 {
+            let x = (i % 25) as f64 * 3.0;
+            let y = (i / 25) as f64 * 3.0;
+            assert!(tree.delete(&Rect::from_corners(x, y, x + 2.0, y + 2.0), DataId(i)));
+        }
+        assert!(tree.free_page_count() > 0, "fixture needs free pages");
+        let path = dir.file("t.rsj");
+        let file = tree.save_to(&path).unwrap();
+        assert_eq!(file.free_pages(), tree.page_store().free_pages());
+        drop(file);
+        let back = RTree::open_from(&path).unwrap();
+        back.validate().unwrap();
+        assert_eq!(
+            back.page_store().free_pages(),
+            tree.page_store().free_pages(),
+            "free list (and its order) survives the round trip"
+        );
+        // The restored allocator continues exactly where the original
+        // would: both reuse the same page for the next split-free alloc.
+        let mut a = tree.clone();
+        let mut b = back.clone();
+        for i in 0..50u64 {
+            let r = Rect::from_corners(i as f64, 90.0, i as f64 + 1.0, 91.0);
+            a.insert(r, DataId(9000 + i));
+            b.insert(r, DataId(9000 + i));
+        }
+        assert_eq!(a.allocated_pages(), b.allocated_pages());
+        for id in 0..a.allocated_pages() {
+            let p = PageId(id as u32);
+            assert_eq!(a.node(p), b.node(p), "page {p}");
+        }
+    }
+
+    #[test]
+    fn f32_format_round_trips_validly_with_bounded_outward_drift() {
+        let dir = TempDir::new("rtree-persist").unwrap();
+        let tree = build(400);
+        let p64 = dir.file("t64.rsj");
+        let p32 = dir.file("t32.rsj");
+        tree.save_to(&p64).unwrap();
+        tree.save_to_with_format(&p32, EntryFormat::F32).unwrap();
+        // The compressed file is substantially smaller (20- vs 40-byte
+        // entries; headers amortize).
+        let (b64, b32) = (
+            std::fs::metadata(&p64).unwrap().len(),
+            std::fs::metadata(&p32).unwrap().len(),
+        );
+        assert!(
+            b32 * 3 < b64 * 2,
+            "f32 file must be well below 2/3 of the f64 file: {b32} vs {b64}"
+        );
+
+        let back = RTree::open_from(&p32).unwrap();
+        // Structural invariants (exact parent MBRs included) survive the
+        // directed rounding — monotone rounding commutes with min/max.
+        back.validate().unwrap();
+        assert_eq!(back.len(), tree.len());
+        assert_eq!(back.root(), tree.root());
+        // Every data rectangle drifted outward only, and only within one
+        // f32 ULP of its coordinate magnitude.
+        let originals: std::collections::HashMap<u64, Rect> = tree
+            .data_entries()
+            .into_iter()
+            .map(|(r, id)| (id.0, r))
+            .collect();
+        for (r32, id) in back.data_entries() {
+            let r64 = originals[&id.0];
+            assert!(r32.xl <= r64.xl && r32.yl <= r64.yl, "{id}: outward");
+            assert!(r32.xu >= r64.xu && r32.yu >= r64.yu, "{id}: outward");
+            for (a, b) in [
+                (r32.xl, r64.xl),
+                (r32.yl, r64.yl),
+                (r32.xu, r64.xu),
+                (r32.yu, r64.yu),
+            ] {
+                let ulp = (b as f32).abs().max(1e-30) as f64 * f64::from(f32::EPSILON);
+                assert!(
+                    (a - b).abs() <= 2.0 * ulp,
+                    "{id}: drift {} beyond 2 ULP ({ulp})",
+                    (a - b).abs()
+                );
+            }
+        }
+        // The drifted tree still finds everything the original does: MBRs
+        // only grew, so containment-style recall cannot regress.
+        let probe = Rect::from_corners(10.0, 10.0, 40.0, 40.0);
+        let want: std::collections::HashSet<u64> =
+            tree.window_query(&probe).into_iter().map(|d| d.0).collect();
+        let got: std::collections::HashSet<u64> =
+            back.window_query(&probe).into_iter().map(|d| d.0).collect();
+        assert!(got.is_superset(&want), "f32 recall must not regress");
+    }
+
+    #[test]
+    fn sharded_f32_round_trips_validly() {
+        let dir = TempDir::new("rtree-persist").unwrap();
+        let tree = build(400);
+        let base = dir.file("t32.sharded.rsj");
+        tree.save_sharded_to_with_format(&base, 3, EntryFormat::F32)
+            .unwrap();
+        let back = RTree::open_sharded_from(&base).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.len(), tree.len());
+        assert_eq!(back.root(), tree.root());
     }
 
     #[test]

@@ -85,12 +85,18 @@ impl RTree {
         &self.store
     }
 
-    /// Number of pages allocated, including pages freed by merges (the
-    /// simulated disk does not reuse pages; see [`RTree::live_page_count`]
-    /// for reachable pages).
+    /// Number of page slots allocated, including slots currently on the
+    /// free list (see [`RTree::live_page_count`] for reachable pages and
+    /// [`RTree::free_page_count`] for reusable ones).
     #[inline]
     pub fn allocated_pages(&self) -> usize {
         self.store.len()
+    }
+
+    /// Number of pages released by deletions and awaiting reuse.
+    #[inline]
+    pub fn free_page_count(&self) -> usize {
+        self.store.free_pages().len()
     }
 
     /// Number of pages reachable from the root.
@@ -140,6 +146,15 @@ impl RTree {
 
     pub(crate) fn alloc_node(&mut self, node: Node) -> PageId {
         self.store.alloc(node)
+    }
+
+    /// Releases a page onto the store's free list (§3.1's dynamic
+    /// deletions: dissolved nodes and shrunk roots return their pages for
+    /// reuse by later splits). The payload is cleared so stale entries
+    /// never linger in saved files or slot-size computations.
+    pub(crate) fn free_node(&mut self, id: PageId) {
+        *self.store.peek_mut(id) = Node::leaf();
+        self.store.free(id);
     }
 
     /// Installs a brand-new root with the given entries at `level`.

@@ -38,6 +38,7 @@
 //! Both methods default to no-ops, so accounting-only backends ignore the
 //! schedule entirely.
 
+use crate::codec::StorageError;
 use crate::page::PageId;
 use crate::pool::IoStats;
 
@@ -104,6 +105,40 @@ pub trait NodeAccess {
     }
 }
 
+/// The write half of the page-access boundary: dirty-page registration
+/// with deferred write-back.
+///
+/// A mutation path calls [`NodeAccess::access`] for every page it reads on
+/// the way down (charged like any other access) and then
+/// [`NodeAccessMut::write`] for every page it changed, handing over the
+/// page's encoded payload. The backend keeps the page buffered **dirty**;
+/// the physical write happens when the dirty page is *evicted* (pin-aware:
+/// a pinned dirty page is never a victim) or at
+/// [`NodeAccessMut::flush_writes`] — classic write-back, so a page mutated
+/// many times between evictions costs one physical write. Every physical
+/// write-back charges one [`IoStats::page_writes`].
+///
+/// Accounting-only backends ([`crate::BufferPool`]) implement the same
+/// protocol without materializing bytes: they charge `page_writes` where a
+/// real backend would write, which makes them the write-path accounting
+/// oracle exactly as they are the read-path one.
+pub trait NodeAccessMut: NodeAccess {
+    /// Registers `page` of `store` as mutated, with its current encoded
+    /// payload. The page becomes buffer-resident (without hit/miss
+    /// accounting — the caller materialized it) and dirty.
+    fn write(&mut self, store: u8, page: PageId, payload: &[u8]);
+
+    /// Drops any dirty state of `page` without writing it back — the page
+    /// was released and its content is dead (the free-list marker is
+    /// written by the file layer, not by buffer write-back).
+    fn discard(&mut self, store: u8, page: PageId);
+
+    /// Writes back every dirty page (charging `page_writes` per page) and
+    /// clears the dirty set. Does *not* persist file headers — that is the
+    /// owner's close/flush protocol, which knows the metadata.
+    fn flush_writes(&mut self) -> Result<(), StorageError>;
+}
+
 impl<A: NodeAccess + ?Sized> NodeAccess for &mut A {
     fn access(&mut self, store: u8, page: PageId, depth: usize) -> bool {
         (**self).access(store, page, depth)
@@ -131,6 +166,20 @@ impl<A: NodeAccess + ?Sized> NodeAccess for &mut A {
 
     fn hint(&mut self, upcoming: &[PageRef]) {
         (**self).hint(upcoming)
+    }
+}
+
+impl<A: NodeAccessMut + ?Sized> NodeAccessMut for &mut A {
+    fn write(&mut self, store: u8, page: PageId, payload: &[u8]) {
+        (**self).write(store, page, payload)
+    }
+
+    fn discard(&mut self, store: u8, page: PageId) {
+        (**self).discard(store, page)
+    }
+
+    fn flush_writes(&mut self) -> Result<(), StorageError> {
+        (**self).flush_writes()
     }
 }
 

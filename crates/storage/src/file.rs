@@ -18,12 +18,15 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use crate::access::NodeAccess;
-use crate::codec::{FileHeader, StorageError, HEADER_BYTES, META_BYTES, SLOT_HEADER_BYTES};
+use crate::access::{NodeAccess, NodeAccessMut};
+use crate::codec::{
+    self, EntryFormat, FileHeader, StorageError, HEADER_BYTES, META_BYTES, SLOT_HEADER_BYTES,
+};
 use crate::lru::{BufKey, EvictionPolicy, LruBuffer};
 use crate::page::PageId;
 use crate::path::PathBuffer;
 use crate::pool::IoStats;
+use crate::writeback::{DirtyPages, FreeChain, UpdateBackend, WritablePageFile};
 
 /// A page file: fixed header plus `page_count` slots of `slot_bytes` each.
 ///
@@ -31,17 +34,31 @@ use crate::pool::IoStats;
 /// memory and is persisted by [`PageFile::flush`]; `create → append_page*
 /// → set_meta → flush` is the write protocol (the R-tree crate's
 /// `save_to` drives it). Read/write counters mirror [`crate::PageStore`]'s.
+///
+/// **Free-page list** (write path): released slots are chained through the
+/// file — each free slot stores the next free page, the header stores the
+/// chain head — and [`PageFile::allocate`] reuses them LIFO *before*
+/// appending, so delete-heavy churn does not grow the file monotonically.
+/// The chain is mirrored in memory (`free`), rebuilt and validated on
+/// open, and persisted incrementally: [`PageFile::release`] writes the
+/// slot's marker at release time, the header's `free_head` lands on disk
+/// at the next [`PageFile::flush`].
 #[derive(Debug)]
 pub struct PageFile {
     file: File,
     path: PathBuf,
     header: FileHeader,
+    /// In-memory mirror of the on-disk free chain (head last,
+    /// reused first) — see [`FreeChain`].
+    free: FreeChain,
     reads: u64,
     writes: u64,
     /// Slot-sized zero block reused for write padding, so the steady-state
     /// append/overwrite path allocates nothing (lazily sized on first use
     /// — read-only files never pay for it).
     pad: Vec<u8>,
+    /// Scratch for free-chain marker encoding.
+    marker: Vec<u8>,
 }
 
 impl PageFile {
@@ -52,6 +69,18 @@ impl PageFile {
         page_bytes: usize,
         slot_bytes: usize,
     ) -> Result<Self, StorageError> {
+        Self::create_with_format(path, page_bytes, slot_bytes, EntryFormat::F64)
+    }
+
+    /// [`PageFile::create`] with an explicit on-disk entry format (the
+    /// format is recorded in the header's flag word; the page file itself
+    /// never interprets slot contents).
+    pub fn create_with_format(
+        path: impl AsRef<Path>,
+        page_bytes: usize,
+        slot_bytes: usize,
+        format: EntryFormat,
+    ) -> Result<Self, StorageError> {
         if page_bytes == 0 {
             return Err(StorageError::Corrupt("page size of zero".into()));
         }
@@ -61,11 +90,13 @@ impl PageFile {
             )));
         }
         let header = FileHeader {
+            flags: format.flags(),
             page_bytes: u32::try_from(page_bytes)
                 .map_err(|_| StorageError::Corrupt("page size exceeds u32".into()))?,
             slot_bytes: u32::try_from(slot_bytes)
                 .map_err(|_| StorageError::Corrupt("slot size exceeds u32".into()))?,
             page_count: 0,
+            free_head: None,
             meta: [0; META_BYTES],
         };
         let mut file = OpenOptions::new()
@@ -79,20 +110,36 @@ impl PageFile {
             file,
             path: path.as_ref().to_path_buf(),
             header,
+            free: FreeChain::default(),
             reads: 0,
             writes: 0,
             pad: Vec::new(),
+            marker: Vec::new(),
         })
     }
 
     /// Opens an existing page file read-only, validating magic, version
-    /// and length. Read-only is deliberate: the open path serves
+    /// and length. Read-only is deliberate: this open path serves
     /// `open_from`/`FileNodeAccess`, which never write, so saved trees on
     /// read-only media stay usable; write operations against a file
-    /// opened this way fail with [`StorageError::Io`]. The
-    /// [`PageFile::create`] path holds the writable handle.
+    /// opened this way fail with [`StorageError::Io`].
+    /// [`PageFile::open_rw`] holds a writable handle for the update path.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StorageError> {
-        let mut file = OpenOptions::new().read(true).open(path.as_ref())?;
+        Self::open_with(path, false)
+    }
+
+    /// Opens an existing page file read-write — the handle incremental
+    /// updates ([`PageFile::allocate`] / [`PageFile::release`] /
+    /// [`PageFile::write_page`]) run against.
+    pub fn open_rw(path: impl AsRef<Path>) -> Result<Self, StorageError> {
+        Self::open_with(path, true)
+    }
+
+    fn open_with(path: impl AsRef<Path>, writable: bool) -> Result<Self, StorageError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(writable)
+            .open(path.as_ref())?;
         let file_len = file.metadata()?.len();
         if file_len < HEADER_BYTES as u64 {
             return Err(StorageError::Truncated {
@@ -104,14 +151,47 @@ impl PageFile {
         file.seek(SeekFrom::Start(0))?;
         file.read_exact(&mut buf)?;
         let header = FileHeader::decode(&buf, file_len)?;
-        Ok(PageFile {
+        let mut pf = PageFile {
             file,
             path: path.as_ref().to_path_buf(),
             header,
+            free: FreeChain::default(),
             reads: 0,
             writes: 0,
             pad: Vec::new(),
+            marker: Vec::new(),
+        };
+        let chain = pf.walk_free_chain()?;
+        pf.free.restore(chain);
+        Ok(pf)
+    }
+
+    /// Rebuilds the in-memory free list from the on-disk chain via the
+    /// shared walker ([`FreeChain::walk`]), uncounted — chain recovery is
+    /// open-time work, not join or update I/O.
+    fn walk_free_chain(&mut self) -> Result<Vec<PageId>, StorageError> {
+        let (head, page_count, format) = (
+            self.header.free_head,
+            self.header.page_count,
+            self.header.entry_format(),
+        );
+        FreeChain::walk(head, page_count, format, |id, buf| {
+            self.read_slot_uncounted(id, buf)
         })
+    }
+
+    /// Reads one slot without touching the read counter — open-time chain
+    /// recovery only (also used by the sharded manifest layer).
+    pub(crate) fn read_slot_uncounted(
+        &mut self,
+        id: PageId,
+        buf: &mut Vec<u8>,
+    ) -> Result<(), StorageError> {
+        let off = self.slot_offset(id)?;
+        buf.resize(self.slot_bytes(), 0);
+        self.file.seek(SeekFrom::Start(off))?;
+        self.file.read_exact(buf)?;
+        Ok(())
     }
 
     /// The path this file lives at.
@@ -147,6 +227,91 @@ impl PageFile {
     /// Replaces the owner metadata (persisted on [`PageFile::flush`]).
     pub fn set_meta(&mut self, meta: [u8; META_BYTES]) {
         self.header.meta = meta;
+    }
+
+    /// The on-disk entry format recorded in the header.
+    #[inline]
+    pub fn entry_format(&self) -> EntryFormat {
+        self.header.entry_format()
+    }
+
+    /// Head of the free chain (the page the next [`PageFile::allocate`]
+    /// reuses), if any.
+    #[inline]
+    pub fn free_head(&self) -> Option<PageId> {
+        self.free.head()
+    }
+
+    /// The free list, oldest release first (last element = chain head).
+    #[inline]
+    pub fn free_pages(&self) -> &[PageId] {
+        self.free.as_slice()
+    }
+
+    /// Number of free (reusable) page slots.
+    #[inline]
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Allocates a slot for `payload`: pops the free-chain head and
+    /// overwrites it in place if a released page exists
+    /// (**reuse-before-append**), appends a fresh slot otherwise. Charges
+    /// one write either way.
+    pub fn allocate(&mut self, payload: &[u8]) -> Result<PageId, StorageError> {
+        match self.free.pop() {
+            Some(id) => {
+                if let Err(e) = self.write_page(id, payload) {
+                    self.free.undo_pop(id); // failed: the slot is still free
+                    return Err(e);
+                }
+                self.free.commit_pop(id);
+                self.header.free_head = self.free.head();
+                Ok(id)
+            }
+            None => self.append_page(payload),
+        }
+    }
+
+    /// Releases a page onto the free chain: overwrites its slot with a
+    /// chain marker linking to the previous head and makes it the new
+    /// head. Charges one write. Double releases and out-of-range pages
+    /// are typed errors.
+    pub fn release(&mut self, id: PageId) -> Result<(), StorageError> {
+        let off = self.slot_offset(id)?;
+        if self.free.contains(id) {
+            return Err(StorageError::Corrupt(format!("double release of {id}")));
+        }
+        let slot = self.slot_bytes();
+        let mut marker = std::mem::take(&mut self.marker);
+        codec::encode_free_page(self.free.head(), slot, &mut marker)?;
+        let res = self.write_slot_at(off, &marker);
+        self.marker = marker;
+        res?;
+        self.free.push_released(id)?;
+        self.header.free_head = Some(id);
+        Ok(())
+    }
+
+    /// Registers `free` as this file's free list (oldest release first)
+    /// without writing anything — for save paths that already encoded the
+    /// chain markers into the corresponding slots. The head is persisted
+    /// with the next [`PageFile::flush`].
+    pub fn set_free_list(&mut self, free: &[PageId]) -> Result<(), StorageError> {
+        for &id in free {
+            if id.0 >= self.header.page_count {
+                return Err(StorageError::Corrupt(format!(
+                    "free list references page {id} out of range of a {}-page file",
+                    self.header.page_count
+                )));
+            }
+        }
+        if let Err(e) = self.free.set_list(free) {
+            self.header.free_head = None;
+            return Err(e);
+        }
+        self.header.free_head = self.free.head();
+        Ok(())
     }
 
     /// Errors if the file's logical page size differs from `expected` —
@@ -255,6 +420,56 @@ impl PageFile {
     }
 }
 
+impl WritablePageFile for PageFile {
+    fn write_page(&mut self, id: PageId, payload: &[u8]) -> Result<(), StorageError> {
+        PageFile::write_page(self, id, payload)
+    }
+
+    fn read_page_into(&mut self, id: PageId, buf: &mut Vec<u8>) -> Result<(), StorageError> {
+        PageFile::read_page_into(self, id, buf)
+    }
+
+    fn allocate(&mut self, payload: &[u8]) -> Result<PageId, StorageError> {
+        PageFile::allocate(self, payload)
+    }
+
+    fn release(&mut self, id: PageId) -> Result<(), StorageError> {
+        PageFile::release(self, id)
+    }
+
+    fn page_count(&self) -> u32 {
+        PageFile::page_count(self)
+    }
+
+    fn page_bytes(&self) -> usize {
+        PageFile::page_bytes(self)
+    }
+
+    fn slot_bytes(&self) -> usize {
+        PageFile::slot_bytes(self)
+    }
+
+    fn entry_format(&self) -> EntryFormat {
+        PageFile::entry_format(self)
+    }
+
+    fn meta(&self) -> &[u8; META_BYTES] {
+        PageFile::meta(self)
+    }
+
+    fn set_meta(&mut self, meta: [u8; META_BYTES]) {
+        PageFile::set_meta(self, meta)
+    }
+
+    fn free_pages(&self) -> &[PageId] {
+        PageFile::free_pages(self)
+    }
+
+    fn flush(&mut self) -> Result<(), StorageError> {
+        PageFile::flush(self)
+    }
+}
+
 /// Shared constructor validation of the file-backend family
 /// ([`FileNodeAccess`], [`crate::PrefetchingFileAccess`],
 /// [`crate::ShardedFileAccess`]): one backing store per tree height, and
@@ -303,6 +518,8 @@ pub struct FileNodeAccess {
     paths: Vec<PathBuffer>,
     stats: IoStats,
     scratch: Vec<u8>,
+    /// Dirty-page payloads awaiting write-back ([`NodeAccessMut`]).
+    dirty: DirtyPages,
 }
 
 impl FileNodeAccess {
@@ -321,6 +538,7 @@ impl FileNodeAccess {
             paths: heights.iter().map(|&h| PathBuffer::new(h)).collect(),
             stats: IoStats::default(),
             scratch: Vec::new(),
+            dirty: DirtyPages::default(),
         })
     }
 
@@ -352,6 +570,32 @@ impl FileNodeAccess {
         &self.files[store as usize]
     }
 
+    /// The backing file of `store`, mutably — the update path allocates
+    /// and releases pages through this.
+    #[inline]
+    pub fn file_mut(&mut self, store: u8) -> &mut PageFile {
+        &mut self.files[store as usize]
+    }
+
+    /// Number of dirty pages currently buffered (awaiting write-back).
+    #[inline]
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Writes back every dirty page the LRU evicted since the last drain.
+    /// A write-back failure panics, like a failed demand read: the
+    /// storage broke mid-operation and the buffered payload has nowhere
+    /// else to go.
+    fn write_back_evicted(&mut self) {
+        let files = &mut self.files;
+        self.dirty
+            .write_back_evicted(&mut self.lru, &mut self.stats, |key, buf| {
+                files[key.store as usize].write_page(key.page, buf)
+            })
+            .expect("dirty-page write-back failed");
+    }
+
     /// The underlying LRU buffer (for inspection in tests).
     #[inline]
     pub fn lru(&self) -> &LruBuffer {
@@ -361,10 +605,13 @@ impl FileNodeAccess {
     /// Empties all buffers and zeroes *every* I/O counter — the
     /// [`IoStats`] tallies, the LRU hit/miss/eviction counters, and the
     /// read/write counters of all backing [`PageFile`]s — so consecutive
-    /// bench runs start genuinely cold.
+    /// bench runs start genuinely cold. Un-flushed dirty pages are
+    /// **discarded** (callers on the update path flush first; a reset is
+    /// a measurement boundary, not a durability point).
     pub fn reset(&mut self) {
         self.lru.clear();
         self.lru.reset_io();
+        self.dirty.clear();
         for p in &mut self.paths {
             p.clear();
         }
@@ -390,6 +637,9 @@ impl NodeAccess for FileNodeAccess {
             page,
             depth,
         );
+        // An insertion may have evicted a dirty page: write it back
+        // before anything else touches the file.
+        self.write_back_evicted();
         if miss {
             // The honest part: a miss is a real read from the file, into
             // the backend's one reusable scratch buffer (steady-state
@@ -403,14 +653,56 @@ impl NodeAccess for FileNodeAccess {
 
     fn pin(&mut self, store: u8, page: PageId) {
         self.lru.pin(BufKey::new(store, page));
+        self.write_back_evicted();
     }
 
     fn unpin(&mut self, store: u8, page: PageId) {
         self.lru.unpin(BufKey::new(store, page));
+        self.write_back_evicted();
     }
 
     fn io_stats(&self) -> IoStats {
         self.stats
+    }
+}
+
+impl NodeAccessMut for FileNodeAccess {
+    fn write(&mut self, store: u8, page: PageId, payload: &[u8]) {
+        let files = &mut self.files;
+        self.dirty
+            .stash(
+                BufKey::new(store, page),
+                payload,
+                &mut self.lru,
+                &mut self.stats,
+                |key, buf| files[key.store as usize].write_page(key.page, buf),
+            )
+            .expect("dirty-page write-through failed");
+        self.write_back_evicted();
+    }
+
+    fn discard(&mut self, store: u8, page: PageId) {
+        self.dirty.discard(BufKey::new(store, page), &mut self.lru);
+    }
+
+    fn flush_writes(&mut self) -> Result<(), StorageError> {
+        let files = &mut self.files;
+        self.dirty
+            .flush_all(&mut self.lru, &mut self.stats, |key, buf| {
+                files[key.store as usize].write_page(key.page, buf)
+            })
+    }
+}
+
+impl UpdateBackend for FileNodeAccess {
+    type File = PageFile;
+
+    fn store_file(&self, store: u8) -> &PageFile {
+        self.file(store)
+    }
+
+    fn store_file_mut(&mut self, store: u8) -> &mut PageFile {
+        self.file_mut(store)
     }
 }
 
@@ -558,5 +850,183 @@ mod tests {
                 .unwrap_err(),
             StorageError::PageSizeMismatch { .. }
         ));
+    }
+
+    // --- Write path (PR 5): free-page list and dirty write-back.
+
+    fn node_payload(tag: u32, slot: usize) -> Vec<u8> {
+        let node = codec::DiskNode {
+            level: 0,
+            entries: vec![codec::DiskEntry {
+                rect: [f64::from(tag); 4],
+                child: u64::from(tag),
+            }],
+        };
+        let mut buf = Vec::new();
+        codec::encode_node(&node, slot, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn release_then_allocate_reuses_before_append() {
+        let dir = TempDir::new("freelist").unwrap();
+        let mut f = demo_file(&dir, "t.rsj", 4);
+        let slot = f.slot_bytes();
+        assert_eq!(f.free_count(), 0);
+        f.release(PageId(1)).unwrap();
+        f.release(PageId(3)).unwrap();
+        assert_eq!(f.free_head(), Some(PageId(3)));
+        assert_eq!(f.free_pages(), &[PageId(1), PageId(3)]);
+        // Reuse LIFO: 3 first, then 1, then append.
+        assert_eq!(f.allocate(&node_payload(30, slot)).unwrap(), PageId(3));
+        assert_eq!(f.allocate(&node_payload(10, slot)).unwrap(), PageId(1));
+        assert_eq!(f.allocate(&node_payload(40, slot)).unwrap(), PageId(4));
+        assert_eq!(f.page_count(), 5, "one append after two reuses");
+        let got = codec::decode_node(&f.read_page(PageId(3)).unwrap()).unwrap();
+        assert_eq!(got.entries[0].child, 30);
+    }
+
+    #[test]
+    fn free_chain_survives_reopen() {
+        let dir = TempDir::new("freelist").unwrap();
+        let path = {
+            let mut f = demo_file(&dir, "t.rsj", 5);
+            f.release(PageId(2)).unwrap();
+            f.release(PageId(0)).unwrap();
+            f.release(PageId(4)).unwrap();
+            f.flush().unwrap();
+            f.path().to_path_buf()
+        };
+        // Read-only open sees the same chain.
+        let f = PageFile::open(&path).unwrap();
+        assert_eq!(f.free_pages(), &[PageId(2), PageId(0), PageId(4)]);
+        drop(f);
+        // Writable reopen allocates in the same LIFO order.
+        let mut f = PageFile::open_rw(&path).unwrap();
+        let slot = f.slot_bytes();
+        assert_eq!(f.allocate(&node_payload(1, slot)).unwrap(), PageId(4));
+        assert_eq!(f.allocate(&node_payload(2, slot)).unwrap(), PageId(0));
+        f.flush().unwrap();
+        drop(f);
+        let f = PageFile::open(&path).unwrap();
+        assert_eq!(f.free_pages(), &[PageId(2)]);
+    }
+
+    #[test]
+    fn double_release_and_out_of_range_are_typed_errors() {
+        let dir = TempDir::new("freelist").unwrap();
+        let mut f = demo_file(&dir, "t.rsj", 2);
+        f.release(PageId(0)).unwrap();
+        assert!(matches!(
+            f.release(PageId(0)).unwrap_err(),
+            StorageError::Corrupt(_)
+        ));
+        assert!(matches!(
+            f.release(PageId(9)).unwrap_err(),
+            StorageError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn duplicate_free_list_entries_are_rejected() {
+        let dir = TempDir::new("freelist").unwrap();
+        let mut f = demo_file(&dir, "t.rsj", 3);
+        assert!(matches!(
+            f.set_free_list(&[PageId(1), PageId(1)]).unwrap_err(),
+            StorageError::Corrupt(_)
+        ));
+        // The failed install leaves a coherent (empty) chain behind.
+        assert_eq!(f.free_count(), 0);
+        assert_eq!(f.free_head(), None);
+        f.set_free_list(&[PageId(1), PageId(2)]).unwrap();
+        assert_eq!(f.free_head(), Some(PageId(2)));
+    }
+
+    #[test]
+    fn corrupt_free_chain_is_rejected_on_open() {
+        use std::io::{Seek, SeekFrom, Write};
+        let dir = TempDir::new("freelist").unwrap();
+        let path = {
+            let mut f = demo_file(&dir, "t.rsj", 3);
+            f.release(PageId(1)).unwrap();
+            f.flush().unwrap();
+            f.path().to_path_buf()
+        };
+        // Point the marker of page 1 at itself: a cycle.
+        let (slot, off) = {
+            let f = PageFile::open(&path).unwrap();
+            (f.slot_bytes() as u64, HEADER_BYTES as u64)
+        };
+        let mut raw = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        raw.seek(SeekFrom::Start(off + slot + 4)).unwrap();
+        raw.write_all(&2u32.to_le_bytes()).unwrap(); // next = page 1 (self)
+        drop(raw);
+        assert!(matches!(
+            PageFile::open(&path).unwrap_err(),
+            StorageError::Corrupt(_)
+        ));
+        // And a chain head pointing at a live page is rejected too.
+        let mut raw = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        raw.seek(SeekFrom::Start(20)).unwrap();
+        raw.write_all(&1u32.to_le_bytes()).unwrap(); // head = page 0 (live)
+        drop(raw);
+        assert!(matches!(
+            PageFile::open(&path).unwrap_err(),
+            StorageError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn dirty_write_back_reaches_the_file_on_eviction_and_flush() {
+        let dir = TempDir::new("wb").unwrap();
+        let path = demo_file(&dir, "t.rsj", 4).path().to_path_buf();
+        let slot = PageFile::open(&path).unwrap().slot_bytes();
+        let mut acc = FileNodeAccess::with_capacity_pages(
+            vec![PageFile::open_rw(&path).unwrap()],
+            1,
+            &[1],
+            EvictionPolicy::Lru,
+        )
+        .unwrap();
+        // Mutate page 0; the write is deferred...
+        acc.write(0, PageId(0), &node_payload(100, slot));
+        assert_eq!(acc.dirty_len(), 1);
+        assert_eq!(acc.stats().page_writes, 0);
+        // ...until eviction pressure pushes it out.
+        acc.access(0, PageId(1), 0);
+        assert_eq!(acc.dirty_len(), 0);
+        assert_eq!(acc.stats().page_writes, 1);
+        // Mutate page 2 and flush explicitly.
+        acc.access(0, PageId(2), 0);
+        acc.write(0, PageId(2), &node_payload(200, slot));
+        acc.flush_writes().unwrap();
+        assert_eq!(acc.stats().page_writes, 2);
+        drop(acc);
+        let mut f = PageFile::open(&path).unwrap();
+        let n0 = codec::decode_node(&f.read_page(PageId(0)).unwrap()).unwrap();
+        let n2 = codec::decode_node(&f.read_page(PageId(2)).unwrap()).unwrap();
+        assert_eq!(n0.entries[0].child, 100);
+        assert_eq!(n2.entries[0].child, 200);
+    }
+
+    #[test]
+    fn discard_suppresses_the_write_back() {
+        let dir = TempDir::new("wb").unwrap();
+        let path = demo_file(&dir, "t.rsj", 2).path().to_path_buf();
+        let slot = PageFile::open(&path).unwrap().slot_bytes();
+        let mut acc = FileNodeAccess::with_capacity_pages(
+            vec![PageFile::open_rw(&path).unwrap()],
+            2,
+            &[1],
+            EvictionPolicy::Lru,
+        )
+        .unwrap();
+        acc.write(0, PageId(1), &node_payload(99, slot));
+        acc.discard(0, PageId(1));
+        acc.flush_writes().unwrap();
+        assert_eq!(acc.stats().page_writes, 0);
+        let mut f = PageFile::open(&path).unwrap();
+        let n1 = codec::decode_node(&f.read_page(PageId(1)).unwrap()).unwrap();
+        assert_eq!(n1.entries[0].child, 1, "original content untouched");
     }
 }

@@ -48,11 +48,32 @@
 //! * [`ShardedPageFile`] / [`ShardedFileAccess`] — one tree split across N
 //!   physical files (manifest + per-shard page files; the R\*-tree crate
 //!   partitions by root-entry subtree), so shared-nothing parallel workers
-//!   read genuinely disjoint files;
+//!   read genuinely disjoint files — optionally with one hint-fed reader
+//!   thread per shard file
+//!   ([`ShardedFileAccess::with_parallel_readers`]);
 //! * [`partition`] — the one Fibonacci-hash partitioner shared by the
 //!   buffer shards and the subtree partitioner;
 //! * [`TempDir`] — a dependency-free scratch-directory helper for tests
 //!   and benches (the environment has no `tempfile` crate).
+//!
+//! The **write path** makes the persistent structures updatable in place:
+//!
+//! * [`NodeAccessMut`] — the write half of the access boundary: dirty-page
+//!   registration with pin-aware write-back on eviction and explicit
+//!   flush, charged in [`IoStats::page_writes`] ([`BufferPool`] is the
+//!   accounting oracle, the file backends write for real through the
+//!   shared [`writeback`] machinery);
+//! * persistent **free-page lists** in [`PageFile`] and
+//!   [`ShardedPageFile`] — header-chained marker slots,
+//!   `allocate`/`release` with reuse-before-append, validated on open;
+//! * [`WritablePageFile`] / [`UpdateBackend`] — the traits the R\*-tree
+//!   crate's `OpenTree` drives incremental `insert`/`delete` through;
+//! * [`EntryFormat`] — the on-disk entry layout: 40-byte f64 entries by
+//!   default, or the paper's literal 20-byte f32 entries (outward-rounded)
+//!   behind a header flag;
+//! * [`PageStore`] grows the same reuse-before-append free list plus
+//!   opt-in [`PageEvent`] tracking, keeping the in-memory allocator in
+//!   lockstep with the files.
 
 pub mod access;
 pub mod codec;
@@ -68,18 +89,20 @@ pub mod prefetch;
 pub mod sharded;
 pub mod shared;
 pub mod temp;
+pub mod writeback;
 
-pub use access::{NodeAccess, PageRef};
-pub use codec::{DiskEntry, DiskNode, FileHeader, StorageError};
+pub use access::{NodeAccess, NodeAccessMut, PageRef};
+pub use codec::{DiskEntry, DiskNode, EntryFormat, FileHeader, StorageError};
 pub use cost::CostModel;
 pub use file::{FileNodeAccess, PageFile};
 pub use heapfile::{HeapFile, RecordId};
 pub use lru::{Access, EvictionPolicy, LruBuffer};
-pub use page::{PageId, PageStore};
+pub use page::{PageEvent, PageId, PageStore};
 pub use partition::{partition, partition_key};
 pub use path::PathBuffer;
 pub use pool::{BufKey, BufferPool, IoStats};
 pub use prefetch::{PrefetchConfig, PrefetchingFileAccess};
-pub use sharded::{ShardedFileAccess, ShardedPageFile};
+pub use sharded::{ShardReaderConfig, ShardedFileAccess, ShardedPageFile};
 pub use shared::{SharedBufferHandle, SharedBufferPool};
 pub use temp::TempDir;
+pub use writeback::{UpdateBackend, WritablePageFile};

@@ -71,6 +71,9 @@ struct Slot {
     next: usize,
     pins: u32,
     referenced: bool,
+    /// The resident page differs from its on-disk copy; eviction must
+    /// write it back (the owner drains [`LruBuffer::take_dirty_evicted`]).
+    dirty: bool,
 }
 
 /// A bounded page buffer with LRU replacement and pinning.
@@ -88,6 +91,9 @@ pub struct LruBuffer {
     hits: u64,
     misses: u64,
     evictions: u64,
+    /// Dirty pages evicted since the owner last drained them — the
+    /// write-back queue of the buffer manager.
+    dirty_evicted: Vec<BufKey>,
 }
 
 impl LruBuffer {
@@ -112,6 +118,7 @@ impl LruBuffer {
             hits: 0,
             misses: 0,
             evictions: 0,
+            dirty_evicted: Vec::new(),
         }
     }
 
@@ -191,6 +198,91 @@ impl LruBuffer {
         self.map.get(&key).is_some_and(|&s| self.slots[s].pins > 0)
     }
 
+    /// Makes `key` resident (most recently used) *without* touching the
+    /// hit/miss counters — the install of a page the caller materialized
+    /// itself (a freshly written page) rather than fetched on a miss.
+    /// Evictions this forces are still counted and still surface dirty
+    /// victims.
+    pub fn install(&mut self, key: BufKey) {
+        if let Some(&slot) = self.map.get(&key) {
+            match self.policy {
+                EvictionPolicy::Lru => {
+                    self.detach(slot);
+                    self.push_front(slot);
+                }
+                EvictionPolicy::Fifo => {}
+                EvictionPolicy::Clock => self.slots[slot].referenced = true,
+            }
+        } else {
+            self.insert(key, 0);
+        }
+    }
+
+    /// Marks a resident `key` dirty: its eviction will be reported through
+    /// [`LruBuffer::take_dirty_evicted`] so the owner can write it back.
+    /// Returns `false` (and records nothing) if `key` is not resident.
+    pub fn mark_dirty(&mut self, key: BufKey) -> bool {
+        match self.map.get(&key) {
+            Some(&slot) => {
+                self.slots[slot].dirty = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Clears the dirty bit of `key` (after a write-back). No-op if not
+    /// resident.
+    pub fn clear_dirty(&mut self, key: BufKey) {
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot].dirty = false;
+        }
+    }
+
+    /// True if `key` is resident and dirty.
+    pub fn is_dirty(&self, key: BufKey) -> bool {
+        self.map.get(&key).is_some_and(|&s| self.slots[s].dirty)
+    }
+
+    /// Resident dirty keys, most recently used first — the set a flush
+    /// must write back. Deterministic (recency order), so flush I/O
+    /// replays identically across runs.
+    pub fn dirty_keys(&self) -> Vec<BufKey> {
+        let mut out = Vec::new();
+        let mut cur = self.head;
+        while cur != NIL {
+            if self.slots[cur].dirty {
+                out.push(self.slots[cur].key);
+            }
+            cur = self.slots[cur].next;
+        }
+        out
+    }
+
+    /// Number of resident dirty pages.
+    pub fn dirty_len(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self.head;
+        while cur != NIL {
+            n += usize::from(self.slots[cur].dirty);
+            cur = self.slots[cur].next;
+        }
+        n
+    }
+
+    /// Drains the dirty pages evicted since the last drain into `out`
+    /// (append, eviction order). The owner MUST write these back — their
+    /// buffered content is gone.
+    pub fn take_dirty_evicted(&mut self, out: &mut Vec<BufKey>) {
+        out.append(&mut self.dirty_evicted);
+    }
+
+    /// True if evicted dirty pages await write-back.
+    #[inline]
+    pub fn has_dirty_evicted(&self) -> bool {
+        !self.dirty_evicted.is_empty()
+    }
+
     /// Zeroes the hit/miss/eviction counters, keeping residents — the
     /// counter half of a full reset (see [`LruBuffer::clear`] for the
     /// residency half). Benches measuring consecutive runs call both.
@@ -201,12 +293,15 @@ impl LruBuffer {
     }
 
     /// Drops everything, keeping the capacity. Counters are preserved.
+    /// Dirty residents (and undrained dirty evictions) are discarded
+    /// *without* write-back — owners flush first.
     pub fn clear(&mut self) {
         self.map.clear();
         self.slots.clear();
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
+        self.dirty_evicted.clear();
     }
 
     /// Hits recorded so far.
@@ -247,6 +342,7 @@ impl LruBuffer {
                 next: NIL,
                 pins,
                 referenced: false,
+                dirty: false,
             };
             s
         } else {
@@ -256,6 +352,7 @@ impl LruBuffer {
                 next: NIL,
                 pins,
                 referenced: false,
+                dirty: false,
             });
             self.slots.len() - 1
         };
@@ -273,6 +370,9 @@ impl LruBuffer {
                 break;
             };
             let key = self.slots[victim].key;
+            if self.slots[victim].dirty {
+                self.dirty_evicted.push(key);
+            }
             self.detach(victim);
             self.map.remove(&key);
             self.free.push(victim);
@@ -527,6 +627,85 @@ mod tests {
         b.access(k(3)); // evicts 2, the LRU page
         assert!(b.contains(k(1)) && b.contains(k(3)) && !b.contains(k(2)));
         assert_eq!(b.evictions(), before.2 + 1);
+    }
+
+    // --- Dirty-page tracking (PR 5): the write-back contract of the
+    // buffer manager — dirty evictions are surfaced exactly once, pinned
+    // dirty pages survive pressure, and install never moves a counter.
+
+    #[test]
+    fn dirty_eviction_is_surfaced_exactly_once() {
+        let mut b = LruBuffer::new(1);
+        b.access(k(1));
+        assert!(b.mark_dirty(k(1)));
+        assert!(b.is_dirty(k(1)));
+        b.access(k(2)); // evicts dirty 1
+        let mut out = Vec::new();
+        b.take_dirty_evicted(&mut out);
+        assert_eq!(out, vec![k(1)]);
+        b.take_dirty_evicted(&mut out);
+        assert_eq!(out.len(), 1, "a drained eviction never reappears");
+        // A clean eviction reports nothing.
+        b.access(k(3)); // evicts clean 2
+        assert!(!b.has_dirty_evicted());
+    }
+
+    #[test]
+    fn mark_dirty_requires_residency_and_clear_dirty_undoes() {
+        let mut b = LruBuffer::new(2);
+        assert!(!b.mark_dirty(k(9)), "absent page cannot be dirtied");
+        b.access(k(1));
+        b.mark_dirty(k(1));
+        b.clear_dirty(k(1));
+        b.access(k(2));
+        b.access(k(3)); // evicts 1, now clean
+        assert!(!b.has_dirty_evicted());
+    }
+
+    #[test]
+    fn pinned_dirty_page_defers_write_back() {
+        let mut b = LruBuffer::new(0);
+        b.access(k(1));
+        b.pin(k(1));
+        b.mark_dirty(k(1));
+        for n in 2..10 {
+            b.access(k(n));
+        }
+        assert!(b.is_dirty(k(1)), "pinned dirty page must stay resident");
+        assert!(!b.has_dirty_evicted());
+        b.unpin(k(1)); // now unpinned and over capacity: evicted dirty
+        let mut out = Vec::new();
+        b.take_dirty_evicted(&mut out);
+        assert_eq!(out, vec![k(1)]);
+    }
+
+    #[test]
+    fn install_is_counter_neutral_and_promotes() {
+        let mut b = LruBuffer::new(2);
+        b.access(k(1));
+        b.access(k(2));
+        let counters = (b.hits(), b.misses());
+        b.install(k(1)); // resident: promote to MRU, no counters
+        b.install(k(3)); // absent: insert, evicts LRU 2, no hit/miss
+        assert_eq!((b.hits(), b.misses()), counters);
+        assert!(b.contains(k(1)) && b.contains(k(3)) && !b.contains(k(2)));
+        assert_eq!(b.evictions(), 1, "forced evictions are still counted");
+        assert_eq!(b.recency_order(), vec![k(3), k(1)]);
+    }
+
+    #[test]
+    fn dirty_keys_reports_recency_order_and_dirty_len() {
+        let mut b = LruBuffer::new(4);
+        for n in 1..=4 {
+            b.access(k(n));
+        }
+        b.mark_dirty(k(2));
+        b.mark_dirty(k(4));
+        assert_eq!(b.dirty_len(), 2);
+        assert_eq!(b.dirty_keys(), vec![k(4), k(2)], "MRU first");
+        b.clear();
+        assert_eq!(b.dirty_len(), 0);
+        assert!(!b.has_dirty_evicted());
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::lru::{Access, EvictionPolicy, LruBuffer};
 use crate::page::PageId;
 use crate::path::PathBuffer;
 
-/// Running I/O tallies of a join or query.
+/// Running I/O tallies of a join, query or update sequence.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStats {
     /// Pages fetched from disk (buffer misses) — the paper's headline metric.
@@ -29,10 +29,15 @@ pub struct IoStats {
     pub path_hits: u64,
     /// Accesses served by the LRU buffer.
     pub lru_hits: u64,
+    /// Pages written back to disk: dirty evictions plus explicit flushes.
+    /// Zero for read-only workloads, so every pre-write-path comparison of
+    /// whole `IoStats` values is unaffected.
+    pub page_writes: u64,
 }
 
 impl IoStats {
-    /// Total page accesses, however they were served.
+    /// Total page *read* accesses, however they were served (writes are
+    /// tallied separately in [`IoStats::page_writes`]).
     pub fn total_accesses(&self) -> u64 {
         self.disk_accesses + self.path_hits + self.lru_hits
     }
@@ -82,6 +87,8 @@ pub struct BufferPool {
     lru: LruBuffer,
     paths: Vec<PathBuffer>,
     stats: IoStats,
+    /// Scratch for draining dirty evictions (write-back accounting).
+    evicted: Vec<BufKey>,
 }
 
 impl BufferPool {
@@ -105,6 +112,7 @@ impl BufferPool {
             lru: LruBuffer::with_policy(buffer_bytes / page_bytes, policy),
             paths: heights.iter().map(|&h| PathBuffer::new(h)).collect(),
             stats: IoStats::default(),
+            evicted: Vec::new(),
         }
     }
 
@@ -114,31 +122,76 @@ impl BufferPool {
             lru: LruBuffer::new(cap_pages),
             paths: heights.iter().map(|&h| PathBuffer::new(h)).collect(),
             stats: IoStats::default(),
+            evicted: Vec::new(),
         }
     }
 
     /// Records an access by tree `store` to `page` at depth `level`
     /// (0 = root). Returns `true` if the access had to go to disk.
     pub fn access(&mut self, store: u8, page: PageId, level: usize) -> bool {
-        hierarchy_access(
+        let miss = hierarchy_access(
             &mut self.lru,
             &mut self.paths,
             &mut self.stats,
             store,
             page,
             level,
-        )
+        );
+        self.charge_dirty_evictions();
+        miss
     }
 
     /// Pins `store`'s `page` in the LRU buffer (see
     /// [`LruBuffer::pin`]).
     pub fn pin(&mut self, store: u8, page: PageId) {
         self.lru.pin(BufKey::new(store, page));
+        self.charge_dirty_evictions();
     }
 
     /// Releases one pin.
     pub fn unpin(&mut self, store: u8, page: PageId) {
         self.lru.unpin(BufKey::new(store, page));
+        self.charge_dirty_evictions();
+    }
+
+    /// Registers `store`'s `page` as mutated: buffer-resident (installed
+    /// counter-neutrally if absent) and dirty. The write-back is charged
+    /// to [`IoStats::page_writes`] when the page is evicted or flushed —
+    /// this pool is the *accounting* model of the write path, exactly as
+    /// it is of the read path. A page the buffer cannot hold at all
+    /// (zero capacity / all slots pinned) is charged immediately: a real
+    /// backend writes it through on the spot.
+    pub fn mark_dirty(&mut self, store: u8, page: PageId) {
+        let key = BufKey::new(store, page);
+        self.lru.install(key);
+        if !self.lru.mark_dirty(key) {
+            self.stats.page_writes += 1; // write-through, no residency
+        }
+        self.charge_dirty_evictions();
+    }
+
+    /// Drops the dirty state of `store`'s `page` without charging a write.
+    pub fn discard_dirty(&mut self, store: u8, page: PageId) {
+        self.lru.clear_dirty(BufKey::new(store, page));
+    }
+
+    /// Charges one write per remaining dirty resident and cleans them —
+    /// the accounting image of a backend flush.
+    pub fn flush_writes(&mut self) {
+        for key in self.lru.dirty_keys() {
+            self.lru.clear_dirty(key);
+            self.stats.page_writes += 1;
+        }
+    }
+
+    /// Write-back accounting: every dirty page the LRU evicted would have
+    /// been written to disk by a real backend — charge it.
+    fn charge_dirty_evictions(&mut self) {
+        if self.lru.has_dirty_evicted() {
+            self.evicted.clear();
+            self.lru.take_dirty_evicted(&mut self.evicted);
+            self.stats.page_writes += self.evicted.len() as u64;
+        }
     }
 
     /// Statistics so far.
@@ -189,6 +242,23 @@ impl NodeAccess for BufferPool {
 
     fn io_stats(&self) -> IoStats {
         self.stats()
+    }
+}
+
+impl crate::access::NodeAccessMut for BufferPool {
+    /// Accounting-only: the payload is ignored, the write-back is charged
+    /// where a real backend would perform it.
+    fn write(&mut self, store: u8, page: PageId, _payload: &[u8]) {
+        self.mark_dirty(store, page);
+    }
+
+    fn discard(&mut self, store: u8, page: PageId) {
+        self.discard_dirty(store, page);
+    }
+
+    fn flush_writes(&mut self) -> Result<(), crate::codec::StorageError> {
+        BufferPool::flush_writes(self);
+        Ok(())
     }
 }
 
@@ -275,6 +345,45 @@ mod tests {
         let s = pool.stats();
         assert_eq!(s.total_accesses(), 3);
         assert_eq!(s.disk_accesses + s.path_hits + s.lru_hits, 3);
+    }
+
+    #[test]
+    fn dirty_accounting_charges_eviction_and_flush() {
+        let mut pool = BufferPool::with_capacity_pages(1, &[1]);
+        pool.access(0, PageId(1), 0);
+        pool.mark_dirty(0, PageId(1));
+        assert_eq!(pool.stats().page_writes, 0, "write-back is deferred");
+        pool.access(0, PageId(2), 0); // evicts dirty 1 -> one write
+        assert_eq!(pool.stats().page_writes, 1);
+        pool.mark_dirty(0, PageId(2));
+        pool.flush_writes();
+        assert_eq!(pool.stats().page_writes, 2);
+        pool.flush_writes();
+        assert_eq!(pool.stats().page_writes, 2, "flushed pages are clean");
+    }
+
+    #[test]
+    fn discard_drops_dirty_state_without_a_write() {
+        let mut pool = BufferPool::with_capacity_pages(1, &[1]);
+        pool.access(0, PageId(1), 0);
+        pool.mark_dirty(0, PageId(1));
+        pool.discard_dirty(0, PageId(1));
+        pool.access(0, PageId(2), 0); // evicts clean 1
+        pool.flush_writes();
+        assert_eq!(pool.stats().page_writes, 0);
+    }
+
+    #[test]
+    fn node_access_mut_is_wired_through_the_trait() {
+        use crate::access::NodeAccessMut;
+        let mut pool = BufferPool::with_capacity_pages(1, &[1]);
+        NodeAccessMut::write(&mut pool, 0, PageId(1), &[1, 2, 3]);
+        NodeAccessMut::write(&mut pool, 0, PageId(2), &[]); // evicts dirty 1
+        assert_eq!(pool.stats().page_writes, 1);
+        NodeAccessMut::flush_writes(&mut pool).unwrap();
+        assert_eq!(pool.stats().page_writes, 2);
+        // Read-only stats never moved.
+        assert_eq!(pool.stats().disk_accesses, 0);
     }
 
     #[test]

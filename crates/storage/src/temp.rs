@@ -42,9 +42,23 @@ impl TempDir {
         &self.path
     }
 
-    /// A path for `name` inside the directory (not created).
+    /// A path for `name` inside the directory (not created). For nested
+    /// layouts, create the parent with [`TempDir::subdir`] first — that
+    /// path surfaces mkdir failures instead of deferring them to a
+    /// confusing ENOENT at first file use.
     pub fn file(&self, name: &str) -> PathBuf {
         self.path.join(name)
+    }
+
+    /// Creates (and returns) a subdirectory `name` — nesting allowed —
+    /// for grouping the multi-file layouts one logical store can span
+    /// (a sharded tree is a manifest plus N shard files; an updatable
+    /// store may keep original, updated and freshly-saved twins side by
+    /// side). Removed recursively with the rest on drop.
+    pub fn subdir(&self, name: &str) -> std::io::Result<PathBuf> {
+        let p = self.path.join(name);
+        std::fs::create_dir_all(&p)?;
+        Ok(p)
     }
 }
 
@@ -76,5 +90,30 @@ mod tests {
         let a = TempDir::new("uniq").unwrap();
         let b = TempDir::new("uniq").unwrap();
         assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    fn nested_layouts_are_created_and_cleaned_recursively() {
+        let kept;
+        {
+            let d = TempDir::new("nested").unwrap();
+            kept = d.path().to_path_buf();
+            let sub = d.subdir("sharded/a").unwrap();
+            assert!(sub.is_dir());
+            std::fs::write(d.file("sharded/a/t.rsj"), b"x").unwrap();
+            d.subdir("updated").unwrap();
+            std::fs::write(d.file("updated/r.rsj"), b"y").unwrap();
+            assert!(d.file("updated/r.rsj").is_file());
+            // And plain names keep working.
+            std::fs::write(d.file("top.bin"), b"z").unwrap();
+        }
+        assert!(!kept.exists(), "nested layout must be removed with the dir");
+    }
+
+    #[test]
+    fn subdir_surfaces_mkdir_failures() {
+        let d = TempDir::new("nested-err").unwrap();
+        std::fs::write(d.file("blocker"), b"not a dir").unwrap();
+        assert!(d.subdir("blocker/inner").is_err());
     }
 }

@@ -74,15 +74,110 @@ proptest! {
     }
 
     #[test]
+    fn arbitrary_bytes_never_panic_the_f32_or_page_decoders(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Same totality contract for the compressed format and for the
+        // node-or-free-marker decoder of both formats.
+        match codec::decode_node_fmt(&bytes, codec::EntryFormat::F32) {
+            Ok(node) => {
+                prop_assert!(
+                    codec::slot_bytes_for_fmt(node.entries.len(), codec::EntryFormat::F32)
+                        <= bytes.len()
+                );
+            }
+            Err(StorageError::Corrupt(_) | StorageError::Truncated { .. }) => {}
+            Err(other) => {
+                return Err(TestCaseError::fail(format!(
+                    "unexpected f32 error class: {other}"
+                )))
+            }
+        }
+        for fmt in [codec::EntryFormat::F64, codec::EntryFormat::F32] {
+            match codec::decode_page_fmt(&bytes, fmt) {
+                Ok(_) | Err(StorageError::Corrupt(_) | StorageError::Truncated { .. }) => {}
+                Err(other) => {
+                    return Err(TestCaseError::fail(format!(
+                        "unexpected page error class: {other}"
+                    )))
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_nodes_round_trip_outward(
+        level in 0u32..6,
+        raw in prop::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u32>()),
+            1..8,
+        ),
+    ) {
+        // Arbitrary bit patterns, with NaNs replaced — NaN legitimately
+        // refuses the format.
+        let definan = |bits: u64| {
+            let v = f64::from_bits(bits);
+            if v.is_nan() {
+                0.0
+            } else {
+                v
+            }
+        };
+        let entries: Vec<DiskEntry> = raw
+            .iter()
+            .map(|&(a, b, c, d, child)| DiskEntry {
+                rect: [definan(a), definan(b), definan(c), definan(d)],
+                child: u64::from(child),
+            })
+            .collect();
+        let node = DiskNode { level, entries };
+        let slot = codec::slot_bytes_for_fmt(8, codec::EntryFormat::F32);
+        let mut buf = Vec::new();
+        prop_assert!(
+            codec::encode_node_fmt(&node, slot, codec::EntryFormat::F32, &mut buf).is_ok()
+        );
+        let back = codec::decode_node_fmt(&buf, codec::EntryFormat::F32).unwrap();
+        prop_assert_eq!(back.entries.len(), node.entries.len());
+        for (orig, got) in node.entries.iter().zip(back.entries.iter()) {
+            prop_assert_eq!(got.child, orig.child);
+            // Outward rounding: lower corners never rise, upper corners
+            // never fall.
+            prop_assert!(got.rect[0] <= orig.rect[0], "xl rounds down");
+            prop_assert!(got.rect[1] <= orig.rect[1], "yl rounds down");
+            prop_assert!(got.rect[2] >= orig.rect[2], "xu rounds up");
+            prop_assert!(got.rect[3] >= orig.rect[3], "yu rounds up");
+        }
+        // Idempotence: re-encoding the widened node changes nothing.
+        let mut buf2 = Vec::new();
+        codec::encode_node_fmt(&back, slot, codec::EntryFormat::F32, &mut buf2).unwrap();
+        prop_assert_eq!(&buf, &buf2);
+    }
+
+    #[test]
+    fn free_markers_round_trip_for_any_next(some in any::<bool>(), page in 0u32..u32::MAX) {
+        let slot = codec::slot_bytes_for(4);
+        let mut buf = Vec::new();
+        let next = some.then_some(PageId(page));
+        codec::encode_free_page(next, slot, &mut buf).unwrap();
+        prop_assert_eq!(buf.len(), slot);
+        match codec::decode_page(&buf).unwrap() {
+            codec::DiskPage::Free { next: got } => prop_assert_eq!(got, next),
+            other => return Err(TestCaseError::fail(format!("decoded {other:?}"))),
+        }
+    }
+
+    #[test]
     fn corrupted_header_bytes_never_panic_the_header_decoder(
         pos in 0usize..HEADER_BYTES,
         value in any::<u8>(),
         page_count in 0u32..50,
     ) {
         let header = FileHeader {
+            flags: 0,
             page_bytes: 1024,
             slot_bytes: codec::slot_bytes_for(8) as u32,
             page_count,
+            free_head: None,
             meta: [3; META_BYTES],
         };
         let mut buf = header.encode();

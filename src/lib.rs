@@ -24,7 +24,11 @@
 //!   [`rtree::RTree::save_to`] (or [`rtree::RTree::save_sharded_to`])
 //!   reopen cold via [`rtree::RTree::open_from`] /
 //!   [`rtree::RTree::open_sharded_from`] and join with honest cold/warm
-//!   buffer behavior;
+//!   buffer behavior — and stay **updatable in place**:
+//!   [`rtree::OpenTree`] runs incremental inserts and deletes against the
+//!   open file through the buffer manager (dirty-page write-back,
+//!   persistent free-list reuse), provably equivalent to in-memory
+//!   updates page for page;
 //! * [`rtree`] — the R\*-tree (plus Guttman baselines and bulk loading);
 //! * [`join`] — the spatial-join algorithms SJ1–SJ5, different-height
 //!   policies, baselines, the parallel (shared-nothing and shared-buffer)
@@ -117,9 +121,12 @@ pub mod prelude {
     };
     pub use rsj_datagen::TestId;
     pub use rsj_geom::{CmpCounter, Geometry, Meter, NoOp, Point, Rect};
-    pub use rsj_rtree::{DataId, InsertPolicy, Neighbor, RTree, RTreeParams};
+    pub use rsj_rtree::{
+        DataId, InsertPolicy, Neighbor, OpenFileTree, OpenShardedTree, OpenTree, RTree, RTreeParams,
+    };
     pub use rsj_storage::{
-        CostModel, EvictionPolicy, FileNodeAccess, PageFile, PageRef, PrefetchConfig,
-        PrefetchingFileAccess, ShardedFileAccess, ShardedPageFile, StorageError,
+        CostModel, EntryFormat, EvictionPolicy, FileNodeAccess, NodeAccessMut, PageFile, PageRef,
+        PrefetchConfig, PrefetchingFileAccess, ShardReaderConfig, ShardedFileAccess,
+        ShardedPageFile, StorageError,
     };
 }
