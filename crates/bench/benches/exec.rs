@@ -37,9 +37,11 @@ use rsj_core::exec::{recursive_spatial_join, JoinCursor, RawJoinCursor};
 use rsj_core::{JoinConfig, JoinPlan};
 use rsj_datagen::TestId;
 use rsj_rtree::{DataId, OpenFileTree, RTree};
+use rsj_storage::sharded::shard_lane_queue;
 use rsj_storage::{
-    BufferPool, EntryFormat, EvictionPolicy, FileNodeAccess, PageFile, PrefetchConfig,
-    PrefetchingFileAccess, ShardReaderConfig, ShardedFileAccess, ShardedPageFile, TempDir,
+    BufferPool, CompletionConfig, CompletionFileAccess, EntryFormat, EvictionPolicy,
+    FileNodeAccess, PageFile, PrefetchConfig, PrefetchingFileAccess, ShardReaderConfig,
+    ShardedFileAccess, ShardedPageFile, TempDir, READ_LATENCY_ENV,
 };
 
 const PAGE: usize = 4096;
@@ -388,6 +390,239 @@ impl FileReport {
     }
 }
 
+/// Completion-driven I/O under injected read latency: the measurement the
+/// submission/completion queue exists for. With [`READ_LATENCY_ENV`]
+/// charging every physical page read (~a fast disk's positioning time),
+/// the blocking [`FileNodeAccess`] pays the full `latency × misses` bill
+/// serially, while the [`CompletionFileAccess`] cursor overlaps demand
+/// misses with join work and sibling reads — same deterministic
+/// `disk_accesses` by construction, wall time bounded by the pipeline
+/// depth instead of the sum. A shared-queue shard-parallel sweep rides
+/// along: N workers over subtree-partitioned files, one completion queue
+/// with per-shard lanes.
+struct OverlapReport {
+    latency_us: u64,
+    blocking_secs: f64,
+    blocking_disk: u64,
+    completion_secs: f64,
+    completion_disk: u64,
+    staged_hits: u64,
+    demand_reads: u64,
+    /// Completion-driven cold run *without* injected latency — the
+    /// page-cache-speed overhead check against the in-memory cursor.
+    nolat_completion_secs: f64,
+    /// `(workers == shards, best wall secs per shared-queue parallel join)`.
+    parallel: Vec<(usize, f64)>,
+}
+
+fn measure_overlap(
+    r: &RTree,
+    s: &RTree,
+    plan: JoinPlan,
+    expect_pairs: u64,
+    cfg: &JoinConfig,
+    iters: u32,
+) -> OverlapReport {
+    let dir = TempDir::new("bench-overlap").expect("temp dir");
+    let (rp, sp) = (dir.file("r.rsj"), dir.file("s.rsj"));
+    r.save_to(&rp).expect("save R");
+    s.save_to(&sp).expect("save S");
+    // Open every tree before injecting latency: tree loading is not the
+    // workload under measurement.
+    let rf = RTree::open_from(&rp).expect("reopen R");
+    let sf = RTree::open_from(&sp).expect("reopen S");
+    let heights = [rf.height() as usize, sf.height() as usize];
+    let sharded: Vec<(usize, std::path::PathBuf, std::path::PathBuf, RTree, RTree)> = [2usize, 4]
+        .into_iter()
+        .map(|n| {
+            let (rb, sb) = (
+                dir.file(&format!("r{n}.rsj")),
+                dir.file(&format!("s{n}.rsj")),
+            );
+            r.save_sharded_to(&rb, n).expect("save sharded R");
+            s.save_sharded_to(&sb, n).expect("save sharded S");
+            let rs = RTree::open_sharded_from(&rb).expect("reopen sharded R");
+            let ss = RTree::open_sharded_from(&sb).expect("reopen sharded S");
+            (n, rb, sb, rs, ss)
+        })
+        .collect();
+
+    let completion_access = || {
+        CompletionFileAccess::new(
+            vec![
+                PageFile::open(&rp).expect("open R file"),
+                PageFile::open(&sp).expect("open S file"),
+            ],
+            cfg.buffer_bytes,
+            &heights,
+            EvictionPolicy::Lru,
+            CompletionConfig::default(),
+        )
+        .expect("completion backend")
+    };
+    let run_completion = |access: &mut CompletionFileAccess| -> (u64, u64) {
+        let mut cursor = JoinCursor::new(&rf, &sf, plan, &mut *access);
+        let pairs = (&mut cursor).count() as u64;
+        (pairs, cursor.stats().io.disk_accesses)
+    };
+
+    // Page-cache-speed baseline: the completion-driven cursor must not
+    // cost more than the gating bookkeeping over the blocking backend.
+    let mut access = completion_access();
+    let (pairs, _) = run_completion(&mut access);
+    assert_eq!(pairs, expect_pairs, "completion backend must agree");
+    let mut nolat_completion_secs = f64::INFINITY;
+    for _ in 0..iters {
+        access.reset();
+        let start = Instant::now();
+        run_completion(&mut access);
+        nolat_completion_secs = nolat_completion_secs.min(start.elapsed().as_secs_f64());
+    }
+    drop(access);
+
+    // Injected latency: every PageFile handle opened from here on sleeps
+    // per counted read — including the queue workers' own handles.
+    let latency_us = 200;
+    std::env::set_var(READ_LATENCY_ENV, latency_us.to_string());
+    let lat_iters = iters.clamp(1, 5);
+
+    let mut blocking = FileNodeAccess::new(
+        vec![
+            PageFile::open(&rp).expect("open R file"),
+            PageFile::open(&sp).expect("open S file"),
+        ],
+        cfg.buffer_bytes,
+        &heights,
+        EvictionPolicy::Lru,
+    )
+    .expect("blocking backend");
+    let run_blocking = |access: &mut FileNodeAccess| -> (u64, u64) {
+        let mut cursor = JoinCursor::new(&rf, &sf, plan, &mut *access);
+        let pairs = (&mut cursor).count() as u64;
+        (pairs, cursor.stats().io.disk_accesses)
+    };
+    let (pairs, blocking_disk) = {
+        blocking.reset();
+        run_blocking(&mut blocking)
+    };
+    assert_eq!(pairs, expect_pairs, "blocking backend must agree");
+    let mut blocking_secs = f64::INFINITY;
+    for _ in 0..lat_iters {
+        blocking.reset();
+        let start = Instant::now();
+        run_blocking(&mut blocking);
+        blocking_secs = blocking_secs.min(start.elapsed().as_secs_f64());
+    }
+    drop(blocking);
+
+    let mut access = completion_access();
+    let (pairs, completion_disk) = {
+        access.reset();
+        run_completion(&mut access)
+    };
+    assert_eq!(pairs, expect_pairs, "completion backend must agree");
+    assert_eq!(
+        completion_disk, blocking_disk,
+        "completion-driven I/O must not move the disk-access accounting"
+    );
+    let mut completion_secs = f64::INFINITY;
+    let mut staged_hits = 0;
+    let mut demand_reads = 0;
+    for _ in 0..lat_iters {
+        access.reset();
+        let start = Instant::now();
+        run_completion(&mut access);
+        completion_secs = completion_secs.min(start.elapsed().as_secs_f64());
+        staged_hits = access.staged_hits();
+        demand_reads = access.demand_reads();
+    }
+    drop(access);
+
+    // Shard-parallel workers over ONE shared completion queue: worker
+    // `w`'s backend wraps a clone of the queue; a miss submits on the
+    // lane of whichever shard file owns the page.
+    let mut parallel = Vec::new();
+    for (workers, rb, sb, rs, ss) in &sharded {
+        let workers = *workers;
+        let cap_pages = (cfg.buffer_bytes / PAGE / workers).max(1);
+        let mut secs = f64::INFINITY;
+        for _ in 0..lat_iters {
+            let files = || {
+                vec![
+                    ShardedPageFile::open(rb).expect("open sharded R"),
+                    ShardedPageFile::open(sb).expect("open sharded S"),
+                ]
+            };
+            let queue = shard_lane_queue(&files(), 1).expect("lane queue");
+            let start = Instant::now();
+            let res =
+                rsj_core::parallel_spatial_join_with_access(rs, ss, plan, false, workers, |_w| {
+                    ShardedFileAccess::with_shared_queue(
+                        files(),
+                        cap_pages,
+                        &heights,
+                        EvictionPolicy::Lru,
+                        queue.clone(),
+                        ShardReaderConfig::default(),
+                    )
+                    .expect("shared-queue backend")
+                });
+            secs = secs.min(start.elapsed().as_secs_f64());
+            assert_eq!(
+                res.stats.result_pairs, expect_pairs,
+                "shared-queue parallel join must agree"
+            );
+        }
+        parallel.push((workers, secs));
+    }
+    std::env::remove_var(READ_LATENCY_ENV);
+
+    OverlapReport {
+        latency_us,
+        blocking_secs,
+        blocking_disk,
+        completion_secs,
+        completion_disk,
+        staged_hits,
+        demand_reads,
+        nolat_completion_secs,
+        parallel,
+    }
+}
+
+impl OverlapReport {
+    /// `cursor_secs` is the in-memory counted cursor on the same plan, for
+    /// the no-latency overhead ratio the CI guard checks.
+    fn json(&self, cursor_secs: f64) -> String {
+        let parallel = self
+            .parallel
+            .iter()
+            .map(|&(workers, secs)| {
+                format!(
+                    "{{ \"workers\": {workers}, \"secs_per_join\": {secs:.6}, \
+                     \"over_blocking\": {:.4} }}",
+                    secs / self.blocking_secs
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\n    \"latency_us\": {},\n    \"blocking_cold\": {{ \"secs_per_join\": {:.6}, \"disk_accesses\": {} }},\n    \"completion_cold\": {{ \"secs_per_join\": {:.6}, \"disk_accesses\": {}, \"staged_hits\": {}, \"demand_reads\": {} }},\n    \"completion_over_blocking\": {:.4},\n    \"no_latency\": {{ \"completion_cold_secs\": {:.6}, \"cold_over_cursor\": {:.4} }},\n    \"parallel\": [{}]\n  }}",
+            self.latency_us,
+            self.blocking_secs,
+            self.blocking_disk,
+            self.completion_secs,
+            self.completion_disk,
+            self.staged_hits,
+            self.demand_reads,
+            self.blocking_secs / self.completion_secs,
+            self.nolat_completion_secs,
+            cursor_secs / self.nolat_completion_secs,
+            parallel,
+        )
+    }
+}
+
 /// The write path under the same fixture: a scripted update mix applied
 /// through an [`OpenFileTree`] (dirty write-back, free-list reuse), then
 /// the CI-guarded invariant — a cold SJ2 over the updated file costs
@@ -703,19 +938,24 @@ fn bench_exec(c: &mut Criterion) {
     // trees come off disk and every buffer miss is a real page read.
     let file = measure_file_backend(&r, &s, JoinPlan::sj2(), sj2.pairs, &cfg, iters);
     let file_json = file.json(sj2.secs[1]);
+    // Completion-driven I/O vs the blocking backend, with and without
+    // injected per-read latency, plus the shared-queue parallel sweep.
+    let overlap = measure_overlap(&r, &s, JoinPlan::sj2(), sj2.pairs, &cfg, iters);
+    let overlap_json = overlap.json(sj2.secs[1]);
     // The write path: scripted updates through an open file, then the
     // updated-vs-freshly-saved cold-join guard.
     let update = measure_update_path(&w, &r, &s, &cfg, iters);
     // The f32 compression ablation on the same fixture.
     let f32_ablation = measure_f32_ablation(&r, &s, &cfg);
     let json = format!(
-        "{{\n  \"bench\": \"exec_three_engines\",\n  \"preset\": \"A\",\n  \"scale\": {scale},\n  \"page_bytes\": {PAGE},\n  \"iterations\": {iters},\n  \"plan\": \"{}\",\n  \"plans\": {{\n    \"{}\": {},\n    \"{}\": {}\n  }},\n  \"file_backend\": {},\n  \"update\": {},\n  \"f32_ablation\": {},\n  \"cursor_over_recursive\": {:.4},\n  \"raw_over_cursor\": {:.4}\n}}\n",
+        "{{\n  \"bench\": \"exec_three_engines\",\n  \"preset\": \"A\",\n  \"scale\": {scale},\n  \"page_bytes\": {PAGE},\n  \"iterations\": {iters},\n  \"plan\": \"{}\",\n  \"plans\": {{\n    \"{}\": {},\n    \"{}\": {}\n  }},\n  \"file_backend\": {},\n  \"overlap\": {},\n  \"update\": {},\n  \"f32_ablation\": {},\n  \"cursor_over_recursive\": {:.4},\n  \"raw_over_cursor\": {:.4}\n}}\n",
         sj2.name,
         sj2.name,
         sj2.json(),
         sj4.name,
         sj4.json(),
         file_json,
+        overlap_json,
         update.json(),
         f32_ablation.json(),
         sj2.secs[0] / sj2.secs[1],

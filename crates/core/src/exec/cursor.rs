@@ -45,7 +45,7 @@
 
 use std::collections::VecDeque;
 
-use crate::exec::schedule::{self, DirPair, OrderScratch, ReadSchedule};
+use crate::exec::schedule::{self, DirPair, OrderScratch, ReadSchedule, TicketGate};
 use crate::exec::{TAG_R, TAG_S};
 use crate::plan::{DiffHeightPolicy, Enumerate, JoinPlan};
 use crate::stats::JoinStats;
@@ -402,10 +402,28 @@ pub struct JoinCursor<'t, A: NodeAccess, M: Meter = CmpCounter> {
     /// cursor skips schedule materialization entirely, so accounting-only
     /// backends run the exact pre-hint hot path.
     hinting: bool,
+    /// Whether the backend services misses through a completion queue
+    /// ([`NodeAccess::completion_driven`] at construction). When false
+    /// the iterator skips the ticket-gating machinery entirely.
+    completion: bool,
+    /// Emission gate of completion-driven mode (see [`TicketGate`]).
+    gate: TicketGate,
+    /// Machine steps taken while the front result was ticket-gated —
+    /// the run-ahead budget spent since the last emission or park.
+    run_ahead: u32,
     stack: Vec<Frame>,
     pending: VecDeque<(DataId, DataId)>,
     scratch: ExecScratch,
 }
+
+/// Completion-driven run-ahead caps: while the head result pair waits on
+/// an in-flight read, the cursor keeps stepping the machine — submitting
+/// further reads so the queue's lanes stay busy — until it has buffered
+/// `RUN_AHEAD_STEPS` more steps or `MAX_IN_FLIGHT` reads are outstanding,
+/// and only then parks on the blocking ticket. The caps bound both the
+/// pending-pair backlog and the submission burst a slow read can cause.
+const RUN_AHEAD_STEPS: u32 = 32;
+const MAX_IN_FLIGHT: usize = 16;
 
 /// A [`JoinCursor`] running with the zero-cost [`NoOp`] meter: the raw
 /// production mode. Same result-pair multiset, no comparison accounting.
@@ -465,6 +483,7 @@ impl<'t, A: NodeAccess, M: Meter> JoinCursor<'t, A, M> {
         let mut cursor = Self::empty(r, s, plan, access, false);
         cursor.charge(TAG_R, r.root());
         cursor.charge(TAG_S, s.root());
+        cursor.capture_gate();
         if !r.is_empty() && !s.is_empty() {
             if let Some(rect) = plan.search_space(&r.mbr(), &s.mbr()) {
                 cursor.tasks.push_back((r.root(), s.root(), rect));
@@ -507,6 +526,7 @@ impl<'t, A: NodeAccess, M: Meter> JoinCursor<'t, A, M> {
         );
         let io_baseline = access.io_stats();
         let hinting = access.wants_hints();
+        let completion = access.completion_driven();
         JoinCursor {
             r,
             s,
@@ -522,6 +542,9 @@ impl<'t, A: NodeAccess, M: Meter> JoinCursor<'t, A, M> {
             charge_tasks,
             io_baseline,
             hinting,
+            completion,
+            gate: TicketGate::default(),
+            run_ahead: 0,
             stack: Vec::new(),
             pending: VecDeque::new(),
             scratch: ExecScratch::default(),
@@ -571,6 +594,31 @@ impl<'t, A: NodeAccess, M: Meter> JoinCursor<'t, A, M> {
         let tree = self.tree(tag);
         let depth = tree.depth_of_level(tree.node(page).level);
         self.access.access(tag, page, depth);
+    }
+
+    /// Records an emission barrier at the backend's latest miss ticket,
+    /// covering every result not yet pushed (completion-driven mode
+    /// only). Called after each machine step and after constructor-time
+    /// root charges.
+    #[inline]
+    fn capture_gate(&mut self) {
+        if self.completion {
+            let before = self.emitted + self.pending.len() as u64;
+            self.gate.capture(before, self.access.last_miss_ticket());
+        }
+    }
+
+    /// [`JoinCursor::step`] plus barrier capture: results produced by
+    /// this step (and later ones) wait on every read submitted up to it,
+    /// so `before` is sampled ahead of the step.
+    #[inline]
+    fn step_gated(&mut self) -> bool {
+        let before = self.emitted + self.pending.len() as u64;
+        let advanced = self.step();
+        if advanced && self.completion {
+            self.gate.capture(before, self.access.last_miss_ticket());
+        }
+        advanced
     }
 
     #[inline]
@@ -1162,11 +1210,60 @@ impl<'t, A: NodeAccess, M: Meter> JoinCursor<'t, A, M> {
     }
 }
 
+impl<A: NodeAccess, M: Meter> JoinCursor<'_, A, M> {
+    /// Completion-driven `next`: the machine steps (and charges) in the
+    /// exact deterministic schedule order, but a result pair only
+    /// surfaces once every read it transitively depends on has
+    /// completed. While the head pair's barrier is unsettled the cursor
+    /// *runs ahead* — stepping other frames, which submits further reads
+    /// and keeps the queue's lanes busy — up to the run-ahead caps, and
+    /// only then parks on the blocking ticket ([`NodeAccess::await_settled`],
+    /// a blocking wait, never a poll loop).
+    fn next_completion(&mut self) -> Option<(DataId, DataId)> {
+        loop {
+            if !self.pending.is_empty() {
+                match self.gate.blocking(self.emitted, &self.access) {
+                    None => {
+                        let pair = self.pending.pop_front().expect("non-empty");
+                        self.emitted += 1;
+                        self.run_ahead = 0;
+                        return Some(pair);
+                    }
+                    Some(ticket) => {
+                        if self.run_ahead < RUN_AHEAD_STEPS
+                            && self.access.in_flight() < MAX_IN_FLIGHT
+                            && self.step_gated()
+                        {
+                            self.run_ahead += 1;
+                            continue;
+                        }
+                        self.access.await_settled(ticket);
+                        self.run_ahead = 0;
+                        continue;
+                    }
+                }
+            }
+            if !self.step_gated() {
+                // Machine exhausted. Settle every outstanding read (the
+                // honesty point: lane reads now cover all charges), which
+                // unblocks any still-gated buffered pairs.
+                self.access.drain_completions();
+                if self.pending.is_empty() {
+                    return None;
+                }
+            }
+        }
+    }
+}
+
 impl<A: NodeAccess, M: Meter> Iterator for JoinCursor<'_, A, M> {
     type Item = (DataId, DataId);
 
     #[inline]
     fn next(&mut self) -> Option<(DataId, DataId)> {
+        if self.completion {
+            return self.next_completion();
+        }
         loop {
             if let Some(pair) = self.pending.pop_front() {
                 self.emitted += 1;

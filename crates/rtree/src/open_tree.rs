@@ -210,9 +210,13 @@ impl<B: UpdateBackend> OpenTree<B> {
     }
 
     /// I/O charged by the updates so far (reads through the buffer
-    /// hierarchy plus [`IoStats::page_writes`] write-backs).
+    /// hierarchy plus [`IoStats::page_writes`] write-backs). Settles any
+    /// outstanding asynchronous reads first, so a completion-driven
+    /// backend's physical read counters are comparable to the charges at
+    /// the moment this returns.
     #[inline]
     pub fn io_stats(&self) -> IoStats {
+        self.access.drain_completions();
         self.access.io_stats()
     }
 
@@ -297,6 +301,10 @@ impl<B: UpdateBackend> OpenTree<B> {
     /// page-for-page identical to [`OpenTree::tree`].
     pub fn flush(&mut self) -> Result<(), StorageError> {
         self.check_poisoned()?;
+        // No read may still be in flight when the write-back starts: a
+        // completion-driven backend's lane workers hold their own handles
+        // onto the same physical file.
+        self.access.drain_completions();
         self.access.flush_writes()?;
         let meta = encode_meta(&self.tree);
         let file = self.access.store_file_mut(STORE);

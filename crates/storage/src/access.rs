@@ -37,10 +37,42 @@
 //! sequence, never phantom reads), assuming the join runs to completion.
 //! Both methods default to no-ops, so accounting-only backends ignore the
 //! schedule entirely.
+//!
+//! ## Completion-driven reads
+//!
+//! A *completion-driven* backend ([`crate::CompletionFileAccess`], and the
+//! prefetching/sharded backends built on the same
+//! [`crate::CompletionQueue`]) services a demand miss by **submitting** the
+//! physical read to a submission/completion queue and returning
+//! immediately: the miss is charged exactly where a blocking backend
+//! charges it (so `IoStats` is bit-identical by construction), but the
+//! bytes arrive later, identified by a [`Ticket`]. The executor gates work
+//! that *consumes* a page on that page's ticket — parking the frame that
+//! produced it and advancing other runnable work — via
+//! [`NodeAccess::last_miss_ticket`] / [`NodeAccess::is_complete`] /
+//! [`NodeAccess::await_ticket`]. Synchronous backends keep the defaults:
+//! no tickets, everything always complete.
 
 use crate::codec::StorageError;
 use crate::page::PageId;
 use crate::pool::IoStats;
+
+/// Identifies one submitted asynchronous page read. Tickets are issued in
+/// submission order, starting at 1; [`Ticket::NONE`] (0) is the "no read
+/// pending" sentinel and is always complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ticket(pub u64);
+
+impl Ticket {
+    /// The "no read pending" sentinel; always complete.
+    pub const NONE: Ticket = Ticket(0);
+
+    /// Whether this is the [`Ticket::NONE`] sentinel.
+    #[inline]
+    pub const fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
 
 /// One upcoming page access of a read schedule: which store, which page,
 /// at which depth (0 = root) it will be charged.
@@ -103,6 +135,56 @@ pub trait NodeAccess {
             self.will_access(r.store, r.page, r.depth);
         }
     }
+
+    /// Whether demand misses are serviced asynchronously through a
+    /// submission/completion queue (module docs, "Completion-driven
+    /// reads"). Executors may skip the ticket-gating machinery entirely
+    /// when this is `false` (the default).
+    fn completion_driven(&self) -> bool {
+        false
+    }
+
+    /// The ticket of the physical read submitted by the most recent
+    /// demand miss, or [`Ticket::NONE`] if no miss is outstanding.
+    /// Synchronous backends always report [`Ticket::NONE`].
+    fn last_miss_ticket(&self) -> Ticket {
+        Ticket::NONE
+    }
+
+    /// Non-blocking completion check for `ticket`. Synchronous backends
+    /// are always complete. Completion-driven backends count these calls
+    /// (the parked-cursor poll budget is testable).
+    fn is_complete(&self, _ticket: Ticket) -> bool {
+        true
+    }
+
+    /// Blocks until `ticket`'s read has completed. No accounting moves —
+    /// the miss was charged at submission.
+    fn await_ticket(&self, _ticket: Ticket) {}
+
+    /// Whether every submission up to **and including** `ticket` has
+    /// completed. Stronger than [`NodeAccess::is_complete`]: completions
+    /// arrive out of submission order, so a completed ticket may still
+    /// have incomplete predecessors. Executors gate result emission on
+    /// this predicate — a result derived from charged-but-still-flying
+    /// pages is never surfaced. Synchronous backends are always settled.
+    fn is_settled(&self, _ticket: Ticket) -> bool {
+        true
+    }
+
+    /// Blocks until [`NodeAccess::is_settled`] holds for `ticket`.
+    fn await_settled(&self, _ticket: Ticket) {}
+
+    /// Number of submitted reads that have not yet completed. Executors
+    /// use this to bound how far they run ahead of the completion stream.
+    fn in_flight(&self) -> usize {
+        0
+    }
+
+    /// Blocks until every outstanding submission has completed — the
+    /// honesty point at which physical read counters are comparable to
+    /// `disk_accesses`. Default: no-op.
+    fn drain_completions(&self) {}
 }
 
 /// The write half of the page-access boundary: dirty-page registration
@@ -166,6 +248,38 @@ impl<A: NodeAccess + ?Sized> NodeAccess for &mut A {
 
     fn hint(&mut self, upcoming: &[PageRef]) {
         (**self).hint(upcoming)
+    }
+
+    fn completion_driven(&self) -> bool {
+        (**self).completion_driven()
+    }
+
+    fn last_miss_ticket(&self) -> Ticket {
+        (**self).last_miss_ticket()
+    }
+
+    fn is_complete(&self, ticket: Ticket) -> bool {
+        (**self).is_complete(ticket)
+    }
+
+    fn await_ticket(&self, ticket: Ticket) {
+        (**self).await_ticket(ticket)
+    }
+
+    fn is_settled(&self, ticket: Ticket) -> bool {
+        (**self).is_settled(ticket)
+    }
+
+    fn await_settled(&self, ticket: Ticket) {
+        (**self).await_settled(ticket)
+    }
+
+    fn in_flight(&self) -> usize {
+        (**self).in_flight()
+    }
+
+    fn drain_completions(&self) {
+        (**self).drain_completions()
     }
 }
 

@@ -17,6 +17,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use crate::access::{NodeAccess, NodeAccessMut};
 use crate::codec::{
@@ -59,6 +60,21 @@ pub struct PageFile {
     pad: Vec<u8>,
     /// Scratch for free-chain marker encoding.
     marker: Vec<u8>,
+    /// Injected latency per counted page read (see
+    /// [`PageFile::set_read_latency`]); `None` = no injection.
+    read_latency: Option<Duration>,
+}
+
+/// Environment variable naming the injected per-read latency in
+/// microseconds. Read once per [`PageFile`] construction, so handles
+/// opened by completion-queue workers inherit the same knob. `0`, unset,
+/// or unparsable mean "no injection".
+pub const READ_LATENCY_ENV: &str = "RSJ_READ_LATENCY_US";
+
+/// The per-read latency currently requested via [`READ_LATENCY_ENV`].
+fn env_read_latency() -> Option<Duration> {
+    let us: u64 = std::env::var(READ_LATENCY_ENV).ok()?.parse().ok()?;
+    (us > 0).then(|| Duration::from_micros(us))
 }
 
 impl PageFile {
@@ -115,6 +131,7 @@ impl PageFile {
             writes: 0,
             pad: Vec::new(),
             marker: Vec::new(),
+            read_latency: env_read_latency(),
         })
     }
 
@@ -160,6 +177,7 @@ impl PageFile {
             writes: 0,
             pad: Vec::new(),
             marker: Vec::new(),
+            read_latency: env_read_latency(),
         };
         let chain = pf.walk_free_chain()?;
         pf.free.restore(chain);
@@ -375,14 +393,35 @@ impl PageFile {
     }
 
     /// Reads one slot into `buf` (resized to `slot_bytes`). Charges one
-    /// read.
+    /// read. When a read latency is injected, the sleep happens *before*
+    /// the read, modelling positioning time; open-time chain recovery
+    /// ([`PageFile::read_slot_uncounted`]) stays undelayed, matching its
+    /// uncounted status.
     pub fn read_page_into(&mut self, id: PageId, buf: &mut Vec<u8>) -> Result<(), StorageError> {
+        if let Some(lat) = self.read_latency {
+            std::thread::sleep(lat);
+        }
         let off = self.slot_offset(id)?;
         buf.resize(self.slot_bytes(), 0);
         self.file.seek(SeekFrom::Start(off))?;
         self.file.read_exact(buf)?;
         self.reads += 1;
         Ok(())
+    }
+
+    /// Injects (or clears) an artificial latency charged on every counted
+    /// page read — the knob that makes latency *hiding* measurable on page
+    /// caches and fast NVMe. Handles pick up a default from
+    /// [`READ_LATENCY_ENV`] at construction; this setter overrides it per
+    /// handle.
+    pub fn set_read_latency(&mut self, latency: Option<Duration>) {
+        self.read_latency = latency.filter(|l| !l.is_zero());
+    }
+
+    /// The injected per-read latency currently in force on this handle.
+    #[inline]
+    pub fn read_latency(&self) -> Option<Duration> {
+        self.read_latency
     }
 
     /// Reads one slot into a fresh buffer. Charges one read.

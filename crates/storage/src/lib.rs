@@ -77,9 +77,11 @@
 
 pub mod access;
 pub mod codec;
+pub mod completion;
 pub mod cost;
 pub mod file;
 pub mod heapfile;
+mod inflight;
 pub mod lru;
 pub mod page;
 pub mod partition;
@@ -91,10 +93,11 @@ pub mod shared;
 pub mod temp;
 pub mod writeback;
 
-pub use access::{NodeAccess, NodeAccessMut, PageRef};
+pub use access::{NodeAccess, NodeAccessMut, PageRef, Ticket};
 pub use codec::{DiskEntry, DiskNode, EntryFormat, FileHeader, StorageError};
+pub use completion::{CompletionConfig, CompletionFileAccess, CompletionQueue};
 pub use cost::CostModel;
-pub use file::{FileNodeAccess, PageFile};
+pub use file::{FileNodeAccess, PageFile, READ_LATENCY_ENV};
 pub use heapfile::{HeapFile, RecordId};
 pub use lru::{Access, EvictionPolicy, LruBuffer};
 pub use page::{PageEvent, PageId, PageStore};

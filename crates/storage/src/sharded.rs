@@ -51,15 +51,12 @@
 //! `save_sharded_to` rewrite restores it (state of the world after any
 //! update sequence is pinned by the update-conformance suite).
 
-use std::collections::{HashSet, VecDeque};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 
-use crate::access::{NodeAccess, NodeAccessMut, PageRef};
+use crate::access::{NodeAccess, NodeAccessMut, PageRef, Ticket};
 use crate::codec::{self, EntryFormat, StorageError, META_BYTES};
+use crate::completion::CompletionQueue;
 use crate::file::PageFile;
 use crate::lru::{BufKey, EvictionPolicy, LruBuffer};
 use crate::page::PageId;
@@ -617,107 +614,38 @@ impl Default for ShardReaderConfig {
     }
 }
 
-/// One queued read for a shard reader: the global buffer key plus the
-/// local slot in the worker's shard file.
-type ShardReadJob = (BufKey, PageId);
-
-#[derive(Default)]
-struct ReaderState {
-    /// One queue per reader thread (= per physical shard file).
-    queues: Vec<VecDeque<ShardReadJob>>,
-    /// Everything currently queued (dedup).
-    queued: HashSet<BufKey>,
-    /// Pages a worker has physically read ahead of demand. Tokens only:
-    /// like every demand read of this backend, the bytes themselves are
-    /// discarded — what matters is that the physical read happened, on
-    /// the right spindle, before the executor needed it.
-    staged: HashSet<BufKey>,
-    /// Keys workers are reading right now; demand waits instead of
-    /// double-reading.
-    in_flight: HashSet<BufKey>,
-    shutdown: bool,
-}
-
-struct ReaderShared {
-    state: Mutex<ReaderState>,
-    wakeup: Condvar,
-    /// Physical reads per reader thread (= per (store, shard)).
-    reads: Vec<AtomicU64>,
-}
-
-/// The per-shard reader pool: one thread per physical shard file, each
-/// with its own read-only [`PageFile`] handle — genuinely concurrent
-/// demand-side I/O for the disk-array model, driven by the executor's
-/// read-schedule hints.
-struct ShardReaders {
-    shared: Arc<ReaderShared>,
-    /// Reader-thread index of `(store, shard)` = `offsets[store] + shard`.
+/// The per-shard submission view of a [`CompletionQueue`]: lane
+/// `offsets[store] + shard` is the physical shard file of `(store,
+/// shard)`, with its own dedicated worker(s) and read counter — the
+/// disk-array model, now expressed as completion-queue lanes. The queue
+/// handle may be private to this backend
+/// ([`ShardedFileAccess::with_parallel_readers`]) or shared with sibling
+/// backends of parallel join workers
+/// ([`ShardedFileAccess::with_shared_queue`]).
+#[derive(Debug)]
+struct ShardQueue {
+    queue: CompletionQueue,
+    /// Lane of `(store, shard)` = `offsets[store] + shard`.
     offsets: Vec<usize>,
     window: usize,
-    workers: Vec<JoinHandle<()>>,
 }
 
-impl std::fmt::Debug for ShardReaders {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ShardReaders")
-            .field("workers", &self.workers.len())
-            .field("window", &self.window)
-            .finish_non_exhaustive()
-    }
-}
-
-fn shard_reader_loop(shared: Arc<ReaderShared>, mut file: PageFile, slot: usize) {
-    let mut buf = Vec::new();
-    loop {
-        let (key, local) = {
-            let mut st = shared.state.lock().expect("shard reader state poisoned");
-            loop {
-                if st.shutdown {
-                    return;
-                }
-                if let Some(job) = st.queues[slot].pop_front() {
-                    st.queued.remove(&job.0);
-                    if st.staged.contains(&job.0) {
-                        continue; // already read
-                    }
-                    st.in_flight.insert(job.0);
-                    break job;
-                }
-                st = shared.wakeup.wait(st).expect("shard reader state poisoned");
-            }
-        };
-        // The read runs outside the state lock: every shard reader (and
-        // the demand path) proceeds concurrently on its own spindle.
-        let ok = file.read_page_into(local, &mut buf).is_ok();
-        if ok {
-            shared.reads[slot].fetch_add(1, Ordering::Relaxed);
-        }
-        let mut st = shared.state.lock().expect("shard reader state poisoned");
-        st.in_flight.remove(&key);
-        if ok {
-            st.staged.insert(key);
-        }
-        // A failed read is dropped: the demand access re-reads through the
-        // main handle and surfaces the error with context.
-        shared.wakeup.notify_all();
-    }
-}
-
-impl Drop for ShardReaders {
-    fn drop(&mut self) {
-        {
-            let mut st = self
-                .shared
-                .state
-                .lock()
-                .expect("shard reader state poisoned");
-            st.shutdown = true;
-        }
-        self.shared.wakeup.notify_all();
-        for h in self.workers.drain(..) {
-            let _ = h.join();
+/// One completion-queue lane per physical shard file of `files`, in
+/// store-major order — the layout [`ShardedFileAccess::with_shared_queue`]
+/// expects. Parallel join workers build one queue here and hand clones to
+/// their per-worker backends, so all workers draw from one submission/
+/// completion stream while each shard file keeps its dedicated lane.
+pub fn shard_lane_queue(
+    files: &[ShardedPageFile],
+    workers_per_lane: usize,
+) -> Result<CompletionQueue, StorageError> {
+    let mut paths = Vec::new();
+    for f in files {
+        for i in 0..f.shard_count() {
+            paths.push(f.shard_file_path(i));
         }
     }
+    CompletionQueue::open(&paths, workers_per_lane, None)
 }
 
 /// The sharded-file [`NodeAccess`] backend: path buffers + one LRU buffer
@@ -736,11 +664,13 @@ pub struct ShardedFileAccess {
     scratch: Vec<u8>,
     /// Dirty-page payloads awaiting write-back ([`NodeAccessMut`]).
     dirty: DirtyPages,
-    /// The per-shard reader pool, if enabled.
-    readers: Option<ShardReaders>,
-    /// Misses whose physical read a shard reader finished ahead of demand.
+    /// The per-shard completion-queue lanes, if enabled.
+    readers: Option<ShardQueue>,
+    /// Ticket of the most recent demand-miss submission.
+    last_miss: Ticket,
+    /// Misses whose physical read a shard lane started ahead of demand.
     staged_hits: u64,
-    /// Misses read synchronously on the demand path.
+    /// Misses that submitted (or adopted a still-queued) read themselves.
     demand_reads: u64,
 }
 
@@ -762,18 +692,21 @@ impl ShardedFileAccess {
             scratch: Vec::new(),
             dirty: DirtyPages::default(),
             readers: None,
+            last_miss: Ticket::NONE,
             staged_hits: 0,
             demand_reads: 0,
         })
     }
 
-    /// [`ShardedFileAccess::with_capacity_pages`] plus a pool of **one
-    /// reader thread per physical shard file**, each with its own
-    /// read-only file handle, servicing the executor's read-schedule
-    /// hints ([`NodeAccess::hint`]) concurrently. Accounting is untouched
-    /// — a hinted page still charges its miss on demand — but the
-    /// physical read may already have happened on the owning shard's
-    /// spindle, visible in the [`ShardedFileAccess::staged_hits`] /
+    /// [`ShardedFileAccess::with_capacity_pages`] plus **one completion-
+    /// queue lane per physical shard file**, each with its own dedicated
+    /// worker holding a private read-only file handle. Read-schedule
+    /// hints ([`NodeAccess::hint`]) become lane submissions, and a demand
+    /// miss *adopts* the hint's submission (ticket and all) instead of
+    /// reading synchronously. Accounting is untouched — a hinted page
+    /// still charges its miss on demand — but the physical read may
+    /// already have happened on the owning shard's spindle, visible in
+    /// the [`ShardedFileAccess::staged_hits`] /
     /// [`ShardedFileAccess::demand_reads`] split and the per-shard
     /// [`ShardedFileAccess::reader_reads`] counters. Read-only: this
     /// backend refuses [`NodeAccessMut::write`].
@@ -784,36 +717,41 @@ impl ShardedFileAccess {
         policy: EvictionPolicy,
         cfg: ShardReaderConfig,
     ) -> Result<Self, StorageError> {
+        let queue = shard_lane_queue(&files, 1)?;
+        Self::with_shared_queue(files, cap_pages, heights, policy, queue, cfg)
+    }
+
+    /// [`ShardedFileAccess::with_parallel_readers`] over an externally
+    /// built queue ([`shard_lane_queue`]) — shard-parallel join workers
+    /// each wrap their own backend (private buffers, private `IoStats`)
+    /// around clones of **one** queue, sharing its workers, tickets and
+    /// per-lane read counters. The queue must have exactly one lane per
+    /// physical shard file of `files`, in store-major order.
+    pub fn with_shared_queue(
+        files: Vec<ShardedPageFile>,
+        cap_pages: usize,
+        heights: &[usize],
+        policy: EvictionPolicy,
+        queue: CompletionQueue,
+        cfg: ShardReaderConfig,
+    ) -> Result<Self, StorageError> {
         let mut acc = Self::with_capacity_pages(files, cap_pages, heights, policy)?;
         let mut offsets = Vec::with_capacity(acc.files.len());
-        let mut handles = Vec::new();
+        let mut lanes = 0;
         for file in &acc.files {
-            offsets.push(handles.len());
-            for i in 0..file.shard_count() {
-                handles.push(PageFile::open(file.shard_file_path(i))?);
-            }
+            offsets.push(lanes);
+            lanes += file.shard_count();
         }
-        let shared = Arc::new(ReaderShared {
-            state: Mutex::new(ReaderState {
-                queues: (0..handles.len()).map(|_| VecDeque::new()).collect(),
-                ..ReaderState::default()
-            }),
-            wakeup: Condvar::new(),
-            reads: (0..handles.len()).map(|_| AtomicU64::new(0)).collect(),
-        });
-        let workers = handles
-            .into_iter()
-            .enumerate()
-            .map(|(slot, file)| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || shard_reader_loop(shared, file, slot))
-            })
-            .collect();
-        acc.readers = Some(ShardReaders {
-            shared,
+        if queue.lane_count() != lanes {
+            return Err(StorageError::Corrupt(format!(
+                "completion queue has {} lanes but the files hold {lanes} shard files",
+                queue.lane_count()
+            )));
+        }
+        acc.readers = Some(ShardQueue {
+            queue,
             offsets,
             window: cfg.window.max(1),
-            workers,
         });
         Ok(acc)
     }
@@ -878,15 +816,22 @@ impl ShardedFileAccess {
         self.demand_reads
     }
 
-    /// Physical reads the reader thread of `store`'s shard `i` performed
-    /// (zero without parallel readers). Together with
+    /// Physical reads the completion-queue lane of `store`'s shard `i`
+    /// performed (zero without parallel readers). Together with
     /// [`ShardedPageFile::shard_reads`] this is the full per-spindle
-    /// split.
+    /// split. With a shared queue this counts reads for *all* backends
+    /// drawing from it, not just this one.
     pub fn reader_reads(&self, store: u8, shard: usize) -> u64 {
         match &self.readers {
-            Some(r) => r.shared.reads[r.offsets[store as usize] + shard].load(Ordering::Relaxed),
+            Some(r) => r.queue.lane_reads(r.offsets[store as usize] + shard),
             None => 0,
         }
+    }
+
+    /// The completion queue driving the shard lanes, if parallel readers
+    /// are enabled.
+    pub fn queue(&self) -> Option<&CompletionQueue> {
+        self.readers.as_ref().map(|r| &r.queue)
     }
 
     /// Physical reads on `store`'s shard `i` from both the demand path
@@ -912,27 +857,9 @@ impl ShardedFileAccess {
         self.stats = IoStats::default();
         self.staged_hits = 0;
         self.demand_reads = 0;
+        self.last_miss = Ticket::NONE;
         if let Some(readers) = &self.readers {
-            let mut st = readers
-                .shared
-                .state
-                .lock()
-                .expect("shard reader state poisoned");
-            for q in &mut st.queues {
-                q.clear();
-            }
-            st.queued.clear();
-            while !st.in_flight.is_empty() {
-                st = readers
-                    .shared
-                    .wakeup
-                    .wait(st)
-                    .expect("shard reader state poisoned");
-            }
-            st.staged.clear();
-            for r in &readers.shared.reads {
-                r.store(0, Ordering::Relaxed);
-            }
+            readers.queue.reset();
         }
     }
 
@@ -941,38 +868,14 @@ impl ShardedFileAccess {
         self.files
     }
 
-    /// Demand-miss service with the reader pool: consume a staged read,
-    /// wait out an in-flight one, or rescue the key from its queue and
-    /// read synchronously. Returns `true` if a reader already did the
-    /// physical read.
-    fn consume_staged(&mut self, key: BufKey) -> bool {
-        let Some(readers) = &self.readers else {
-            return false;
+    /// Lane and shard-local slot of `(store, page)` — the submission
+    /// coordinates of a demand miss or hint.
+    fn lane_of(&self, readers: &ShardQueue, store: u8, page: PageId) -> Option<(usize, PageId)> {
+        let file = &self.files[store as usize];
+        let (Ok(shard), Ok(local)) = (file.shard_of(page), file.local_slot(page)) else {
+            return None;
         };
-        let mut st = readers
-            .shared
-            .state
-            .lock()
-            .expect("shard reader state poisoned");
-        loop {
-            if st.staged.remove(&key) {
-                return true;
-            }
-            if st.in_flight.contains(&key) {
-                st = readers
-                    .shared
-                    .wakeup
-                    .wait(st)
-                    .expect("shard reader state poisoned");
-                continue;
-            }
-            if st.queued.remove(&key) {
-                for q in &mut st.queues {
-                    q.retain(|&(k, _)| k != key);
-                }
-            }
-            return false;
-        }
+        Some((readers.offsets[store as usize] + shard, local))
     }
 }
 
@@ -989,8 +892,17 @@ impl NodeAccess for ShardedFileAccess {
         self.write_back_evicted();
         if miss {
             let key = BufKey::new(store, page);
-            if self.consume_staged(key) {
-                self.staged_hits += 1;
+            if let Some(readers) = &self.readers {
+                let (lane, local) = self
+                    .lane_of(readers, store, page)
+                    .expect("sharded page read failed mid-join: page outside every shard");
+                let (ticket, already_started) = readers.queue.adopt_or_submit(lane, key, local);
+                if already_started {
+                    self.staged_hits += 1;
+                } else {
+                    self.demand_reads += 1;
+                }
+                self.last_miss = ticket;
             } else {
                 self.files[store as usize]
                     .read_page_into(page, &mut self.scratch)
@@ -1027,39 +939,65 @@ impl NodeAccess for ShardedFileAccess {
         let Some(readers) = &self.readers else {
             return;
         };
-        let mut enqueued = false;
-        {
-            let mut st = readers
-                .shared
-                .state
-                .lock()
-                .expect("shard reader state poisoned");
-            for r in upcoming {
-                let key = BufKey::new(r.store, r.page);
-                if st.queued.len() + st.staged.len() + st.in_flight.len() >= readers.window {
-                    break;
-                }
-                if self.lru.contains(key)
-                    || self.paths[r.store as usize].contains(r.page)
-                    || st.queued.contains(&key)
-                    || st.staged.contains(&key)
-                    || st.in_flight.contains(&key)
-                {
-                    continue;
-                }
-                let file = &self.files[r.store as usize];
-                let (Ok(shard), Ok(local)) = (file.shard_of(r.page), file.local_slot(r.page))
-                else {
-                    continue; // hints are advisory; bad ones are dropped
-                };
-                let slot = readers.offsets[r.store as usize] + shard;
-                st.queued.insert(key);
-                st.queues[slot].push_back((key, local));
-                enqueued = true;
+        for r in upcoming {
+            let key = BufKey::new(r.store, r.page);
+            if self.lru.contains(key) || self.paths[r.store as usize].contains(r.page) {
+                continue;
             }
+            let Some((lane, local)) = self.lane_of(readers, r.store, r.page) else {
+                continue; // hints are advisory; bad ones are dropped
+            };
+            // The queue dedupes against in-flight submissions and enforces
+            // the window bound; hints past the window are dropped, never
+            // read-then-discarded.
+            readers.queue.submit_hint(lane, key, local, readers.window);
         }
-        if enqueued {
-            readers.shared.wakeup.notify_all();
+    }
+
+    fn completion_driven(&self) -> bool {
+        self.readers.is_some()
+    }
+
+    fn last_miss_ticket(&self) -> Ticket {
+        self.last_miss
+    }
+
+    fn is_complete(&self, ticket: Ticket) -> bool {
+        match &self.readers {
+            Some(r) => r.queue.is_complete(ticket),
+            None => true,
+        }
+    }
+
+    fn await_ticket(&self, ticket: Ticket) {
+        if let Some(r) = &self.readers {
+            r.queue.await_ticket(ticket);
+        }
+    }
+
+    fn is_settled(&self, ticket: Ticket) -> bool {
+        match &self.readers {
+            Some(r) => r.queue.is_settled(ticket),
+            None => true,
+        }
+    }
+
+    fn await_settled(&self, ticket: Ticket) {
+        if let Some(r) = &self.readers {
+            r.queue.await_settled(ticket);
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        match &self.readers {
+            Some(r) => r.queue.in_flight(),
+            None => 0,
+        }
+    }
+
+    fn drain_completions(&self) {
+        if let Some(r) = &self.readers {
+            r.queue.drain();
         }
     }
 }
@@ -1408,8 +1346,9 @@ mod tests {
             par.stats().disk_accesses,
             "every miss was served exactly once"
         );
-        // The reader pool's physical reads land on the right spindles:
-        // total per-shard reads cover all misses.
+        // The lanes' physical reads land on the right spindles: once the
+        // pipeline drains, total per-shard reads cover all misses.
+        par.drain_completions();
         let total: u64 = (0..4).map(|s| par.shard_reads_total(0, s)).sum();
         assert!(total >= par.stats().disk_accesses);
         par.reset();
@@ -1434,19 +1373,10 @@ mod tests {
         let refs: Vec<PageRef> = (0..32).map(|i| PageRef::new(0, PageId(i), 0)).collect();
         par.hint(&refs);
         par.hint(&refs); // repeats are free
-                         // Wait for the pipeline to drain, then check the bound.
-        let start = std::time::Instant::now();
-        loop {
-            let st = par.readers.as_ref().unwrap().shared.state.lock().unwrap();
-            if st.queued.is_empty() && st.in_flight.is_empty() {
-                break;
-            }
-            drop(st);
-            assert!(start.elapsed().as_secs() < 10, "readers never drained");
-            std::thread::yield_now();
-        }
+        par.drain_completions();
         let total: u64 = (0..2).map(|s| par.reader_reads(0, s)).sum();
         assert!(total <= 4, "window 4 but {total} pages read ahead");
+        assert_eq!(par.queue().unwrap().staged_len(), total as usize);
     }
 
     #[test]

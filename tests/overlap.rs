@@ -1,0 +1,320 @@
+//! Completion-driven I/O conformance: the submission/completion queue
+//! overlaps demand misses with join work, but *when* a read completes
+//! must never leak into *what* is charged or produced. Under every
+//! adversarial completion order — random per-page latency, reversed
+//! order, single-page starvation — the [`CompletionFileAccess`] backend
+//! and the shared-queue sharded deployment must emit pair multisets and
+//! [`IoStats`] bit-identical to the blocking backends, and a parked
+//! cursor must sleep on the completion condvar instead of busy-polling.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rsj::prelude::*;
+use rsj_core::spatial_join_with_access;
+use rsj_storage::completion::DelayFn;
+use rsj_storage::sharded::shard_lane_queue;
+use rsj_storage::{
+    BufKey, BufferPool, CompletionConfig, CompletionFileAccess, FileNodeAccess, IoStats,
+    NodeAccess, PageFile, ShardReaderConfig, ShardedFileAccess, ShardedPageFile, TempDir,
+};
+
+const PAGE: usize = 1024;
+const CAP_PAGES: usize = 16;
+const SHARDS: usize = 4;
+
+fn build_tree(objs: &[rsj::datagen::SpatialObject]) -> RTree {
+    let mut t = RTree::new(RTreeParams::for_page_size(PAGE));
+    for o in objs {
+        t.insert(o.mbr, DataId(o.id));
+    }
+    t
+}
+
+fn sorted_ids(pairs: &[(DataId, DataId)]) -> Vec<(u64, u64)> {
+    let mut v: Vec<(u64, u64)> = pairs.iter().map(|&(a, b)| (a.0, b.0)).collect();
+    v.sort_unstable();
+    v
+}
+
+fn plans() -> [(JoinPlan, &'static str); 5] {
+    [
+        (JoinPlan::sj1(), "SJ1"),
+        (JoinPlan::sj2(), "SJ2"),
+        (JoinPlan::sj3(), "SJ3"),
+        (JoinPlan::sj4(), "SJ4"),
+        (JoinPlan::sj5(), "SJ5"),
+    ]
+}
+
+/// One cold-start counted join over an arbitrary backend.
+fn run<A: NodeAccess>(
+    r: &RTree,
+    s: &RTree,
+    plan: JoinPlan,
+    access: A,
+) -> (Vec<(u64, u64)>, IoStats, A) {
+    let (res, access) = spatial_join_with_access(r, s, plan, true, access);
+    (sorted_ids(&res.pairs), res.stats.io, access)
+}
+
+struct Fixture {
+    r: RTree,
+    s: RTree,
+    _dir: TempDir,
+    r_path: std::path::PathBuf,
+    s_path: std::path::PathBuf,
+    r_sharded: std::path::PathBuf,
+    s_sharded: std::path::PathBuf,
+    /// The trees reopened cold from disk (page-identical layout).
+    r_file: RTree,
+    s_file: RTree,
+}
+
+impl Fixture {
+    fn new(test: TestId, scale: f64) -> Fixture {
+        let data = rsj::datagen::preset(test, scale);
+        let r = build_tree(&data.r);
+        let s = build_tree(&data.s);
+        let dir = TempDir::new("overlap").unwrap();
+        let (r_path, s_path) = (dir.file("r.rsj"), dir.file("s.rsj"));
+        r.save_to(&r_path).unwrap();
+        s.save_to(&s_path).unwrap();
+        let (r_sharded, s_sharded) = (dir.file("r.sharded.rsj"), dir.file("s.sharded.rsj"));
+        r.save_sharded_to(&r_sharded, SHARDS).unwrap();
+        s.save_sharded_to(&s_sharded, SHARDS).unwrap();
+        let r_file = RTree::open_from(&r_path).unwrap();
+        let s_file = RTree::open_from(&s_path).unwrap();
+        Fixture {
+            r,
+            s,
+            _dir: dir,
+            r_path,
+            s_path,
+            r_sharded,
+            s_sharded,
+            r_file,
+            s_file,
+        }
+    }
+
+    fn heights(&self) -> [usize; 2] {
+        [self.r.height() as usize, self.s.height() as usize]
+    }
+
+    fn file_access(&self) -> FileNodeAccess {
+        let files = vec![
+            PageFile::open(&self.r_path).unwrap(),
+            PageFile::open(&self.s_path).unwrap(),
+        ];
+        FileNodeAccess::with_capacity_pages(files, CAP_PAGES, &self.heights(), EvictionPolicy::Lru)
+            .unwrap()
+    }
+
+    fn completion_access(&self, delay: Option<DelayFn>) -> CompletionFileAccess {
+        let files = vec![
+            PageFile::open(&self.r_path).unwrap(),
+            PageFile::open(&self.s_path).unwrap(),
+        ];
+        CompletionFileAccess::with_capacity_pages(
+            files,
+            CAP_PAGES,
+            &self.heights(),
+            EvictionPolicy::Lru,
+            CompletionConfig {
+                delay,
+                ..CompletionConfig::default()
+            },
+        )
+        .unwrap()
+    }
+}
+
+/// Pairs and IoStats of the completion backend under `delay` must be
+/// bit-identical to the blocking [`FileNodeAccess`] oracle, for SJ1–SJ5,
+/// and the miss-service split must cover every charged disk access.
+fn check_against_blocking(fx: &Fixture, delay: Option<DelayFn>, label: &str) {
+    for (plan, name) in plans() {
+        let tag = format!("{label}/{name}");
+        let (want_pairs, want_io, _) = run(&fx.r_file, &fx.s_file, plan, fx.file_access());
+        assert!(!want_pairs.is_empty(), "{tag}: fixture must join");
+
+        let (pairs, io, access) = run(
+            &fx.r_file,
+            &fx.s_file,
+            plan,
+            fx.completion_access(delay.clone()),
+        );
+        assert_eq!(pairs, want_pairs, "{tag}: completion-backend pairs");
+        assert_eq!(io, want_io, "{tag}: completion-backend I/O");
+        // Every charged miss was served exactly once: either an adopted
+        // hint read paid for it, or the demand submitted its own.
+        assert_eq!(
+            access.demand_reads() + access.staged_hits(),
+            io.disk_accesses,
+            "{tag}: miss service split"
+        );
+        // After the queue settles, physical reads cover at least the
+        // misses (dropped-window hints are never read; over-reads of
+        // still-staged hints are legal, phantom charges are not).
+        access.drain_completions();
+        assert!(
+            access.file_reads() >= io.disk_accesses,
+            "{tag}: {} physical reads < {} charged misses",
+            access.file_reads(),
+            io.disk_accesses
+        );
+    }
+}
+
+/// Drop-in conformance without any injected delay: completion-driven
+/// execution overlaps reads with join work but charges identically.
+#[test]
+fn overlap_backend_agrees_with_blocking_on_pairs_and_io() {
+    for (test, scale) in [(TestId::A, 0.003), (TestId::B, 0.003)] {
+        let fx = Fixture::new(test, scale);
+        check_against_blocking(&fx, None, &format!("{test:?}"));
+    }
+}
+
+/// Reversed completion order: early-submitted pages (roots live at the
+/// low page ids) wait the longest, so completions arrive roughly in the
+/// opposite of submission order. Charges must not move.
+#[test]
+fn overlap_survives_reversed_completion_order() {
+    let fx = Fixture::new(TestId::A, 0.003);
+    let delay: DelayFn = Arc::new(|key: BufKey| {
+        let inverted = 512u64.saturating_sub(u64::from(key.page.0));
+        Some(Duration::from_micros(inverted * 4))
+    });
+    check_against_blocking(&fx, Some(delay), "reversed");
+}
+
+/// Single-page starvation: the root of store 0 — charged on the very
+/// first machine step — completes ~20 ms after everything else. The
+/// cursor must park on it, keep every later read in flight, and still
+/// emit bit-identical results.
+#[test]
+fn overlap_survives_one_page_starvation() {
+    let fx = Fixture::new(TestId::B, 0.003);
+    let starved = BufKey::new(0, fx.r_file.root());
+    let delay: DelayFn = Arc::new(move |key: BufKey| {
+        if key == starved {
+            Some(Duration::from_millis(20))
+        } else {
+            None
+        }
+    });
+    check_against_blocking(&fx, Some(delay), "starved");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random per-page completion latency (a keyed hash of the page id,
+    /// seeded per case): any interleaving of completions the scheduler
+    /// can produce must leave SJ1–SJ5 pair multisets and IoStats
+    /// bit-identical to the blocking file backend.
+    #[test]
+    fn overlap_survives_random_completion_orders(
+        which in 0usize..2,
+        seed in 0u64..u64::MAX,
+        span_us in 50u64..400,
+    ) {
+        let test = if which == 0 { TestId::A } else { TestId::B };
+        let fx = Fixture::new(test, 0.003);
+        let delay: DelayFn = Arc::new(move |key: BufKey| {
+            let mut h = (u64::from(key.page.0) << 8 | u64::from(key.store)) ^ seed;
+            h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h ^= h >> 29;
+            Some(Duration::from_micros(h % span_us))
+        });
+        check_against_blocking(&fx, Some(delay), &format!("random/{test:?}/{seed}"));
+    }
+}
+
+/// A parked cursor must sleep on the completion condvar, not spin on the
+/// poll predicates: the queue meters every `is_complete`/`is_settled`
+/// call, and under injected latency the total must stay within a small
+/// per-pair, per-miss budget. A busy-spin would show millions of polls.
+#[test]
+fn overlap_parked_cursor_never_busy_spins() {
+    let fx = Fixture::new(TestId::A, 0.003);
+    let delay: DelayFn = Arc::new(|_| Some(Duration::from_millis(2)));
+    let (pairs, io, access) = run(
+        &fx.r_file,
+        &fx.s_file,
+        JoinPlan::sj2(),
+        fx.completion_access(Some(delay)),
+    );
+    assert!(io.disk_accesses > 0, "fixture must miss");
+    let polls = access.queue().poll_count();
+    // One settled check per emitted pair, plus a bounded run-ahead burst
+    // (RUN_AHEAD_STEPS = 32 gate probes) per parked miss barrier.
+    let budget = pairs.len() as u64 + 64 * (io.disk_accesses + 1);
+    assert!(
+        polls <= budget,
+        "cursor busy-spun: {polls} polls for {} pairs / {} misses (budget {budget})",
+        pairs.len(),
+        io.disk_accesses
+    );
+}
+
+/// Shard-parallel workers sharing ONE completion queue (per-shard
+/// submission lanes, private buffers and stats) must produce the same
+/// pair multiset as the sequential in-memory join.
+#[test]
+fn overlap_shared_queue_parallel_matches_sequential() {
+    use rsj_core::parallel_spatial_join_with_access;
+
+    let fx = Fixture::new(TestId::A, 0.003);
+    let plan = JoinPlan::sj4();
+    let pool = BufferPool::with_capacity_pages(CAP_PAGES, &fx.heights());
+    let (want_pairs, _, _) = run(&fx.r, &fx.s, plan, pool);
+
+    for workers in [2usize, 4] {
+        let shard_files = || {
+            vec![
+                ShardedPageFile::open(&fx.r_sharded).unwrap(),
+                ShardedPageFile::open(&fx.s_sharded).unwrap(),
+            ]
+        };
+        // One queue for the whole deployment: every worker clones the
+        // handle and submits on the lanes of whichever shard owns the
+        // page it misses on.
+        let queue = shard_lane_queue(&shard_files(), 1).unwrap();
+        let par =
+            parallel_spatial_join_with_access(&fx.r_file, &fx.s_file, plan, true, workers, |_w| {
+                ShardedFileAccess::with_shared_queue(
+                    shard_files(),
+                    (CAP_PAGES / workers).max(1),
+                    &fx.heights(),
+                    EvictionPolicy::Lru,
+                    queue.clone(),
+                    ShardReaderConfig::default(),
+                )
+                .unwrap()
+            });
+        assert_eq!(
+            sorted_ids(&par.pairs),
+            want_pairs,
+            "{workers}-worker shared-queue pairs"
+        );
+        assert!(
+            par.stats.io.disk_accesses > 0,
+            "workers must hit the shards"
+        );
+        // Cross-worker accounting closes: by the time every worker has
+        // drained, the queue's physical reads cover the charged misses —
+        // minus the two coordinator root charges of `merge_results`,
+        // which never flow through the worker backends.
+        queue.drain();
+        assert!(
+            queue.total_reads() + 2 >= par.stats.io.disk_accesses,
+            "{workers} workers: {} shard reads < {} charged misses",
+            queue.total_reads(),
+            par.stats.io.disk_accesses
+        );
+    }
+}

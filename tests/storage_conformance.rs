@@ -373,9 +373,10 @@ fn prefetch_backend_agrees_on_pairs_and_disk_accesses() {
                 io.disk_accesses,
                 "{label}: miss service split"
             );
-            // And the physical read tally covers at least the misses
-            // (prefetch over-reads beyond the window are legal, phantom
-            // *charges* are not).
+            // And once the completion queue drains, the physical read
+            // tally covers at least the misses (prefetch over-reads
+            // beyond the window are legal, phantom *charges* are not).
+            access.drain_completions();
             assert!(access.file_reads() >= io.disk_accesses, "{label}");
         }
     }
