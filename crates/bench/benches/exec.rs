@@ -39,9 +39,9 @@ use rsj_datagen::TestId;
 use rsj_rtree::{DataId, OpenFileTree, RTree};
 use rsj_storage::sharded::shard_lane_queue;
 use rsj_storage::{
-    BufferPool, CompletionConfig, CompletionFileAccess, EntryFormat, EvictionPolicy,
+    BufferPool, CacheConfig, CompletionConfig, CompletionFileAccess, EntryFormat, EvictionPolicy,
     FileNodeAccess, PageFile, PrefetchConfig, PrefetchingFileAccess, ShardReaderConfig,
-    ShardedFileAccess, ShardedPageFile, TempDir, READ_LATENCY_ENV,
+    ShardedFileAccess, ShardedPageFile, SharedPageCache, TempDir, READ_LATENCY_ENV,
 };
 
 const PAGE: usize = 4096;
@@ -623,6 +623,246 @@ impl OverlapReport {
     }
 }
 
+/// Warm serving over the latched shared page cache, in two measurements.
+///
+/// **Equal budget** — the acceptance bar of the shared frame layer:
+/// a 4-worker cold SJ2 where every worker runs a private
+/// [`FileNodeAccess`] of `budget/4` pages (the shared-nothing file
+/// deployment — physical reads = logical charges by construction)
+/// against the same join over one [`SharedPageCache`] of `budget`
+/// frames with per-worker logical LRUs of `budget/4`. The logical sums
+/// are bit-identical by construction; the cache's physical reads land
+/// strictly below the shared-nothing sum (single-flight + cross-worker
+/// reuse), which the CI guard asserts.
+///
+/// **Serving loop** — the first step of the ROADMAP's join-service
+/// direction: a pool sized to the working set, one cold fill request,
+/// then N closed-loop clients re-running the same SJ2 concurrently,
+/// each through a fresh handle (logical charges equal the serial cold
+/// join's every time). Reported: per-request p50/p99 wall time under
+/// the injected read latency and the cold/warm physical-read split —
+/// warm rounds must re-read ≤ 5% of the cold fill (in practice: zero).
+struct WarmServingReport {
+    latency_us: u64,
+    workers: usize,
+    budget_pages: usize,
+    private_secs: f64,
+    private_logical: u64,
+    shared_secs: f64,
+    shared_logical: u64,
+    shared_physical: u64,
+    clients: usize,
+    rounds: usize,
+    pool_pages: usize,
+    client_logical: u64,
+    cold_physical: u64,
+    cold_secs: f64,
+    warm_physical: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn measure_warm_serving(
+    r: &RTree,
+    s: &RTree,
+    plan: JoinPlan,
+    expect_pairs: u64,
+    cfg: &JoinConfig,
+    iters: u32,
+) -> WarmServingReport {
+    let dir = TempDir::new("bench-warm").expect("temp dir");
+    let (rp, sp) = (dir.file("r.rsj"), dir.file("s.rsj"));
+    r.save_to(&rp).expect("save R");
+    s.save_to(&sp).expect("save S");
+    let rf = RTree::open_from(&rp).expect("reopen R");
+    let sf = RTree::open_from(&sp).expect("reopen S");
+    let heights = [rf.height() as usize, sf.height() as usize];
+    let paths = [rp.clone(), sp.clone()];
+    let pool_pages = (PageFile::open(&rp).expect("R pages").page_count()
+        + PageFile::open(&sp).expect("S pages").page_count()) as usize;
+
+    let workers = 4;
+    let budget_pages = (cfg.buffer_bytes / PAGE).max(workers);
+    let cap_per_worker = (budget_pages / workers).max(1);
+    let latency_us = 200;
+    std::env::set_var(READ_LATENCY_ENV, latency_us.to_string());
+    let lat_iters = iters.clamp(1, 5);
+
+    // Equal budget, shared-nothing: private file backends, budget/4 each.
+    let mut private_secs = f64::INFINITY;
+    let mut private_logical = 0;
+    for _ in 0..lat_iters {
+        let start = Instant::now();
+        let res =
+            rsj_core::parallel_spatial_join_with_access(&rf, &sf, plan, false, workers, |_w| {
+                FileNodeAccess::with_capacity_pages(
+                    vec![
+                        PageFile::open(&rp).expect("open R file"),
+                        PageFile::open(&sp).expect("open S file"),
+                    ],
+                    cap_per_worker,
+                    &heights,
+                    EvictionPolicy::Lru,
+                )
+                .expect("private backend")
+            });
+        private_secs = private_secs.min(start.elapsed().as_secs_f64());
+        assert_eq!(
+            res.stats.result_pairs, expect_pairs,
+            "private run must agree"
+        );
+        private_logical = res.stats.io.disk_accesses - 2; // minus coordinator roots
+    }
+
+    // Equal budget, shared cache: one frame pool of `budget_pages`, same
+    // per-worker logical capacity — logical charges identical, physical
+    // reads deduped. A fresh (cold) cache per iteration; the physical
+    // count reported is the *worst* run, so the guard's strict bound
+    // holds for every run, not just a lucky one.
+    let mut shared_secs = f64::INFINITY;
+    let mut shared_logical = 0;
+    let mut shared_physical = 0;
+    for _ in 0..lat_iters {
+        let cache = SharedPageCache::open(
+            &paths,
+            budget_pages,
+            &heights,
+            CacheConfig {
+                workers,
+                ..CacheConfig::default()
+            },
+        )
+        .expect("shared cache");
+        let start = Instant::now();
+        let res = rsj_core::parallel_spatial_join_warm(
+            &rf,
+            &sf,
+            plan,
+            false,
+            workers,
+            &cache,
+            cap_per_worker,
+        );
+        shared_secs = shared_secs.min(start.elapsed().as_secs_f64());
+        assert_eq!(
+            res.stats.result_pairs, expect_pairs,
+            "shared run must agree"
+        );
+        shared_logical = res.stats.io.disk_accesses - 2;
+        cache.drain();
+        shared_physical = shared_physical.max(cache.physical_reads());
+    }
+    assert_eq!(
+        shared_logical, private_logical,
+        "the shared frame layer must not move the logical accounting"
+    );
+
+    // Serving loop: pool sized to the working set, serial SJ2 requests.
+    // One shard so "pool == working set" provably never evicts — a
+    // hash-sharded pool splits capacity into per-shard slices, and an
+    // overloaded slice would re-read pages on warm rounds.
+    let cache = SharedPageCache::open(
+        &paths,
+        pool_pages,
+        &heights,
+        CacheConfig {
+            workers,
+            shards: 1,
+            ..CacheConfig::default()
+        },
+    )
+    .expect("serving cache");
+    let run_request = |cache: &std::sync::Arc<SharedPageCache>| -> (u64, u64, f64) {
+        let mut handle = cache.handle(budget_pages);
+        let start = Instant::now();
+        let mut cursor = JoinCursor::new(&rf, &sf, plan, &mut handle);
+        let pairs = (&mut cursor).count() as u64;
+        let disk = cursor.stats().io.disk_accesses;
+        (pairs, disk, start.elapsed().as_secs_f64())
+    };
+    let (pairs, client_logical, cold_secs) = run_request(&cache);
+    assert_eq!(pairs, expect_pairs, "serving request must agree");
+    cache.drain();
+    let cold_physical = cache.physical_reads();
+
+    let clients = 4;
+    let rounds = if quick() { 2 } else { 3 };
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let cache = &cache;
+                scope.spawn(move || {
+                    let mut mine = Vec::with_capacity(rounds);
+                    for _ in 0..rounds {
+                        let (pairs, disk, secs) = run_request(cache);
+                        assert_eq!(pairs, expect_pairs, "warm request must agree");
+                        assert_eq!(
+                            disk, client_logical,
+                            "every client charges the serial cold join's logical I/O"
+                        );
+                        mine.push(secs * 1e3);
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client panicked"))
+            .collect()
+    });
+    cache.drain();
+    let warm_physical = cache.physical_reads() - cold_physical;
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    std::env::remove_var(READ_LATENCY_ENV);
+
+    WarmServingReport {
+        latency_us,
+        workers,
+        budget_pages,
+        private_secs,
+        private_logical,
+        shared_secs,
+        shared_logical,
+        shared_physical,
+        clients,
+        rounds,
+        pool_pages,
+        client_logical,
+        cold_physical,
+        cold_secs,
+        warm_physical,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+    }
+}
+
+impl WarmServingReport {
+    fn json(&self) -> String {
+        format!(
+            "{{\n    \"latency_us\": {},\n    \"workers\": {},\n    \"equal_budget\": {{ \"budget_pages\": {}, \"private\": {{ \"secs_per_join\": {:.6}, \"logical_sum\": {} }}, \"shared_cache\": {{ \"secs_per_join\": {:.6}, \"logical_sum\": {}, \"physical_reads\": {} }} }},\n    \"serving\": {{ \"clients\": {}, \"rounds\": {}, \"pool_pages\": {}, \"client_logical_disk\": {}, \"cold\": {{ \"physical_reads\": {}, \"secs\": {:.6} }}, \"warm\": {{ \"physical_reads\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3} }} }}\n  }}",
+            self.latency_us,
+            self.workers,
+            self.budget_pages,
+            self.private_secs,
+            self.private_logical,
+            self.shared_secs,
+            self.shared_logical,
+            self.shared_physical,
+            self.clients,
+            self.rounds,
+            self.pool_pages,
+            self.client_logical,
+            self.cold_physical,
+            self.cold_secs,
+            self.warm_physical,
+            self.p50_ms,
+            self.p99_ms,
+        )
+    }
+}
+
 /// The write path under the same fixture: a scripted update mix applied
 /// through an [`OpenFileTree`] (dirty write-back, free-list reuse), then
 /// the CI-guarded invariant — a cold SJ2 over the updated file costs
@@ -942,13 +1182,17 @@ fn bench_exec(c: &mut Criterion) {
     // injected per-read latency, plus the shared-queue parallel sweep.
     let overlap = measure_overlap(&r, &s, JoinPlan::sj2(), sj2.pairs, &cfg, iters);
     let overlap_json = overlap.json(sj2.secs[1]);
+    // The latched shared page cache: equal-budget physical-read dedup
+    // against shared-nothing private buffers, then the closed-loop warm
+    // serving run (N clients against one warm pool).
+    let warm = measure_warm_serving(&r, &s, JoinPlan::sj2(), sj2.pairs, &cfg, iters);
     // The write path: scripted updates through an open file, then the
     // updated-vs-freshly-saved cold-join guard.
     let update = measure_update_path(&w, &r, &s, &cfg, iters);
     // The f32 compression ablation on the same fixture.
     let f32_ablation = measure_f32_ablation(&r, &s, &cfg);
     let json = format!(
-        "{{\n  \"bench\": \"exec_three_engines\",\n  \"preset\": \"A\",\n  \"scale\": {scale},\n  \"page_bytes\": {PAGE},\n  \"iterations\": {iters},\n  \"plan\": \"{}\",\n  \"plans\": {{\n    \"{}\": {},\n    \"{}\": {}\n  }},\n  \"file_backend\": {},\n  \"overlap\": {},\n  \"update\": {},\n  \"f32_ablation\": {},\n  \"cursor_over_recursive\": {:.4},\n  \"raw_over_cursor\": {:.4}\n}}\n",
+        "{{\n  \"bench\": \"exec_three_engines\",\n  \"preset\": \"A\",\n  \"scale\": {scale},\n  \"page_bytes\": {PAGE},\n  \"iterations\": {iters},\n  \"plan\": \"{}\",\n  \"plans\": {{\n    \"{}\": {},\n    \"{}\": {}\n  }},\n  \"file_backend\": {},\n  \"overlap\": {},\n  \"warm_serving\": {},\n  \"update\": {},\n  \"f32_ablation\": {},\n  \"cursor_over_recursive\": {:.4},\n  \"raw_over_cursor\": {:.4}\n}}\n",
         sj2.name,
         sj2.name,
         sj2.json(),
@@ -956,6 +1200,7 @@ fn bench_exec(c: &mut Criterion) {
         sj4.json(),
         file_json,
         overlap_json,
+        warm.json(),
         update.json(),
         f32_ablation.json(),
         sj2.secs[0] / sj2.secs[1],

@@ -79,7 +79,8 @@ pub use multiway::{
 };
 pub use parallel::{
     parallel_metered_with_access, parallel_spatial_join, parallel_spatial_join_fast,
-    parallel_spatial_join_with_access, parallel_spatial_join_with_mode, ParallelMode,
+    parallel_spatial_join_warm, parallel_spatial_join_with_access, parallel_spatial_join_with_mode,
+    ParallelMode,
 };
 pub use plan::{DiffHeightPolicy, Enumerate, JoinConfig, JoinPlan, JoinPredicate, Schedule};
 pub use refine::{id_join, object_join, ObjectRelation, RefineResult};

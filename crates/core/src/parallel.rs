@@ -36,7 +36,7 @@ use crate::plan::{JoinConfig, JoinPlan};
 use crate::stats::JoinStats;
 use rsj_geom::{CmpCounter, Meter, NoOp, Rect};
 use rsj_rtree::RTree;
-use rsj_storage::{IoStats, NodeAccess, PageId, SharedBufferPool};
+use rsj_storage::{IoStats, NodeAccess, PageId, SharedBufferPool, SharedPageCache};
 
 /// How parallel workers share buffer resources.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -234,6 +234,33 @@ where
     )
 }
 
+/// The warm-pool deployment of [`parallel_spatial_join_with_access`]: all
+/// workers run [`rsj_storage::SharedCacheFileAccess`] handles over one
+/// [`SharedPageCache`] — the latched frame cache that outlives this call.
+///
+/// Each worker keeps a private logical LRU of `cap_pages_per_worker`
+/// pages and private path buffers, so the merged [`IoStats`] are
+/// bit-identical to a shared-nothing file deployment at the same
+/// per-worker budget; only the *physical* reads are shared — a page
+/// faulted by one worker is served from the frame layer for every other
+/// (single-flight, [`SharedPageCache::physical_reads`]), and a repeat
+/// join over the same warm cache reads almost nothing. Callers compare
+/// `cache.physical_reads()` before/after to see the dedup; the §4.1
+/// logical accounting never moves.
+pub fn parallel_spatial_join_warm(
+    r: &RTree,
+    s: &RTree,
+    plan: JoinPlan,
+    collect_pairs: bool,
+    workers: usize,
+    cache: &std::sync::Arc<SharedPageCache>,
+    cap_pages_per_worker: usize,
+) -> JoinResult {
+    parallel_spatial_join_with_access(r, s, plan, collect_pairs, workers, |_w| {
+        cache.handle(cap_pages_per_worker)
+    })
+}
+
 /// The generic engine behind [`parallel_spatial_join_with_access`]; pass
 /// [`NoOp`] for raw mode.
 pub fn parallel_metered_with_access<M, A, F>(
@@ -347,11 +374,12 @@ fn shared_buffer<M: Meter>(
     workers: usize,
     tasks: &[(PageId, PageId, Rect)],
 ) -> Vec<JoinResult> {
-    let pool = SharedBufferPool::new(
+    let pool = SharedBufferPool::for_workers(
         cfg.buffer_bytes,
         r.params().page_bytes,
         &[r.height() as usize, s.height() as usize],
         cfg.eviction,
+        workers,
     );
     // Deal each worker a contiguous region, subdivided into stealable
     // chunks.

@@ -1,0 +1,809 @@
+//! The latched shared page cache: pin-counted frames over the
+//! submission/completion queue, so file-backed parallel joins share one
+//! warm buffer.
+//!
+//! [`crate::SharedBufferPool`] already models the §6 shared-buffer win
+//! for *in-memory* trees: a page faulted by one worker is a buffer hit
+//! for the next. The file-backed parallel deployments could not say the
+//! same — every worker owned a private LRU over its own file handles, so
+//! the upper-level pages every subtree task touches were physically read
+//! N times, and nothing stayed warm between requests. [`SharedPageCache`]
+//! closes that gap: one sharded frame table holds the page budget for
+//! the whole deployment, frames carry a state machine and a pin counter
+//! (the kv-store `PAGE_BUSY`/`PAGE_WAIT` blueprint), and all physical
+//! reads flow through one [`CompletionQueue`] with a lane per store.
+//!
+//! ## Frame states
+//!
+//! ```text
+//!             materialize (miss)            read completes
+//!   Empty ───────────────────────▶ Reading ───────────────▶ Resident
+//!     ▲       submit + pin                   (settle)         │   ▲
+//!     │                                                       │   │
+//!     │         evict (unpinned only)             mark_dirty  ▼   │ clear_dirty
+//!     └───────────────────────────────── Resident/Dirty ── Dirty ─┘
+//! ```
+//!
+//! * **Empty → Reading**: a miss installs the frame, pins it for the
+//!   duration of the read (a reading frame is never an eviction victim)
+//!   and submits a single pread to the queue. Concurrent demanders of
+//!   the same key — from any worker — find the frame in `Reading` and
+//!   adopt the *same* in-flight ticket instead of issuing a duplicate
+//!   pread: single-flight.
+//! * **Reading → Resident**: settled lazily, the next time the shard is
+//!   touched (or explicitly by [`SharedPageCache::drain`]); the read pin
+//!   is released.
+//! * **Resident ⇄ Dirty**: the dirty bit is carried per frame and dirty
+//!   victims are surfaced through
+//!   [`SharedPageCache::take_dirty_evicted`] — the write-back hook the
+//!   updates-under-joins work (ROADMAP item 1) latches onto. The join
+//!   read path never dirties a frame.
+//! * Eviction skips pinned frames ([`LruBuffer`] semantics: pinned
+//!   overflow beyond capacity is legal, trimmed as pins release).
+//!
+//! ## Logical vs physical accounting
+//!
+//! Each worker drives the cache through a [`SharedCacheFileAccess`]
+//! handle carrying **private path buffers and a private logical LRU** —
+//! the full §4.1 decision hierarchy of [`crate::BufferPool`], charged
+//! through the same [`crate::pool::hierarchy_access`] chokepoint. A
+//! handle's [`IoStats`] is therefore bit-identical to a private-buffer
+//! worker of the same capacity *by construction*, independent of what
+//! other workers do. Only on a charged logical miss does the handle
+//! consult the shared frame layer, where the *physical* story is
+//! decided: a resident or in-flight frame costs nothing
+//! ([`SharedCacheFileAccess::warm_hits`]); an empty frame submits one
+//! pread ([`SharedCacheFileAccess::cold_faults`], counted in
+//! [`SharedPageCache::physical_reads`]). Hence the measurable dedup:
+//! `physical_reads ≤ Σ per-worker disk_accesses`, strictly `<` whenever
+//! workers overlap — and a warm pool serves repeat joins at near-zero
+//! physical reads while their logical charges stay exactly the paper's.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::access::{NodeAccess, Ticket};
+use crate::codec::StorageError;
+use crate::completion::{CompletionQueue, DelayFn};
+use crate::file::{validate_stores, PageFile};
+use crate::lru::{EvictionPolicy, LruBuffer};
+use crate::page::PageId;
+use crate::path::PathBuffer;
+use crate::pool::{BufKey, IoStats};
+use crate::shared::auto_shard_count;
+
+/// Observable state of one cache frame (see the module diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameState {
+    /// Not resident and no read in flight.
+    Empty,
+    /// A single-flight pread is in flight; the frame is read-pinned.
+    Reading,
+    /// Bytes are resident and clean.
+    Resident,
+    /// Bytes are resident and newer than the file (write-back pending).
+    Dirty,
+}
+
+/// Configuration of a [`SharedPageCache`].
+#[derive(Clone)]
+pub struct CacheConfig {
+    /// Expected worker fleet size — sizes the shard count via
+    /// [`auto_shard_count`] unless `shards` overrides it.
+    pub workers: usize,
+    /// Explicit shard count (0 = auto from `workers` and the capacity).
+    pub shards: usize,
+    /// Queue reader threads per store lane (minimum 1).
+    pub workers_per_lane: usize,
+    /// Optional per-page completion delay (tests only).
+    pub delay: Option<DelayFn>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            workers: 4,
+            shards: 0,
+            workers_per_lane: 2,
+            delay: None,
+        }
+    }
+}
+
+impl fmt::Debug for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CacheConfig")
+            .field("workers", &self.workers)
+            .field("shards", &self.shards)
+            .field("workers_per_lane", &self.workers_per_lane)
+            .field("delay", &self.delay.as_ref().map(|_| "fn"))
+            .finish()
+    }
+}
+
+/// One shard of the frame table: residency, recency, pins and dirty bits
+/// live in the intrusive [`LruBuffer`]; `reading` carries the in-flight
+/// ticket of every frame currently in [`FrameState::Reading`] (each such
+/// frame also holds one read pin in the LRU, so it cannot be evicted
+/// under it).
+struct FrameShard {
+    lru: LruBuffer,
+    reading: HashMap<BufKey, Ticket>,
+}
+
+/// The sharded, pin-counted concurrent frame cache. Cheap to share via
+/// [`Arc`]; it outlives any single join, which is the whole point —
+/// successive requests hit warm frames. Workers access it through
+/// [`SharedCacheFileAccess`] handles.
+pub struct SharedPageCache {
+    shards: Vec<Mutex<FrameShard>>,
+    queue: CompletionQueue,
+    /// Preads submitted by cache-level misses (every one becomes exactly
+    /// one physical read on a queue lane).
+    physical: AtomicU64,
+    heights: Vec<usize>,
+    page_bytes: usize,
+}
+
+impl fmt::Debug for SharedPageCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedPageCache")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.capacity())
+            .field("physical_reads", &self.physical_reads())
+            .finish()
+    }
+}
+
+/// Locks a frame shard, recovering from a poisoned mutex: every mutation
+/// under the lock leaves the frame table structurally consistent between
+/// statements, so a worker that panicked mid-critical-section can at
+/// worst leak a stale recency order or an extra read pin — no reason to
+/// cascade-abort the rest of the fleet.
+fn lock_frames(shard: &Mutex<FrameShard>) -> MutexGuard<'_, FrameShard> {
+    shard.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl SharedPageCache {
+    /// Opens one cache over the page files at `paths` (store `i` = lane
+    /// `i`), holding `cap_pages` frames split over the shards, for trees
+    /// of the given `heights`. The files are validated (consistent page
+    /// size) and then read only by the queue's own lane workers.
+    pub fn open(
+        paths: &[PathBuf],
+        cap_pages: usize,
+        heights: &[usize],
+        cfg: CacheConfig,
+    ) -> Result<Arc<Self>, StorageError> {
+        let files = paths
+            .iter()
+            .map(PageFile::open)
+            .collect::<Result<Vec<_>, _>>()?;
+        validate_stores(&files, heights, PageFile::page_bytes)?;
+        let page_bytes = files
+            .first()
+            .map(PageFile::page_bytes)
+            .ok_or_else(|| StorageError::Corrupt("no page files".into()))?;
+        drop(files);
+        let queue = CompletionQueue::open(paths, cfg.workers_per_lane, cfg.delay)?;
+        let n = if cfg.shards > 0 {
+            cfg.shards
+        } else {
+            auto_shard_count(cfg.workers, cap_pages)
+        };
+        let shards = (0..n)
+            .map(|i| {
+                let cap = cap_pages / n + usize::from(i < cap_pages % n);
+                Mutex::new(FrameShard {
+                    lru: LruBuffer::with_policy(cap, EvictionPolicy::Lru),
+                    reading: HashMap::new(),
+                })
+            })
+            .collect();
+        Ok(Arc::new(SharedPageCache {
+            shards,
+            queue,
+            physical: AtomicU64::new(0),
+            heights: heights.to_vec(),
+            page_bytes,
+        }))
+    }
+
+    /// A worker's view: private path buffers (sized from the cache's
+    /// heights), a private logical LRU of `cap_pages` and zeroed
+    /// [`IoStats`] over the shared frame layer.
+    pub fn handle(self: &Arc<Self>, cap_pages: usize) -> SharedCacheFileAccess {
+        SharedCacheFileAccess {
+            cache: Arc::clone(self),
+            lru: LruBuffer::with_policy(cap_pages, EvictionPolicy::Lru),
+            paths: self.heights.iter().map(|&h| PathBuffer::new(h)).collect(),
+            stats: IoStats::default(),
+            last_miss: Ticket::NONE,
+            warm_hits: 0,
+            cold_faults: 0,
+        }
+    }
+
+    #[inline]
+    fn shard(&self, key: BufKey) -> &Mutex<FrameShard> {
+        &self.shards[crate::partition::partition_key(key, self.shards.len())]
+    }
+
+    /// Flips every completed `Reading` frame in `s` to `Resident` and
+    /// releases its read pin. Cheap: the in-flight set is bounded by the
+    /// queue depth and the completed check is lock-free once the
+    /// completion frontier has passed a ticket.
+    fn settle(&self, s: &mut FrameShard) {
+        if s.reading.is_empty() {
+            return;
+        }
+        let done: Vec<BufKey> = s
+            .reading
+            .iter()
+            .filter(|&(_, &t)| self.queue.is_complete(t))
+            .map(|(&k, _)| k)
+            .collect();
+        for key in done {
+            s.reading.remove(&key);
+            s.lru.unpin(key);
+        }
+    }
+
+    /// Serves one charged logical miss for `(store, page)`: returns the
+    /// ticket the caller's cursor may park on and whether a *fresh*
+    /// physical read was submitted (`false` = the frame was already
+    /// resident or in flight — a warm hit, the cross-worker saving).
+    pub fn materialize(&self, store: u8, page: PageId) -> (Ticket, bool) {
+        let key = BufKey::new(store, page);
+        let mut s = lock_frames(self.shard(key));
+        self.settle(&mut s);
+        if let Some(&ticket) = s.reading.get(&key) {
+            // Single-flight: adopt the in-flight read, touch recency.
+            s.lru.access(key);
+            return (ticket, false);
+        }
+        if s.lru.contains(key) {
+            s.lru.access(key);
+            return (Ticket::NONE, false);
+        }
+        // Empty → Reading: install the frame, read-pin it so eviction
+        // skips it, submit exactly one pread on the store's lane. The
+        // queue-level hint-adoption table is bypassed on purpose
+        // (`adopt_or_submit` with no prior hint = demand submission):
+        // the frame table is the single-flight authority here.
+        s.lru.install(key);
+        s.lru.pin(key);
+        let (ticket, _) = self.queue.adopt_or_submit(store as usize, key, page);
+        s.reading.insert(key, ticket);
+        self.physical.fetch_add(1, Ordering::Relaxed);
+        (ticket, true)
+    }
+
+    /// Adds one pin to the frame of `(store, page)` if it is resident or
+    /// in flight. Unlike the logical buffers, pinning never *creates* a
+    /// frame — a frame with no read behind it would be a phantom warm
+    /// hit and break read honesty.
+    pub fn pin(&self, store: u8, page: PageId) {
+        let key = BufKey::new(store, page);
+        let mut s = lock_frames(self.shard(key));
+        if s.lru.contains(key) {
+            s.lru.pin(key);
+        }
+    }
+
+    /// Releases one pin of `(store, page)` (no-op if absent).
+    pub fn unpin(&self, store: u8, page: PageId) {
+        let key = BufKey::new(store, page);
+        lock_frames(self.shard(key)).lru.unpin(key);
+    }
+
+    /// Marks a resident frame dirty (the future write-back path; returns
+    /// `false` if the frame is not resident). A `Reading` frame cannot
+    /// be dirtied — its bytes are not there yet.
+    pub fn mark_dirty(&self, store: u8, page: PageId) -> bool {
+        let key = BufKey::new(store, page);
+        let mut s = lock_frames(self.shard(key));
+        self.settle(&mut s);
+        if s.reading.contains_key(&key) {
+            return false;
+        }
+        s.lru.mark_dirty(key)
+    }
+
+    /// Clears the dirty bit of a frame (after a write-back).
+    pub fn clear_dirty(&self, store: u8, page: PageId) {
+        let key = BufKey::new(store, page);
+        lock_frames(self.shard(key)).lru.clear_dirty(key);
+    }
+
+    /// Dirty frames evicted since the last call, across all shards — the
+    /// write-back worklist for the update-latching follow-up.
+    pub fn take_dirty_evicted(&self) -> Vec<BufKey> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            lock_frames(shard).lru.take_dirty_evicted(&mut out);
+        }
+        out
+    }
+
+    /// The observable state of the frame of `(store, page)`. Settles the
+    /// shard first, so a completed read reports `Resident`.
+    pub fn frame_state(&self, store: u8, page: PageId) -> FrameState {
+        let key = BufKey::new(store, page);
+        let mut s = lock_frames(self.shard(key));
+        self.settle(&mut s);
+        if s.reading.contains_key(&key) {
+            FrameState::Reading
+        } else if !s.lru.contains(key) {
+            FrameState::Empty
+        } else if s.lru.is_dirty(key) {
+            FrameState::Dirty
+        } else {
+            FrameState::Resident
+        }
+    }
+
+    /// Nested pin count of the frame of `(store, page)` — includes the
+    /// read pin while the frame is `Reading`.
+    pub fn pin_count(&self, store: u8, page: PageId) -> u32 {
+        let key = BufKey::new(store, page);
+        lock_frames(self.shard(key)).lru.pin_count(key)
+    }
+
+    /// Physical preads submitted by cache misses so far. After
+    /// [`SharedPageCache::drain`], equals the queue's completed read
+    /// count — every submission became exactly one pread.
+    #[inline]
+    pub fn physical_reads(&self) -> u64 {
+        self.physical.load(Ordering::Relaxed)
+    }
+
+    /// The completion queue all physical reads flow through.
+    #[inline]
+    pub fn queue(&self) -> &CompletionQueue {
+        &self.queue
+    }
+
+    /// Total frame capacity across shards.
+    pub fn capacity(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| lock_frames(s).lru.capacity())
+            .sum()
+    }
+
+    /// Number of frame shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Frames currently resident or in flight.
+    pub fn resident_pages(&self) -> usize {
+        self.shards.iter().map(|s| lock_frames(s).lru.len()).sum()
+    }
+
+    /// Tree heights the cache was opened for (path-buffer sizing).
+    #[inline]
+    pub fn heights(&self) -> &[usize] {
+        &self.heights
+    }
+
+    /// Logical page size of the underlying stores.
+    #[inline]
+    pub fn page_bytes(&self) -> usize {
+        self.page_bytes
+    }
+
+    /// Waits out every in-flight read and settles all shards: afterwards
+    /// no frame is `Reading` and `physical_reads` equals the queue's
+    /// completed reads (the honesty point).
+    pub fn drain(&self) {
+        self.queue.drain();
+        for shard in &self.shards {
+            let mut s = lock_frames(shard);
+            self.settle(&mut s);
+        }
+    }
+
+    /// Zeroes the physical-read and queue counters while keeping every
+    /// frame resident — the *warm* reset between measured runs.
+    pub fn reset_stats(&self) {
+        self.drain();
+        self.queue.reset();
+        self.physical.store(0, Ordering::Relaxed);
+    }
+
+    /// Drops every frame and zeroes the counters — a cold cache.
+    pub fn clear(&self) {
+        self.drain();
+        for shard in &self.shards {
+            let mut s = lock_frames(shard);
+            s.lru.clear();
+            s.lru.reset_io();
+            s.reading.clear();
+        }
+        self.queue.reset();
+        self.physical.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One worker's backend over a [`SharedPageCache`]: the fifth file
+/// backend. Private path buffers, private logical LRU, private
+/// [`IoStats`] — charged through [`crate::pool::hierarchy_access`]
+/// exactly like [`crate::BufferPool`], so the logical accounting is
+/// bit-identical to a private-buffer worker of the same capacity — while
+/// every charged miss is *served* by the shared frame layer
+/// (single-flight physical reads, warm frames across workers and across
+/// requests). Completion-driven: a miss returns a ticket for the cursor
+/// to park on instead of blocking in `access()`.
+pub struct SharedCacheFileAccess {
+    cache: Arc<SharedPageCache>,
+    /// Private *logical* LRU — accounting only; bytes live in the shared
+    /// frames.
+    lru: LruBuffer,
+    paths: Vec<PathBuffer>,
+    stats: IoStats,
+    last_miss: Ticket,
+    /// Charged misses served by a frame already resident or in flight.
+    warm_hits: u64,
+    /// Charged misses that submitted the physical read themselves.
+    cold_faults: u64,
+}
+
+impl fmt::Debug for SharedCacheFileAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedCacheFileAccess")
+            .field("stats", &self.stats)
+            .field("warm_hits", &self.warm_hits)
+            .field("cold_faults", &self.cold_faults)
+            .finish()
+    }
+}
+
+impl SharedCacheFileAccess {
+    /// Statistics recorded through this handle.
+    #[inline]
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// The cache this handle charges against.
+    #[inline]
+    pub fn cache(&self) -> &Arc<SharedPageCache> {
+        &self.cache
+    }
+
+    /// Charged misses a warm or in-flight frame served
+    /// (`warm_hits + cold_faults == disk_accesses`).
+    #[inline]
+    pub fn warm_hits(&self) -> u64 {
+        self.warm_hits
+    }
+
+    /// Charged misses that paid for their own pread.
+    #[inline]
+    pub fn cold_faults(&self) -> u64 {
+        self.cold_faults
+    }
+}
+
+impl NodeAccess for SharedCacheFileAccess {
+    fn access(&mut self, store: u8, page: PageId, depth: usize) -> bool {
+        let miss = crate::pool::hierarchy_access(
+            &mut self.lru,
+            &mut self.paths,
+            &mut self.stats,
+            store,
+            page,
+            depth,
+        );
+        if miss {
+            let (ticket, fresh) = self.cache.materialize(store, page);
+            if fresh {
+                self.cold_faults += 1;
+            } else {
+                self.warm_hits += 1;
+            }
+            self.last_miss = ticket;
+        }
+        miss
+    }
+
+    fn pin(&mut self, store: u8, page: PageId) {
+        // Logical pin mirrors the BufferPool oracle (it shapes eviction
+        // decisions, hence the charge sequence); the shared-layer pin
+        // keeps the frame eviction-proof for every worker.
+        self.lru.pin(BufKey::new(store, page));
+        self.cache.pin(store, page);
+    }
+
+    fn unpin(&mut self, store: u8, page: PageId) {
+        self.lru.unpin(BufKey::new(store, page));
+        self.cache.unpin(store, page);
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.stats
+    }
+
+    // No hint plumbing (wants_hints stays false): a hint prefetched into
+    // the *shared* pool can be displaced by other workers before its
+    // demand arrives, which would decouple physical reads from charged
+    // misses. Demand-only keeps `physical_reads ≤ Σ disk_accesses` an
+    // invariant instead of a tendency.
+
+    fn completion_driven(&self) -> bool {
+        true
+    }
+
+    fn last_miss_ticket(&self) -> Ticket {
+        self.last_miss
+    }
+
+    fn is_complete(&self, ticket: Ticket) -> bool {
+        self.cache.queue.is_complete(ticket)
+    }
+
+    fn await_ticket(&self, ticket: Ticket) {
+        self.cache.queue.await_ticket(ticket)
+    }
+
+    fn is_settled(&self, ticket: Ticket) -> bool {
+        self.cache.queue.is_settled(ticket)
+    }
+
+    fn await_settled(&self, ticket: Ticket) {
+        self.cache.queue.await_settled(ticket)
+    }
+
+    fn in_flight(&self) -> usize {
+        self.cache.queue.in_flight()
+    }
+
+    fn drain_completions(&self) {
+        self.cache.drain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{self, META_BYTES};
+    use crate::temp::TempDir;
+    use crate::BufferPool;
+    use std::time::Duration;
+
+    fn demo_file(dir: &TempDir, name: &str, pages: u32) -> PathBuf {
+        let slot = codec::slot_bytes_for(2);
+        let path = dir.file(name);
+        let mut f = PageFile::create(&path, 1024, slot).unwrap();
+        let mut buf = Vec::new();
+        for i in 0..pages {
+            let node = codec::DiskNode {
+                level: 0,
+                entries: vec![codec::DiskEntry {
+                    rect: [f64::from(i), 0.0, f64::from(i) + 1.0, 1.0],
+                    child: u64::from(i),
+                }],
+            };
+            codec::encode_node(&node, slot, &mut buf).unwrap();
+            f.append_page(&buf).unwrap();
+        }
+        f.set_meta([7; META_BYTES]);
+        f.flush().unwrap();
+        path
+    }
+
+    fn cache(
+        dir: &TempDir,
+        pages: u32,
+        cap: usize,
+        delay: Option<DelayFn>,
+    ) -> Arc<SharedPageCache> {
+        let path = demo_file(dir, "t.rsj", pages);
+        SharedPageCache::open(
+            &[path],
+            cap,
+            &[2],
+            CacheConfig {
+                // One shard: deterministic eviction order for the tests.
+                shards: 1,
+                delay,
+                ..CacheConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn frame_walks_the_state_machine() {
+        let dir = TempDir::new("cache").unwrap();
+        let slow: DelayFn = Arc::new(|_| Some(Duration::from_millis(15)));
+        let c = cache(&dir, 4, 4, Some(slow));
+        assert_eq!(c.frame_state(0, PageId(1)), FrameState::Empty);
+        let (ticket, fresh) = c.materialize(0, PageId(1));
+        assert!(fresh);
+        assert_eq!(c.frame_state(0, PageId(1)), FrameState::Reading);
+        assert!(
+            c.pin_count(0, PageId(1)) > 0,
+            "reading frames carry a read pin"
+        );
+        c.queue().await_ticket(ticket);
+        assert_eq!(c.frame_state(0, PageId(1)), FrameState::Resident);
+        assert_eq!(c.pin_count(0, PageId(1)), 0, "read pin released at settle");
+        assert!(c.mark_dirty(0, PageId(1)));
+        assert_eq!(c.frame_state(0, PageId(1)), FrameState::Dirty);
+        c.clear_dirty(0, PageId(1));
+        assert_eq!(c.frame_state(0, PageId(1)), FrameState::Resident);
+        assert_eq!(c.physical_reads(), 1);
+    }
+
+    #[test]
+    fn concurrent_demanders_share_one_read() {
+        let dir = TempDir::new("cache").unwrap();
+        let slow: DelayFn = Arc::new(|_| Some(Duration::from_millis(25)));
+        let c = cache(&dir, 4, 4, Some(slow));
+        let tickets: Vec<(Ticket, bool)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    scope.spawn(move || c.materialize(0, PageId(2)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let fresh = tickets.iter().filter(|&&(_, f)| f).count();
+        assert_eq!(fresh, 1, "exactly one demander submits");
+        let t = tickets.iter().find(|&&(_, f)| f).unwrap().0;
+        for &(ticket, f) in &tickets {
+            if !f {
+                assert_eq!(ticket, t, "adopters park on the single in-flight ticket");
+            }
+        }
+        c.drain();
+        assert_eq!(c.physical_reads(), 1);
+        assert_eq!(c.queue().total_reads(), 1, "one pread for four demanders");
+    }
+
+    #[test]
+    fn eviction_skips_pinned_frames() {
+        let dir = TempDir::new("cache").unwrap();
+        let c = cache(&dir, 8, 2, None);
+        c.materialize(0, PageId(0));
+        c.drain();
+        c.pin(0, PageId(0));
+        for p in 1..6u32 {
+            c.materialize(0, PageId(p));
+        }
+        c.drain();
+        assert_eq!(
+            c.frame_state(0, PageId(0)),
+            FrameState::Resident,
+            "pinned frame survives eviction pressure"
+        );
+        c.unpin(0, PageId(0));
+        for p in 6..8u32 {
+            c.materialize(0, PageId(p));
+        }
+        c.drain();
+        assert_eq!(
+            c.frame_state(0, PageId(0)),
+            FrameState::Empty,
+            "unpinned frame is evictable again"
+        );
+        // A re-miss after eviction is a fresh physical read.
+        let (_, fresh) = c.materialize(0, PageId(0));
+        assert!(fresh);
+    }
+
+    #[test]
+    fn pinning_an_absent_frame_creates_nothing() {
+        let dir = TempDir::new("cache").unwrap();
+        let c = cache(&dir, 4, 4, None);
+        c.pin(0, PageId(3));
+        assert_eq!(c.frame_state(0, PageId(3)), FrameState::Empty);
+        let (_, fresh) = c.materialize(0, PageId(3));
+        assert!(fresh, "no phantom warm hit");
+    }
+
+    #[test]
+    fn handles_charge_like_the_buffer_pool_oracle() {
+        let dir = TempDir::new("cache").unwrap();
+        let c = cache(&dir, 8, 8, None);
+        let mut oracle = BufferPool::with_capacity_pages(2, &[2]);
+        let mut h = c.handle(2);
+        let seq = [
+            (PageId(0), 0),
+            (PageId(1), 1),
+            (PageId(2), 1),
+            (PageId(1), 1),
+            (PageId(4), 1),
+            (PageId(0), 0),
+        ];
+        for &(p, d) in &seq {
+            assert_eq!(h.access(0, p, d), oracle.access(0, p, d), "page {p}");
+        }
+        assert_eq!(
+            h.stats(),
+            oracle.stats(),
+            "logical accounting is bit-identical"
+        );
+        assert_eq!(
+            h.warm_hits() + h.cold_faults(),
+            h.stats().disk_accesses,
+            "every charged miss was served exactly once"
+        );
+        c.drain();
+        assert_eq!(
+            c.queue().total_reads(),
+            c.physical_reads(),
+            "every submission became exactly one pread"
+        );
+
+        // A second worker re-walking the sequence charges identically
+        // (private decision state) but reads nothing: the pool is warm.
+        let before = c.physical_reads();
+        let mut h2 = c.handle(2);
+        for &(p, d) in &seq {
+            h2.access(0, p, d);
+        }
+        assert_eq!(h2.stats(), h.stats(), "same logical charges for worker 2");
+        assert_eq!(h2.cold_faults(), 0, "warm frames serve every miss");
+        assert_eq!(c.physical_reads(), before, "no new physical reads");
+    }
+
+    #[test]
+    fn clear_goes_cold_and_reset_stats_stays_warm() {
+        let dir = TempDir::new("cache").unwrap();
+        let c = cache(&dir, 4, 4, None);
+        let mut h = c.handle(4);
+        for p in 0..4u32 {
+            h.access(0, PageId(p), 1);
+        }
+        c.reset_stats();
+        assert_eq!(c.physical_reads(), 0);
+        assert_eq!(c.resident_pages(), 4, "reset_stats keeps the frames warm");
+        let (_, fresh) = c.materialize(0, PageId(0));
+        assert!(!fresh, "still warm after a stats reset");
+        c.clear();
+        assert_eq!(c.resident_pages(), 0);
+        let (_, fresh) = c.materialize(0, PageId(0));
+        assert!(fresh, "cold after clear");
+    }
+
+    #[test]
+    fn mismatched_page_sizes_are_rejected() {
+        let dir = TempDir::new("cache").unwrap();
+        let a = demo_file(&dir, "a.rsj", 1);
+        let slot = codec::slot_bytes_for(2);
+        let b = dir.file("b.rsj");
+        PageFile::create(&b, 2048, slot).unwrap().flush().unwrap();
+        assert!(matches!(
+            SharedPageCache::open(&[a, b], 4, &[1, 1], CacheConfig::default()).unwrap_err(),
+            StorageError::PageSizeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn poisoned_frame_shard_recovers() {
+        let dir = TempDir::new("cache").unwrap();
+        let c = cache(&dir, 4, 4, None);
+        c.materialize(0, PageId(1));
+        let poisoner = std::thread::spawn({
+            let c = Arc::clone(&c);
+            move || {
+                let _guard = c.shards[0].lock().unwrap();
+                panic!("worker dies holding the frame lock");
+            }
+        });
+        assert!(poisoner.join().is_err());
+        c.drain();
+        assert_eq!(c.frame_state(0, PageId(1)), FrameState::Resident);
+        let (_, fresh) = c.materialize(0, PageId(2));
+        assert!(fresh, "the pool keeps serving after a worker panic");
+    }
+}

@@ -51,6 +51,13 @@
 //!   read genuinely disjoint files — optionally with one hint-fed reader
 //!   thread per shard file
 //!   ([`ShardedFileAccess::with_parallel_readers`]);
+//! * [`SharedPageCache`] / [`SharedCacheFileAccess`] — the latched shared
+//!   frame cache over the completion queue: sharded, pin-counted frames
+//!   walking an Empty → Reading → Resident → Dirty state machine,
+//!   single-flight physical reads across concurrent demanders, and warm
+//!   frames that outlive a single join — while every worker keeps private
+//!   path buffers and a private logical LRU, so its [`IoStats`] stay
+//!   bit-identical to a private-buffer worker;
 //! * [`partition`] — the one Fibonacci-hash partitioner shared by the
 //!   buffer shards and the subtree partitioner;
 //! * [`TempDir`] — a dependency-free scratch-directory helper for tests
@@ -76,6 +83,7 @@
 //!   lockstep with the files.
 
 pub mod access;
+pub mod cache;
 pub mod codec;
 pub mod completion;
 pub mod cost;
@@ -94,6 +102,7 @@ pub mod temp;
 pub mod writeback;
 
 pub use access::{NodeAccess, NodeAccessMut, PageRef, Ticket};
+pub use cache::{CacheConfig, FrameState, SharedCacheFileAccess, SharedPageCache};
 pub use codec::{DiskEntry, DiskNode, EntryFormat, FileHeader, StorageError};
 pub use completion::{CompletionConfig, CompletionFileAccess, CompletionQueue};
 pub use cost::CostModel;
@@ -106,6 +115,6 @@ pub use path::PathBuffer;
 pub use pool::{BufKey, BufferPool, IoStats};
 pub use prefetch::{PrefetchConfig, PrefetchingFileAccess};
 pub use sharded::{ShardReaderConfig, ShardedFileAccess, ShardedPageFile};
-pub use shared::{SharedBufferHandle, SharedBufferPool};
+pub use shared::{auto_shard_count, SharedBufferHandle, SharedBufferPool};
 pub use temp::TempDir;
 pub use writeback::{UpdateBackend, WritablePageFile};

@@ -198,6 +198,11 @@ impl LruBuffer {
         self.map.get(&key).is_some_and(|&s| self.slots[s].pins > 0)
     }
 
+    /// Nested pin count of `key` (0 if unpinned or not resident).
+    pub fn pin_count(&self, key: BufKey) -> u32 {
+        self.map.get(&key).map_or(0, |&s| self.slots[s].pins)
+    }
+
     /// Makes `key` resident (most recently used) *without* touching the
     /// hit/miss counters — the install of a page the caller materialized
     /// itself (a freshly written page) rather than fetched on a miss.

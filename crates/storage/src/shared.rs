@@ -14,7 +14,7 @@
 //! sequential join — a page faulted by one worker and reused by another is
 //! charged once, which is exactly the saving shared-nothing cannot have.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::lru::{Access, EvictionPolicy, LruBuffer};
 use crate::page::PageId;
@@ -25,6 +25,33 @@ use crate::NodeAccess;
 /// Default shard count — enough to keep 4–16 workers off each other's
 /// locks without splitting small buffers into degenerate slices.
 pub const DEFAULT_SHARDS: usize = 8;
+
+/// Upper bound for [`auto_shard_count`]: past this, extra shards only
+/// fragment the page budget without reducing contention further.
+pub const MAX_SHARDS: usize = 32;
+
+/// Shard count sized to the deployment instead of a fixed constant: the
+/// worker count rounded up to a power of two (so [`crate::partition`]'s
+/// multiplicative hash spreads evenly), capped at [`MAX_SHARDS`] — and
+/// never more shards than the buffer has pages, so small buffers stop
+/// splitting into degenerate zero-capacity slices.
+pub fn auto_shard_count(workers: usize, cap_pages: usize) -> usize {
+    workers
+        .max(1)
+        .next_power_of_two()
+        .min(MAX_SHARDS)
+        .min(cap_pages.max(1))
+}
+
+/// Locks `shard`, recovering the guard if a worker panicked while holding
+/// it. The LRU under the lock is a cache, not an invariant-carrying
+/// ledger: every mutation (`access`, `pin`, `unpin`, `trim`) leaves it
+/// structurally consistent between statements, so the worst a mid-panic
+/// abandonment can leak is a stale recency order — never a reason to
+/// cascade-abort every other worker on the pool.
+fn lock_shard(shard: &Mutex<LruBuffer>) -> MutexGuard<'_, LruBuffer> {
+    shard.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The shared, sharded LRU layer. Cheap to clone via [`Arc`]; workers
 /// access it through [`SharedBufferHandle`]s.
@@ -44,7 +71,34 @@ impl SharedBufferPool {
         policy: EvictionPolicy,
     ) -> Arc<Self> {
         assert!(page_bytes > 0, "page size must be positive");
-        Self::with_shards(buffer_bytes / page_bytes, heights, policy, DEFAULT_SHARDS)
+        let cap_pages = buffer_bytes / page_bytes;
+        Self::with_shards(
+            cap_pages,
+            heights,
+            policy,
+            DEFAULT_SHARDS.min(cap_pages.max(1)),
+        )
+    }
+
+    /// Pool sized for a known worker fleet: shard count from
+    /// [`auto_shard_count`] — enough shards to keep `workers` off each
+    /// other's locks, never so many that a small buffer splits into
+    /// degenerate slices.
+    pub fn for_workers(
+        buffer_bytes: usize,
+        page_bytes: usize,
+        heights: &[usize],
+        policy: EvictionPolicy,
+        workers: usize,
+    ) -> Arc<Self> {
+        assert!(page_bytes > 0, "page size must be positive");
+        let cap_pages = buffer_bytes / page_bytes;
+        Self::with_shards(
+            cap_pages,
+            heights,
+            policy,
+            auto_shard_count(workers, cap_pages),
+        )
     }
 
     /// Pool with an explicit total page capacity and shard count.
@@ -87,10 +141,7 @@ impl SharedBufferPool {
 
     /// Total page capacity across shards.
     pub fn capacity(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("poisoned shard").capacity())
-            .sum()
+        self.shards.iter().map(|s| lock_shard(s).capacity()).sum()
     }
 
     fn shard(&self, key: BufKey) -> &Mutex<LruBuffer> {
@@ -129,10 +180,7 @@ impl NodeAccess for SharedBufferHandle {
             return false;
         }
         path.install(depth, page);
-        let outcome = {
-            let mut shard = self.pool.shard(key).lock().expect("poisoned shard");
-            shard.access(key)
-        };
+        let outcome = lock_shard(self.pool.shard(key)).access(key);
         match outcome {
             Access::Hit => {
                 self.stats.lru_hits += 1;
@@ -147,20 +195,12 @@ impl NodeAccess for SharedBufferHandle {
 
     fn pin(&mut self, store: u8, page: PageId) {
         let key = BufKey::new(store, page);
-        self.pool
-            .shard(key)
-            .lock()
-            .expect("poisoned shard")
-            .pin(key);
+        lock_shard(self.pool.shard(key)).pin(key);
     }
 
     fn unpin(&mut self, store: u8, page: PageId) {
         let key = BufKey::new(store, page);
-        self.pool
-            .shard(key)
-            .lock()
-            .expect("poisoned shard")
-            .unpin(key);
+        lock_shard(self.pool.shard(key)).unpin(key);
     }
 
     fn io_stats(&self) -> IoStats {
@@ -218,6 +258,51 @@ mod tests {
         // A fresh handle: b's own path buffer would now satisfy the access.
         let mut c = pool.handle();
         assert!(c.access(0, PageId(1), 0), "unpinned page is trimmed");
+    }
+
+    #[test]
+    fn shard_count_tracks_workers_without_degenerate_slices() {
+        // Worker count rounds up to a power of two…
+        assert_eq!(auto_shard_count(1, 1024), 1);
+        assert_eq!(auto_shard_count(3, 1024), 4);
+        assert_eq!(auto_shard_count(6, 1024), 8);
+        // …capped so huge fleets don't fragment the budget…
+        assert_eq!(auto_shard_count(100, 1024), MAX_SHARDS);
+        // …and a small buffer never splits below one page per shard.
+        assert_eq!(auto_shard_count(8, 3), 3);
+        assert_eq!(auto_shard_count(8, 0), 1);
+
+        let pool = SharedBufferPool::for_workers(4 * 128, 128, &[2], EvictionPolicy::Lru, 16);
+        assert_eq!(pool.shard_count(), 4, "capacity bounds the shard count");
+        assert_eq!(pool.capacity(), 4);
+        // The byte-budget constructor stops splitting small buffers too.
+        let tiny = SharedBufferPool::new(2 * 128, 128, &[2], EvictionPolicy::Lru);
+        assert_eq!(tiny.shard_count(), 2);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_instead_of_cascading() {
+        let pool = SharedBufferPool::with_shards(8, &[2], EvictionPolicy::Lru, 2);
+        let mut h = pool.handle();
+        assert!(h.access(0, PageId(1), 0), "cold miss before the poison");
+        // A worker panicking while holding a shard lock poisons the mutex.
+        let poisoner = std::thread::spawn({
+            let pool = Arc::clone(&pool);
+            move || {
+                let _guard = pool.shards[0].lock().unwrap();
+                panic!("worker dies holding the shard lock");
+            }
+        });
+        assert!(poisoner.join().is_err(), "poisoner must have panicked");
+        // Every path over the poisoned shard keeps working.
+        assert_eq!(pool.capacity(), 8);
+        let mut b = pool.handle();
+        for p in 0..16u32 {
+            b.access(0, PageId(p), 1);
+            b.pin(0, PageId(p));
+            b.unpin(0, PageId(p));
+        }
+        assert_eq!(b.stats().total_accesses(), 16);
     }
 
     #[test]

@@ -115,9 +115,9 @@ pub use rsj_storage as storage;
 pub mod prelude {
     pub use rsj_core::{
         id_join, multiway_join, multiway_join_with_access, object_join, parallel_spatial_join,
-        parallel_spatial_join_with_access, spatial_join, spatial_join_fast,
-        spatial_join_with_access, DiffHeightPolicy, JoinConfig, JoinPlan, JoinPredicate,
-        JoinResult, JoinStats, MultiwayResult, ObjectRelation,
+        parallel_spatial_join_warm, parallel_spatial_join_with_access, spatial_join,
+        spatial_join_fast, spatial_join_with_access, DiffHeightPolicy, JoinConfig, JoinPlan,
+        JoinPredicate, JoinResult, JoinStats, MultiwayResult, ObjectRelation,
     };
     pub use rsj_datagen::TestId;
     pub use rsj_geom::{CmpCounter, Geometry, Meter, NoOp, Point, Rect};
@@ -125,8 +125,8 @@ pub mod prelude {
         DataId, InsertPolicy, Neighbor, OpenFileTree, OpenShardedTree, OpenTree, RTree, RTreeParams,
     };
     pub use rsj_storage::{
-        CostModel, EntryFormat, EvictionPolicy, FileNodeAccess, NodeAccessMut, PageFile, PageRef,
-        PrefetchConfig, PrefetchingFileAccess, ShardReaderConfig, ShardedFileAccess,
-        ShardedPageFile, StorageError,
+        CacheConfig, CostModel, EntryFormat, EvictionPolicy, FileNodeAccess, NodeAccessMut,
+        PageFile, PageRef, PrefetchConfig, PrefetchingFileAccess, ShardReaderConfig,
+        ShardedFileAccess, ShardedPageFile, SharedPageCache, StorageError,
     };
 }
