@@ -36,7 +36,7 @@ use rsj_bench::Workbench;
 use rsj_core::exec::{recursive_spatial_join, JoinCursor, RawJoinCursor};
 use rsj_core::{JoinConfig, JoinPlan};
 use rsj_datagen::TestId;
-use rsj_rtree::{DataId, OpenFileTree, RTree};
+use rsj_rtree::{DataId, OpenCachedTree, OpenFileTree, RTree};
 use rsj_storage::sharded::shard_lane_queue;
 use rsj_storage::{
     BufferPool, CacheConfig, CompletionConfig, CompletionFileAccess, EntryFormat, EvictionPolicy,
@@ -880,6 +880,16 @@ struct UpdateReport {
     post_update_secs: f64,
     fresh_save_cold_disk: u64,
     fresh_save_secs: f64,
+    /// The same script through an `OpenCachedTree` on a live
+    /// `SharedPageCache` (latched write path), then a cold shared-cache
+    /// SJ2 over the flushed file. The CI guard pins
+    /// `cached_post_update_cold_disk == fresh_save_cold_disk`: updating
+    /// through the shared frames must be invisible to the paper's
+    /// accounting.
+    cached_update_secs: f64,
+    cached_page_writes: u64,
+    cached_physical_writes: u64,
+    cached_post_update_cold_disk: u64,
 }
 
 /// The scripted update mix, phased like real churn: delete a 60% band of
@@ -1012,6 +1022,57 @@ fn measure_update_path(
     let (pairs_fresh, fresh_save_cold_disk, fresh_save_secs) = cold_sj2(&fresh);
     assert_eq!(pairs_upd, pairs_fresh, "updated file must join identically");
 
+    // The same script through the latched shared-cache write path
+    // (`OpenCachedTree`), then a cold shared-cache SJ2 over the flushed
+    // file. The handles' path buffers are sized from the *updated*
+    // heights so the rejoin accounts exactly like `cold_sj2` above —
+    // the CI guard pins its disk count to `fresh_save_cold_disk`.
+    let cupd = dir.file("r.cached.rsj");
+    let cache_heights = [oracle.height() as usize, s.height() as usize];
+    let mut cached_update_secs = f64::INFINITY;
+    let mut cached_page_writes = 0;
+    let mut cached_physical_writes = 0;
+    let mut cached_post_update_cold_disk = 0;
+    for _ in 0..iters.clamp(1, 10) {
+        std::fs::copy(&rp, &cupd).expect("copy page file");
+        let cache = SharedPageCache::open(
+            &[cupd.clone(), sp.clone()],
+            cap_pages,
+            &cache_heights,
+            CacheConfig::default(),
+        )
+        .expect("update cache");
+        let start = Instant::now();
+        let mut open = OpenCachedTree::open_cached(&cache, 0, cap_pages).expect("open cached");
+        for &(rect, id, ins) in &ops {
+            if ins {
+                open.insert(rect, id).expect("insert");
+            } else {
+                open.delete(&rect, id).expect("delete");
+            }
+        }
+        open.flush().expect("flush");
+        cached_update_secs = cached_update_secs.min(start.elapsed().as_secs_f64());
+        cached_page_writes = open.io_stats().page_writes;
+        cached_physical_writes = cache.physical_writes();
+        assert_eq!(cache.pending_write_back(), 0, "flush must drain the cache");
+        drop(open);
+
+        // Rejoin through the same cache, gone cold: the updated pages
+        // must cost exactly what a freshly saved tree costs.
+        cache.clear();
+        let rt = RTree::open_from(&cupd).expect("reopen cached-updated R");
+        let st = RTree::open_from(&sp).expect("reopen S");
+        let mut handle = cache.handle(cap_pages);
+        let mut cursor = JoinCursor::new(&rt, &st, JoinPlan::sj2(), &mut handle);
+        let pairs = (&mut cursor).count() as u64;
+        cached_post_update_cold_disk = cursor.stats().io.disk_accesses;
+        assert_eq!(
+            pairs, pairs_fresh,
+            "cached-updated file must join identically"
+        );
+    }
+
     UpdateReport {
         ops: ops.len(),
         update_secs,
@@ -1024,13 +1085,17 @@ fn measure_update_path(
         post_update_secs,
         fresh_save_cold_disk,
         fresh_save_secs,
+        cached_update_secs,
+        cached_page_writes,
+        cached_physical_writes,
+        cached_post_update_cold_disk,
     }
 }
 
 impl UpdateReport {
     fn json(&self) -> String {
         format!(
-            "{{\n    \"ops\": {},\n    \"update_secs\": {:.6},\n    \"updates_per_sec\": {:.0},\n    \"update_disk_reads\": {},\n    \"page_writes\": {},\n    \"reused_slots\": {},\n    \"file_pages\": {{ \"before\": {}, \"after\": {} }},\n    \"post_update_cold\": {{ \"secs_per_join\": {:.6}, \"disk_accesses\": {} }},\n    \"fresh_save_cold\": {{ \"secs_per_join\": {:.6}, \"disk_accesses\": {} }}\n  }}",
+            "{{\n    \"ops\": {},\n    \"update_secs\": {:.6},\n    \"updates_per_sec\": {:.0},\n    \"update_disk_reads\": {},\n    \"page_writes\": {},\n    \"reused_slots\": {},\n    \"file_pages\": {{ \"before\": {}, \"after\": {} }},\n    \"post_update_cold\": {{ \"secs_per_join\": {:.6}, \"disk_accesses\": {} }},\n    \"fresh_save_cold\": {{ \"secs_per_join\": {:.6}, \"disk_accesses\": {} }},\n    \"cached_update\": {{ \"secs\": {:.6}, \"page_writes\": {}, \"physical_writes\": {}, \"post_update_cold_disk\": {} }}\n  }}",
             self.ops,
             self.update_secs,
             self.ops as f64 / self.update_secs,
@@ -1043,6 +1108,10 @@ impl UpdateReport {
             self.post_update_cold_disk,
             self.fresh_save_secs,
             self.fresh_save_cold_disk,
+            self.cached_update_secs,
+            self.cached_page_writes,
+            self.cached_physical_writes,
+            self.cached_post_update_cold_disk,
         )
     }
 }

@@ -247,6 +247,15 @@ where
 /// join over the same warm cache reads almost nothing. Callers compare
 /// `cache.physical_reads()` before/after to see the dedup; the §4.1
 /// logical accounting never moves.
+///
+/// Safe under live updates: a background `OpenTree` opened on a store of
+/// the same cache (`SharedPageCache::update_handle`) may insert/delete
+/// concurrently with this call. The per-frame write latch arbitrates —
+/// writers wait on the pins this join holds, this join's demands wait
+/// out in-progress writes — and dirty frames evicted by join pressure
+/// carry their payloads into the cache's drain, so neither side loses
+/// bytes or moves the other's logical charges (see the `latch`
+/// conformance suite).
 pub fn parallel_spatial_join_warm(
     r: &RTree,
     s: &RTree,

@@ -41,9 +41,10 @@ use rsj_geom::Rect;
 use rsj_storage::codec::{self, StorageError};
 use rsj_storage::{
     EvictionPolicy, FileNodeAccess, IoStats, PageEvent, PageFile, ShardedFileAccess,
-    ShardedPageFile, UpdateBackend, WritablePageFile,
+    ShardedPageFile, SharedCacheFileAccess, SharedPageCache, UpdateBackend, WritablePageFile,
 };
 use std::path::Path;
+use std::sync::Arc;
 
 use crate::node::DataId;
 use crate::persist::{encode_meta, to_disk};
@@ -54,8 +55,10 @@ use crate::tree::RTree;
 /// depth.
 const MAX_HEIGHT: usize = 64;
 
-/// The store tag updates are charged under (an `OpenTree` owns its
-/// backend, which serves exactly one file).
+/// The default store tag updates are charged under (a private backend —
+/// [`FileNodeAccess`], [`ShardedFileAccess`] — serves exactly one file,
+/// at store 0). Trees opened over a multi-store [`SharedPageCache`] carry
+/// their own store tag instead ([`OpenTree::from_parts_at`]).
 const STORE: u8 = 0;
 
 /// An R\*-tree open for incremental updates on its backing page file
@@ -66,6 +69,10 @@ const STORE: u8 = 0;
 pub struct OpenTree<B: UpdateBackend> {
     tree: RTree,
     access: B,
+    /// The backend store this tree's pages live under ([`STORE`] for
+    /// private single-file backends; the caller's choice for a shared
+    /// multi-store cache).
+    store: u8,
     /// Event-replay scratch.
     events: Vec<PageEvent>,
     /// Node-encoding scratch.
@@ -87,6 +94,11 @@ pub type OpenFileTree = OpenTree<FileNodeAccess>;
 /// [`OpenTree`] over a [`ShardedPageFile`] (birth-shard migration policy;
 /// see `rsj_storage::sharded`).
 pub type OpenShardedTree = OpenTree<ShardedFileAccess>;
+
+/// [`OpenTree`] over one store of a live [`SharedPageCache`]: updates run
+/// through the latched shared frames while parallel joins serve reads
+/// from the same pool. Opened via [`OpenCachedTree::open_cached`].
+pub type OpenCachedTree = OpenTree<SharedCacheFileAccess>;
 
 impl OpenFileTree {
     /// Opens the page file at `path` read-write for incremental updates,
@@ -122,12 +134,39 @@ impl OpenShardedTree {
     }
 }
 
+impl OpenCachedTree {
+    /// Opens store `store` of a live [`SharedPageCache`] for incremental
+    /// updates: the returned tree shares the cache's frames with every
+    /// concurrent join worker — its writes take the per-frame write
+    /// latch, its dirty payloads ride the frames until
+    /// [`OpenTree::flush`], and its logical [`IoStats`] replay the
+    /// private-buffer oracle of capacity `cap_pages` bit-for-bit.
+    pub fn open_cached(
+        cache: &Arc<SharedPageCache>,
+        store: u8,
+        cap_pages: usize,
+    ) -> Result<Self, StorageError> {
+        let mut access = cache.update_handle(store, cap_pages)?;
+        let tree = RTree::load(access.store_file_mut(store))?;
+        access.store_file_mut(store).reset_io(); // loading is not update I/O
+        Self::from_parts_at(tree, access, store)
+    }
+}
+
 impl<B: UpdateBackend> OpenTree<B> {
     /// Builds an open tree from a loaded [`RTree`] and a write-capable
-    /// backend whose store 0 serves the file the tree was loaded from.
-    /// Validates that tree and file agree on page count, page size and
-    /// free list — the lockstep the event replay depends on.
-    pub fn from_parts(mut tree: RTree, access: B) -> Result<Self, StorageError> {
+    /// backend whose store 0 serves the file the tree was loaded from
+    /// (see [`OpenTree::from_parts_at`] for other stores).
+    pub fn from_parts(tree: RTree, access: B) -> Result<Self, StorageError> {
+        Self::from_parts_at(tree, access, STORE)
+    }
+
+    /// [`OpenTree::from_parts`] with an explicit store tag — the slot the
+    /// backend serves this tree's file under (a shared cache multiplexes
+    /// several stores over one frame pool). Validates that tree and file
+    /// agree on page count, page size and free list — the lockstep the
+    /// event replay depends on.
+    pub fn from_parts_at(mut tree: RTree, access: B, store: u8) -> Result<Self, StorageError> {
         if !access.supports_writes() {
             return Err(StorageError::Corrupt(
                 "backend is read-only in this configuration (parallel shard \
@@ -135,7 +174,7 @@ impl<B: UpdateBackend> OpenTree<B> {
                     .into(),
             ));
         }
-        let file = access.store_file(STORE);
+        let file = access.store_file(store);
         if file.page_count() as usize != tree.allocated_pages() {
             return Err(StorageError::Corrupt(format!(
                 "file holds {} pages but the tree allocated {}",
@@ -168,6 +207,7 @@ impl<B: UpdateBackend> OpenTree<B> {
         Ok(OpenTree {
             tree,
             access,
+            store,
             events: Vec::new(),
             buf: Vec::new(),
             slot,
@@ -263,14 +303,14 @@ impl<B: UpdateBackend> OpenTree<B> {
                         .tree
                         .depth_of_level(self.tree.node(p).level)
                         .min(MAX_HEIGHT - 1);
-                    self.access.access(STORE, p, depth);
+                    self.access.access(self.store, p, depth);
                     codec::encode_node_fmt(
                         &to_disk(self.tree.node(p)),
                         self.slot,
                         self.format,
                         &mut self.buf,
                     )?;
-                    self.access.write(STORE, p, &self.buf);
+                    self.access.write(self.store, p, &self.buf);
                 }
                 PageEvent::Alloc(p) => {
                     codec::encode_node_fmt(
@@ -279,7 +319,7 @@ impl<B: UpdateBackend> OpenTree<B> {
                         self.format,
                         &mut self.buf,
                     )?;
-                    let got = self.access.store_file_mut(STORE).allocate(&self.buf)?;
+                    let got = self.access.store_file_mut(self.store).allocate(&self.buf)?;
                     if got != p {
                         return Err(StorageError::Corrupt(format!(
                             "allocator divergence: file allocated {got}, tree expected {p}"
@@ -287,8 +327,8 @@ impl<B: UpdateBackend> OpenTree<B> {
                     }
                 }
                 PageEvent::Freed(p) => {
-                    self.access.discard(STORE, p);
-                    self.access.store_file_mut(STORE).release(p)?;
+                    self.access.discard(self.store, p);
+                    self.access.store_file_mut(self.store).release(p)?;
                 }
             }
         }
@@ -307,11 +347,11 @@ impl<B: UpdateBackend> OpenTree<B> {
         self.access.drain_completions();
         self.access.flush_writes()?;
         let meta = encode_meta(&self.tree);
-        let file = self.access.store_file_mut(STORE);
+        let file = self.access.store_file_mut(self.store);
         file.set_meta(meta);
         file.flush()?;
         debug_assert_eq!(
-            self.access.store_file(STORE).free_pages(),
+            self.access.store_file(self.store).free_pages(),
             self.tree.page_store().free_pages(),
             "file and tree free lists must stay in lockstep"
         );

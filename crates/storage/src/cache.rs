@@ -1,6 +1,7 @@
 //! The latched shared page cache: pin-counted frames over the
 //! submission/completion queue, so file-backed parallel joins share one
-//! warm buffer.
+//! warm buffer — and, since the write latch landed, so background
+//! updaters can mutate pages *under* that join traffic.
 //!
 //! [`crate::SharedBufferPool`] already models the §6 shared-buffer win
 //! for *in-memory* trees: a page faulted by one worker is a buffer hit
@@ -9,19 +10,25 @@
 //! the upper-level pages every subtree task touches were physically read
 //! N times, and nothing stayed warm between requests. [`SharedPageCache`]
 //! closes that gap: one sharded frame table holds the page budget for
-//! the whole deployment, frames carry a state machine and a pin counter
-//! (the kv-store `PAGE_BUSY`/`PAGE_WAIT` blueprint), and all physical
-//! reads flow through one [`CompletionQueue`] with a lane per store.
+//! the whole deployment, frames carry a state machine, a pin counter and
+//! a write latch (the kv-store `PAGE_BUSY`/`PAGE_WAIT` blueprint), and
+//! all physical reads flow through one [`CompletionQueue`] with a lane
+//! per store.
 //!
 //! ## Frame states
 //!
 //! ```text
-//!             materialize (miss)            read completes
+//!              materialize (miss)           read completes
 //!   Empty ───────────────────────▶ Reading ───────────────▶ Resident
-//!     ▲       submit + pin                   (settle)         │   ▲
-//!     │                                                       │   │
-//!     │         evict (unpinned only)             mark_dirty  ▼   │ clear_dirty
-//!     └───────────────────────────────── Resident/Dirty ── Dirty ─┘
+//!     ▲        submit + pin                  (settle)       │      ▲
+//!     │                               begin_write           │      │
+//!     │                        (waits: no pin, no read)     ▼      │ clear_dirty /
+//!     │ evict (unpinned only)                            Writing   │ flush_dirty
+//!     │                               complete_write        │      │
+//!     ├────────────────────────────────────────────────── Dirty ───┘
+//!     │ evict while Dirty: the payload moves to the DRAIN —
+//!     ▼ bytes are never dropped
+//!   drain (BufKey → bytes) ── flush_dirty / take_dirty_evicted ──▶ file
 //! ```
 //!
 //! * **Empty → Reading**: a miss installs the frame, pins it for the
@@ -32,12 +39,21 @@
 //!   pread: single-flight.
 //! * **Reading → Resident**: settled lazily, the next time the shard is
 //!   touched (or explicitly by [`SharedPageCache::drain`]); the read pin
-//!   is released.
-//! * **Resident ⇄ Dirty**: the dirty bit is carried per frame and dirty
-//!   victims are surfaced through
-//!   [`SharedPageCache::take_dirty_evicted`] — the write-back hook the
-//!   updates-under-joins work (ROADMAP item 1) latches onto. The join
-//!   read path never dirties a frame.
+//!   is released. Every public entry point settles first, so state
+//!   observations within one shard-lock hold can never disagree.
+//! * **Resident/Dirty/Empty → Writing → Dirty**: the write latch.
+//!   [`SharedPageCache::write`] waits until the frame holds no pin and no
+//!   read is in flight (**writers wait on pins**), marks the frame
+//!   `Writing`, and installs the new bytes as the frame's dirty payload.
+//!   While a frame is `Writing`, `materialize` and `pin` park on the
+//!   shard's latch condvar (**readers wait on the write latch**).
+//! * **Dirty eviction carries the payload.** Evicting a dirty frame
+//!   moves its bytes into the shard's *drain*; they leave the cache only
+//!   through [`SharedPageCache::flush_dirty`] (which writes them through
+//!   a caller-supplied writer) or [`SharedPageCache::take_dirty_evicted`]
+//!   (which hands `(key, bytes)` pairs to an owner who writes them back
+//!   itself). A re-demand of a drained page is served *from the drain* —
+//!   reading the file would resurrect stale bytes.
 //! * Eviction skips pinned frames ([`LruBuffer`] semantics: pinned
 //!   overflow beyond capacity is legal, trimmed as pins release).
 //!
@@ -58,14 +74,25 @@
 //! `physical_reads ≤ Σ per-worker disk_accesses`, strictly `<` whenever
 //! workers overlap — and a warm pool serves repeat joins at near-zero
 //! physical reads while their logical charges stay exactly the paper's.
+//!
+//! The write path mirrors the split. A handle opened through
+//! [`SharedPageCache::update_handle`] owns the read-write [`PageFile`] of
+//! its store and implements [`crate::NodeAccessMut`]/[`UpdateBackend`]:
+//! its *logical* `page_writes` replay the [`crate::BufferPool`] oracle
+//! bit-for-bit (install + dirty, charged at private eviction or flush),
+//! while the *bytes* ride the shared frames and reach the disk once, at
+//! [`SharedPageCache::flush_dirty`] — counted in
+//! [`SharedPageCache::physical_writes`], so
+//! `physical_writes ≤ Σ per-worker page_writes` for the same reason the
+//! read inequality holds.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
-use crate::access::{NodeAccess, Ticket};
+use crate::access::{NodeAccess, NodeAccessMut, Ticket};
 use crate::codec::StorageError;
 use crate::completion::{CompletionQueue, DelayFn};
 use crate::file::{validate_stores, PageFile};
@@ -74,18 +101,31 @@ use crate::page::PageId;
 use crate::path::PathBuffer;
 use crate::pool::{BufKey, IoStats};
 use crate::shared::auto_shard_count;
+use crate::writeback::UpdateBackend;
+
+/// Path-buffer height of a store opened for updates: an updatable tree
+/// can grow past its open-time height (a root split shifts every depth),
+/// so the buffer is sized for any height the tree can reach — the same
+/// bound the rtree crate's `OpenTree` uses (`MAX_HEIGHT`), which keeps
+/// the update handle's logical charges aligned with the
+/// [`crate::FileNodeAccess`] oracle.
+const UPDATE_MAX_HEIGHT: usize = 64;
 
 /// Observable state of one cache frame (see the module diagram).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameState {
-    /// Not resident and no read in flight.
+    /// Not resident, no read in flight, no payload pending.
     Empty,
     /// A single-flight pread is in flight; the frame is read-pinned.
     Reading,
     /// Bytes are resident and clean.
     Resident,
-    /// Bytes are resident and newer than the file (write-back pending).
+    /// The cache holds bytes newer than the file (write-back pending) —
+    /// either as a dirty resident frame or as an evicted payload waiting
+    /// in the drain.
     Dirty,
+    /// A writer holds the frame's write latch; readers wait.
+    Writing,
 }
 
 /// Configuration of a [`SharedPageCache`].
@@ -128,10 +168,31 @@ impl fmt::Debug for CacheConfig {
 /// live in the intrusive [`LruBuffer`]; `reading` carries the in-flight
 /// ticket of every frame currently in [`FrameState::Reading`] (each such
 /// frame also holds one read pin in the LRU, so it cannot be evicted
-/// under it).
+/// under it); `payloads` holds the bytes of every dirty *resident*
+/// frame, `drained` the bytes of dirty frames the LRU has evicted —
+/// together they are the no-lost-payloads contract.
 struct FrameShard {
     lru: LruBuffer,
     reading: HashMap<BufKey, Ticket>,
+    /// Encoded bytes of every dirty resident frame.
+    payloads: HashMap<BufKey, Vec<u8>>,
+    /// Bytes of dirty frames evicted since the last flush/drain — the
+    /// write-back worklist, payloads included.
+    drained: HashMap<BufKey, Vec<u8>>,
+    /// Frames a writer currently holds the write latch of.
+    writing: HashSet<BufKey>,
+    /// Writers parked on the shard latch waiting for a pin release —
+    /// tells `unpin` when a notify is worth it.
+    write_waiters: usize,
+    /// Scratch for draining the LRU's dirty-eviction queue.
+    evicted: Vec<BufKey>,
+}
+
+/// One frame shard plus its latch condvar: writers park here while the
+/// frame is pinned, readers while it is `Writing`.
+struct Shard {
+    frames: Mutex<FrameShard>,
+    latch: Condvar,
 }
 
 /// The sharded, pin-counted concurrent frame cache. Cheap to share via
@@ -139,13 +200,18 @@ struct FrameShard {
 /// successive requests hit warm frames. Workers access it through
 /// [`SharedCacheFileAccess`] handles.
 pub struct SharedPageCache {
-    shards: Vec<Mutex<FrameShard>>,
+    shards: Vec<Shard>,
     queue: CompletionQueue,
     /// Preads submitted by cache-level misses (every one becomes exactly
     /// one physical read on a queue lane).
     physical: AtomicU64,
+    /// Pages written to disk through [`SharedPageCache::flush_dirty`].
+    physical_writes: AtomicU64,
     heights: Vec<usize>,
     page_bytes: usize,
+    /// The backing files, by store — [`SharedPageCache::update_handle`]
+    /// opens its read-write handle from here.
+    paths: Vec<PathBuf>,
 }
 
 impl fmt::Debug for SharedPageCache {
@@ -154,6 +220,7 @@ impl fmt::Debug for SharedPageCache {
             .field("shards", &self.shards.len())
             .field("capacity", &self.capacity())
             .field("physical_reads", &self.physical_reads())
+            .field("physical_writes", &self.physical_writes())
             .finish()
     }
 }
@@ -163,8 +230,20 @@ impl fmt::Debug for SharedPageCache {
 /// statements, so a worker that panicked mid-critical-section can at
 /// worst leak a stale recency order or an extra read pin — no reason to
 /// cascade-abort the rest of the fleet.
-fn lock_frames(shard: &Mutex<FrameShard>) -> MutexGuard<'_, FrameShard> {
-    shard.lock().unwrap_or_else(PoisonError::into_inner)
+fn lock_frames(shard: &Shard) -> MutexGuard<'_, FrameShard> {
+    shard.frames.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Parks on the shard latch (poison-recovering, same rationale as
+/// [`lock_frames`]).
+fn wait_latch<'a>(
+    shard: &'a Shard,
+    guard: MutexGuard<'a, FrameShard>,
+) -> MutexGuard<'a, FrameShard> {
+    shard
+        .latch
+        .wait(guard)
+        .unwrap_or_else(PoisonError::into_inner)
 }
 
 impl SharedPageCache {
@@ -197,45 +276,84 @@ impl SharedPageCache {
         let shards = (0..n)
             .map(|i| {
                 let cap = cap_pages / n + usize::from(i < cap_pages % n);
-                Mutex::new(FrameShard {
-                    lru: LruBuffer::with_policy(cap, EvictionPolicy::Lru),
-                    reading: HashMap::new(),
-                })
+                Shard {
+                    frames: Mutex::new(FrameShard {
+                        lru: LruBuffer::with_policy(cap, EvictionPolicy::Lru),
+                        reading: HashMap::new(),
+                        payloads: HashMap::new(),
+                        drained: HashMap::new(),
+                        writing: HashSet::new(),
+                        write_waiters: 0,
+                        evicted: Vec::new(),
+                    }),
+                    latch: Condvar::new(),
+                }
             })
             .collect();
         Ok(Arc::new(SharedPageCache {
             shards,
             queue,
             physical: AtomicU64::new(0),
+            physical_writes: AtomicU64::new(0),
             heights: heights.to_vec(),
             page_bytes,
+            paths: paths.to_vec(),
         }))
     }
 
     /// A worker's view: private path buffers (sized from the cache's
     /// heights), a private logical LRU of `cap_pages` and zeroed
-    /// [`IoStats`] over the shared frame layer.
+    /// [`IoStats`] over the shared frame layer. Read-only — see
+    /// [`SharedPageCache::update_handle`] for the write path.
     pub fn handle(self: &Arc<Self>, cap_pages: usize) -> SharedCacheFileAccess {
         SharedCacheFileAccess {
             cache: Arc::clone(self),
             lru: LruBuffer::with_policy(cap_pages, EvictionPolicy::Lru),
             paths: self.heights.iter().map(|&h| PathBuffer::new(h)).collect(),
+            files: self.heights.iter().map(|_| None).collect(),
             stats: IoStats::default(),
             last_miss: Ticket::NONE,
             warm_hits: 0,
             cold_faults: 0,
+            evicted: Vec::new(),
         }
     }
 
+    /// A worker's view *with the write path open* for `store`: the
+    /// returned handle owns a read-write [`PageFile`] on that store (the
+    /// handle its [`UpdateBackend`] impl serves) and a path buffer sized
+    /// for any height an updated tree can grow to. Logical write charges
+    /// replay the [`crate::BufferPool`] oracle; payload bytes ride the
+    /// shared frames until [`crate::NodeAccessMut::flush_writes`] pushes
+    /// them through [`SharedPageCache::flush_dirty`].
+    pub fn update_handle(
+        self: &Arc<Self>,
+        store: u8,
+        cap_pages: usize,
+    ) -> Result<SharedCacheFileAccess, StorageError> {
+        let path = self.paths.get(store as usize).ok_or_else(|| {
+            StorageError::Corrupt(format!(
+                "store {store} out of range of a {}-store cache",
+                self.paths.len()
+            ))
+        })?;
+        let mut h = self.handle(cap_pages);
+        h.paths[store as usize] = PathBuffer::new(UPDATE_MAX_HEIGHT);
+        h.files[store as usize] = Some(PageFile::open_rw(path)?);
+        Ok(h)
+    }
+
     #[inline]
-    fn shard(&self, key: BufKey) -> &Mutex<FrameShard> {
+    fn shard(&self, key: BufKey) -> &Shard {
         &self.shards[crate::partition::partition_key(key, self.shards.len())]
     }
 
     /// Flips every completed `Reading` frame in `s` to `Resident` and
     /// releases its read pin. Cheap: the in-flight set is bounded by the
     /// queue depth and the completed check is lock-free once the
-    /// completion frontier has passed a ticket.
+    /// completion frontier has passed a ticket. Every public entry point
+    /// settles on entry — the uniform discipline that keeps frame-state
+    /// observations coherent within one lock hold.
     fn settle(&self, s: &mut FrameShard) {
         if s.reading.is_empty() {
             return;
@@ -252,13 +370,39 @@ impl SharedPageCache {
         }
     }
 
+    /// Moves the payloads of freshly evicted dirty frames into the
+    /// shard's drain — called after every LRU operation that can evict.
+    /// This is the fix for the lost-payload bug: the bytes leave the
+    /// frame table only *together with* their key, never behind it.
+    fn harvest(&self, s: &mut FrameShard) {
+        if !s.lru.has_dirty_evicted() {
+            return;
+        }
+        let mut keys = std::mem::take(&mut s.evicted);
+        s.lru.take_dirty_evicted(&mut keys);
+        for key in keys.drain(..) {
+            // Dirty frames always carry a payload: the only dirty-marking
+            // entry point is `complete_write`, which stores the bytes.
+            if let Some(p) = s.payloads.remove(&key) {
+                s.drained.insert(key, p);
+            }
+        }
+        s.evicted = keys;
+    }
+
     /// Serves one charged logical miss for `(store, page)`: returns the
     /// ticket the caller's cursor may park on and whether a *fresh*
     /// physical read was submitted (`false` = the frame was already
-    /// resident or in flight — a warm hit, the cross-worker saving).
+    /// resident, in flight, or waiting in the drain — a warm hit, the
+    /// cross-worker saving). Waits out a concurrent writer first
+    /// (readers wait on the write latch).
     pub fn materialize(&self, store: u8, page: PageId) -> (Ticket, bool) {
         let key = BufKey::new(store, page);
-        let mut s = lock_frames(self.shard(key));
+        let shard = self.shard(key);
+        let mut s = lock_frames(shard);
+        while s.writing.contains(&key) {
+            s = wait_latch(shard, s);
+        }
         self.settle(&mut s);
         if let Some(&ticket) = s.reading.get(&key) {
             // Single-flight: adopt the in-flight read, touch recency.
@@ -269,6 +413,21 @@ impl SharedPageCache {
             s.lru.access(key);
             return (Ticket::NONE, false);
         }
+        if s.drained.contains_key(&key) {
+            // Evicted-dirty re-demand: the newest bytes sit in the drain,
+            // not the file — a pread would resurrect stale data.
+            // Reinstall as a dirty resident, no physical read.
+            s.lru.install(key);
+            if s.lru.mark_dirty(key) {
+                let p = s.drained.remove(&key).expect("checked above");
+                s.payloads.insert(key, p);
+            }
+            // else: the install was evicted on the spot (every other
+            // slot pinned) — the payload simply stays in the drain,
+            // still Dirty, still flushable.
+            self.harvest(&mut s);
+            return (Ticket::NONE, false);
+        }
         // Empty → Reading: install the frame, read-pin it so eviction
         // skips it, submit exactly one pread on the store's lane. The
         // queue-level hint-adoption table is bypassed on purpose
@@ -276,6 +435,7 @@ impl SharedPageCache {
         // the frame table is the single-flight authority here.
         s.lru.install(key);
         s.lru.pin(key);
+        self.harvest(&mut s);
         let (ticket, _) = self.queue.adopt_or_submit(store as usize, key, page);
         s.reading.insert(key, ticket);
         self.physical.fetch_add(1, Ordering::Relaxed);
@@ -285,72 +445,212 @@ impl SharedPageCache {
     /// Adds one pin to the frame of `(store, page)` if it is resident or
     /// in flight. Unlike the logical buffers, pinning never *creates* a
     /// frame — a frame with no read behind it would be a phantom warm
-    /// hit and break read honesty.
+    /// hit and break read honesty. Settles first, so a frame whose read
+    /// just completed is pinned as a resident (not double-pinned under
+    /// its stale read pin); waits out a concurrent writer.
     pub fn pin(&self, store: u8, page: PageId) {
         let key = BufKey::new(store, page);
-        let mut s = lock_frames(self.shard(key));
+        let shard = self.shard(key);
+        let mut s = lock_frames(shard);
+        while s.writing.contains(&key) {
+            s = wait_latch(shard, s);
+        }
+        self.settle(&mut s);
         if s.lru.contains(key) {
             s.lru.pin(key);
         }
     }
 
-    /// Releases one pin of `(store, page)` (no-op if absent).
+    /// Releases one pin of `(store, page)` (no-op if absent), waking any
+    /// writer parked on the pin.
     pub fn unpin(&self, store: u8, page: PageId) {
         let key = BufKey::new(store, page);
-        lock_frames(self.shard(key)).lru.unpin(key);
+        let shard = self.shard(key);
+        let mut s = lock_frames(shard);
+        self.settle(&mut s);
+        s.lru.unpin(key);
+        self.harvest(&mut s);
+        let notify = s.write_waiters > 0;
+        drop(s);
+        if notify {
+            shard.latch.notify_all();
+        }
     }
 
-    /// Marks a resident frame dirty (the future write-back path; returns
-    /// `false` if the frame is not resident). A `Reading` frame cannot
-    /// be dirtied — its bytes are not there yet.
-    pub fn mark_dirty(&self, store: u8, page: PageId) -> bool {
+    /// Latched write of `(store, page)`: waits until the frame holds no
+    /// pin and no read is in flight, takes the write latch, installs
+    /// `payload` as the frame's dirty bytes, releases the latch. The
+    /// bytes reach the file at [`SharedPageCache::flush_dirty`] (or via
+    /// [`SharedPageCache::take_dirty_evicted`] after an eviction) — never
+    /// silently dropped. If the frame cannot be held at all (every slot
+    /// pinned by other frames), the payload goes straight to the drain.
+    pub fn write(&self, store: u8, page: PageId, payload: &[u8]) {
+        let key = BufKey::new(store, page);
+        self.begin_write(key);
+        self.complete_write(key, payload);
+    }
+
+    /// Acquires the write latch of `key`'s frame: writers wait on pins
+    /// (and on each other); an in-flight read is awaited off-lock via
+    /// its ticket.
+    fn begin_write(&self, key: BufKey) {
+        let shard = self.shard(key);
+        let mut s = lock_frames(shard);
+        loop {
+            self.settle(&mut s);
+            if s.writing.contains(&key) {
+                s = wait_latch(shard, s);
+                continue;
+            }
+            if let Some(&ticket) = s.reading.get(&key) {
+                // The frame holds a read pin until the ticket settles —
+                // park on the queue (off-lock), then re-evaluate.
+                drop(s);
+                self.queue.await_ticket(ticket);
+                s = lock_frames(shard);
+                continue;
+            }
+            if s.lru.pin_count(key) > 0 {
+                s.write_waiters += 1;
+                s = wait_latch(shard, s);
+                s.write_waiters -= 1;
+                continue;
+            }
+            s.writing.insert(key);
+            return;
+        }
+    }
+
+    /// Installs the new bytes, releases the write latch, wakes waiters.
+    fn complete_write(&self, key: BufKey, payload: &[u8]) {
+        let shard = self.shard(key);
+        let mut s = lock_frames(shard);
+        self.settle(&mut s);
+        s.lru.install(key);
+        if s.lru.mark_dirty(key) {
+            let dst = s.payloads.entry(key).or_default();
+            dst.clear();
+            dst.extend_from_slice(payload);
+            // A stale drained copy (evicted before this write) is
+            // superseded by the fresh resident payload.
+            s.drained.remove(&key);
+        } else {
+            // The install itself was evicted on the spot (every other
+            // slot pinned): the payload still must not be lost — it goes
+            // straight to the drain.
+            s.payloads.remove(&key);
+            s.drained.insert(key, payload.to_vec());
+        }
+        self.harvest(&mut s);
+        s.writing.remove(&key);
+        drop(s);
+        shard.latch.notify_all();
+    }
+
+    /// Clears the dirty state of a frame *without* writing — the owner
+    /// already wrote the bytes back (or abandoned them). Drops the
+    /// payload, resident or drained.
+    pub fn clear_dirty(&self, store: u8, page: PageId) {
         let key = BufKey::new(store, page);
         let mut s = lock_frames(self.shard(key));
         self.settle(&mut s);
-        if s.reading.contains_key(&key) {
-            return false;
-        }
-        s.lru.mark_dirty(key)
+        s.lru.clear_dirty(key);
+        s.payloads.remove(&key);
+        s.drained.remove(&key);
     }
 
-    /// Clears the dirty bit of a frame (after a write-back).
-    pub fn clear_dirty(&self, store: u8, page: PageId) {
-        let key = BufKey::new(store, page);
-        lock_frames(self.shard(key)).lru.clear_dirty(key);
-    }
-
-    /// Dirty frames evicted since the last call, across all shards — the
-    /// write-back worklist for the update-latching follow-up.
-    pub fn take_dirty_evicted(&self) -> Vec<BufKey> {
+    /// Dirty frames evicted since the last call, across all shards,
+    /// **payloads included** — the write-back worklist. The caller MUST
+    /// write these back (their bytes are gone from the cache once
+    /// taken); [`SharedPageCache::flush_dirty`] does it in one step for
+    /// owners holding the file. Deterministic order (sorted by key).
+    pub fn take_dirty_evicted(&self) -> Vec<(BufKey, Vec<u8>)> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            lock_frames(shard).lru.take_dirty_evicted(&mut out);
+            let mut s = lock_frames(shard);
+            self.settle(&mut s);
+            self.harvest(&mut s);
+            out.extend(s.drained.drain());
         }
+        out.sort_by_key(|&(k, _)| k);
         out
     }
 
+    /// Writes every pending dirty payload of `store` through `write` —
+    /// drained (evicted) pages first, then dirty residents in the LRU's
+    /// deterministic recency order — charging
+    /// [`SharedPageCache::physical_writes`] once per page and cleaning
+    /// each frame as it lands. Error-safe: pages written before a
+    /// failure are clean, the failing page and the rest keep their
+    /// payloads — a retry resumes where this stopped.
+    pub fn flush_dirty(
+        &self,
+        store: u8,
+        mut write: impl FnMut(PageId, &[u8]) -> Result<(), StorageError>,
+    ) -> Result<(), StorageError> {
+        for shard in &self.shards {
+            let mut s = lock_frames(shard);
+            self.settle(&mut s);
+            self.harvest(&mut s);
+            let mut drained: Vec<BufKey> = s
+                .drained
+                .keys()
+                .copied()
+                .filter(|k| k.store == store)
+                .collect();
+            drained.sort_unstable();
+            for key in drained {
+                let buf = &s.drained[&key];
+                write(key.page, buf)?;
+                self.physical_writes.fetch_add(1, Ordering::Relaxed);
+                s.drained.remove(&key);
+            }
+            for key in s.lru.dirty_keys() {
+                if key.store != store {
+                    continue;
+                }
+                let buf = s
+                    .payloads
+                    .get(&key)
+                    .expect("dirty resident frame must carry a payload");
+                write(key.page, buf)?;
+                self.physical_writes.fetch_add(1, Ordering::Relaxed);
+                s.payloads.remove(&key);
+                s.lru.clear_dirty(key);
+            }
+        }
+        Ok(())
+    }
+
     /// The observable state of the frame of `(store, page)`. Settles the
-    /// shard first, so a completed read reports `Resident`.
+    /// shard first, so a completed read reports `Resident`. An evicted
+    /// dirty page whose payload waits in the drain reports `Dirty`: the
+    /// cache still holds bytes newer than the file.
     pub fn frame_state(&self, store: u8, page: PageId) -> FrameState {
         let key = BufKey::new(store, page);
         let mut s = lock_frames(self.shard(key));
         self.settle(&mut s);
-        if s.reading.contains_key(&key) {
+        if s.writing.contains(&key) {
+            FrameState::Writing
+        } else if s.reading.contains_key(&key) {
             FrameState::Reading
-        } else if !s.lru.contains(key) {
-            FrameState::Empty
-        } else if s.lru.is_dirty(key) {
+        } else if s.lru.is_dirty(key) || s.drained.contains_key(&key) {
             FrameState::Dirty
-        } else {
+        } else if s.lru.contains(key) {
             FrameState::Resident
+        } else {
+            FrameState::Empty
         }
     }
 
     /// Nested pin count of the frame of `(store, page)` — includes the
-    /// read pin while the frame is `Reading`.
+    /// read pin while the frame is `Reading`. Settles first (uniform
+    /// discipline), so a completed read's pin is not miscounted.
     pub fn pin_count(&self, store: u8, page: PageId) -> u32 {
         let key = BufKey::new(store, page);
-        lock_frames(self.shard(key)).lru.pin_count(key)
+        let mut s = lock_frames(self.shard(key));
+        self.settle(&mut s);
+        s.lru.pin_count(key)
     }
 
     /// Physical preads submitted by cache misses so far. After
@@ -359,6 +659,29 @@ impl SharedPageCache {
     #[inline]
     pub fn physical_reads(&self) -> u64 {
         self.physical.load(Ordering::Relaxed)
+    }
+
+    /// Pages physically written through [`SharedPageCache::flush_dirty`]
+    /// so far. Always `≤ Σ` per-handle logical `page_writes`: the shared
+    /// frames absorb repeated logical writes of the same page the way
+    /// they absorb repeated logical reads.
+    #[inline]
+    pub fn physical_writes(&self) -> u64 {
+        self.physical_writes.load(Ordering::Relaxed)
+    }
+
+    /// Dirty payloads the cache currently holds (resident + drained) —
+    /// what a full [`SharedPageCache::flush_dirty`] sweep would write.
+    pub fn pending_write_back(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let mut s = lock_frames(shard);
+                self.settle(&mut s);
+                self.harvest(&mut s);
+                s.payloads.len() + s.drained.len()
+            })
+            .sum()
     }
 
     /// The completion queue all physical reads flow through.
@@ -409,15 +732,19 @@ impl SharedPageCache {
         }
     }
 
-    /// Zeroes the physical-read and queue counters while keeping every
-    /// frame resident — the *warm* reset between measured runs.
+    /// Zeroes the physical-read/-write and queue counters while keeping
+    /// every frame resident (dirty payloads included) — the *warm* reset
+    /// between measured runs.
     pub fn reset_stats(&self) {
         self.drain();
         self.queue.reset();
         self.physical.store(0, Ordering::Relaxed);
+        self.physical_writes.store(0, Ordering::Relaxed);
     }
 
-    /// Drops every frame and zeroes the counters — a cold cache.
+    /// Drops every frame and zeroes the counters — a cold cache. Pending
+    /// dirty payloads are discarded *without* write-back (same contract
+    /// as [`LruBuffer::clear`]): owners flush first.
     pub fn clear(&self) {
         self.drain();
         for shard in &self.shards {
@@ -425,9 +752,16 @@ impl SharedPageCache {
             s.lru.clear();
             s.lru.reset_io();
             s.reading.clear();
+            s.payloads.clear();
+            s.drained.clear();
+            s.writing.clear();
+            drop(s);
+            // Writers parked on vanished pins must re-evaluate.
+            shard.latch.notify_all();
         }
         self.queue.reset();
         self.physical.store(0, Ordering::Relaxed);
+        self.physical_writes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -440,18 +774,27 @@ impl SharedPageCache {
 /// (single-flight physical reads, warm frames across workers and across
 /// requests). Completion-driven: a miss returns a ticket for the cursor
 /// to park on instead of blocking in `access()`.
+///
+/// Handles from [`SharedPageCache::update_handle`] additionally own the
+/// read-write [`PageFile`] of their store and drive updates through the
+/// [`crate::NodeAccessMut`]/[`UpdateBackend`] impls below.
 pub struct SharedCacheFileAccess {
     cache: Arc<SharedPageCache>,
     /// Private *logical* LRU — accounting only; bytes live in the shared
     /// frames.
     lru: LruBuffer,
     paths: Vec<PathBuffer>,
+    /// Read-write file handles, by store — `Some` only for stores opened
+    /// through [`SharedPageCache::update_handle`].
+    files: Vec<Option<PageFile>>,
     stats: IoStats,
     last_miss: Ticket,
     /// Charged misses served by a frame already resident or in flight.
     warm_hits: u64,
     /// Charged misses that submitted the physical read themselves.
     cold_faults: u64,
+    /// Scratch for draining the private LRU's dirty evictions.
+    evicted: Vec<BufKey>,
 }
 
 impl fmt::Debug for SharedCacheFileAccess {
@@ -489,6 +832,19 @@ impl SharedCacheFileAccess {
     pub fn cold_faults(&self) -> u64 {
         self.cold_faults
     }
+
+    /// Logical write-back accounting, bit-identical to
+    /// [`crate::BufferPool`]: every dirty page the *private* LRU evicted
+    /// would have been written by a shared-nothing backend — charge it.
+    /// A no-op on read-only handles (nothing private is ever dirty), so
+    /// join statistics are untouched.
+    fn charge_private_dirty_evictions(&mut self) {
+        if self.lru.has_dirty_evicted() {
+            self.evicted.clear();
+            self.lru.take_dirty_evicted(&mut self.evicted);
+            self.stats.page_writes += self.evicted.len() as u64;
+        }
+    }
 }
 
 impl NodeAccess for SharedCacheFileAccess {
@@ -501,6 +857,7 @@ impl NodeAccess for SharedCacheFileAccess {
             page,
             depth,
         );
+        self.charge_private_dirty_evictions();
         if miss {
             let (ticket, fresh) = self.cache.materialize(store, page);
             if fresh {
@@ -518,11 +875,13 @@ impl NodeAccess for SharedCacheFileAccess {
         // decisions, hence the charge sequence); the shared-layer pin
         // keeps the frame eviction-proof for every worker.
         self.lru.pin(BufKey::new(store, page));
+        self.charge_private_dirty_evictions();
         self.cache.pin(store, page);
     }
 
     fn unpin(&mut self, store: u8, page: PageId) {
         self.lru.unpin(BufKey::new(store, page));
+        self.charge_private_dirty_evictions();
         self.cache.unpin(store, page);
     }
 
@@ -566,6 +925,66 @@ impl NodeAccess for SharedCacheFileAccess {
 
     fn drain_completions(&self) {
         self.cache.drain()
+    }
+}
+
+impl NodeAccessMut for SharedCacheFileAccess {
+    /// Registers a mutated page: the *logical* charge replays
+    /// [`crate::BufferPool::mark_dirty`] bit-for-bit against the private
+    /// LRU (install + dirty; write-through charge when nothing can stay
+    /// resident; eviction charges drained after), while the *bytes* take
+    /// the latched shared-frame path ([`SharedPageCache::write`]).
+    fn write(&mut self, store: u8, page: PageId, payload: &[u8]) {
+        let key = BufKey::new(store, page);
+        self.lru.install(key);
+        if !self.lru.mark_dirty(key) {
+            self.stats.page_writes += 1; // write-through, no residency
+        }
+        self.charge_private_dirty_evictions();
+        self.cache.write(store, page, payload);
+    }
+
+    fn discard(&mut self, store: u8, page: PageId) {
+        self.lru.clear_dirty(BufKey::new(store, page));
+        self.cache.clear_dirty(store, page);
+    }
+
+    /// Charges one logical write per remaining private dirty page (the
+    /// [`crate::BufferPool::flush_writes`] image), then pushes every
+    /// pending payload of the stores this handle owns through
+    /// [`SharedPageCache::flush_dirty`] into the real files.
+    fn flush_writes(&mut self) -> Result<(), StorageError> {
+        for key in self.lru.dirty_keys() {
+            self.lru.clear_dirty(key);
+            self.stats.page_writes += 1;
+        }
+        let cache = Arc::clone(&self.cache);
+        for (store, slot) in self.files.iter_mut().enumerate() {
+            if let Some(file) = slot {
+                cache.flush_dirty(store as u8, |page, buf| file.write_page(page, buf))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl UpdateBackend for SharedCacheFileAccess {
+    type File = PageFile;
+
+    fn store_file(&self, store: u8) -> &PageFile {
+        self.files[store as usize]
+            .as_ref()
+            .expect("store has no write handle: open it via SharedPageCache::update_handle")
+    }
+
+    fn store_file_mut(&mut self, store: u8) -> &mut PageFile {
+        self.files[store as usize]
+            .as_mut()
+            .expect("store has no write handle: open it via SharedPageCache::update_handle")
+    }
+
+    fn supports_writes(&self) -> bool {
+        self.files.iter().any(Option::is_some)
     }
 }
 
@@ -619,6 +1038,21 @@ mod tests {
         .unwrap()
     }
 
+    /// A valid encoded node payload that fits the demo file's slots.
+    fn node_bytes(tag: u32) -> Vec<u8> {
+        let slot = codec::slot_bytes_for(2);
+        let node = codec::DiskNode {
+            level: 0,
+            entries: vec![codec::DiskEntry {
+                rect: [f64::from(tag), 2.0, f64::from(tag) + 3.0, 5.0],
+                child: u64::from(tag),
+            }],
+        };
+        let mut buf = Vec::new();
+        codec::encode_node(&node, slot, &mut buf).unwrap();
+        buf
+    }
+
     #[test]
     fn frame_walks_the_state_machine() {
         let dir = TempDir::new("cache").unwrap();
@@ -635,11 +1069,35 @@ mod tests {
         c.queue().await_ticket(ticket);
         assert_eq!(c.frame_state(0, PageId(1)), FrameState::Resident);
         assert_eq!(c.pin_count(0, PageId(1)), 0, "read pin released at settle");
-        assert!(c.mark_dirty(0, PageId(1)));
+        c.write(0, PageId(1), b"fresh bytes");
         assert_eq!(c.frame_state(0, PageId(1)), FrameState::Dirty);
         c.clear_dirty(0, PageId(1));
         assert_eq!(c.frame_state(0, PageId(1)), FrameState::Resident);
         assert_eq!(c.physical_reads(), 1);
+    }
+
+    #[test]
+    fn pin_lands_immediately_after_completion() {
+        // Regression: `pin` used to skip `settle`, so a frame whose read
+        // had completed (but not yet settled) kept its stale read pin —
+        // a later pin stacked on top of it and the count drifted.
+        let dir = TempDir::new("cache").unwrap();
+        let slow: DelayFn = Arc::new(|_| Some(Duration::from_millis(10)));
+        let c = cache(&dir, 4, 4, Some(slow));
+        let (ticket, fresh) = c.materialize(0, PageId(2));
+        assert!(fresh);
+        // Wait for the completion *without* touching the shard, so the
+        // frame is complete-but-unsettled when pin arrives.
+        c.queue().await_ticket(ticket);
+        c.pin(0, PageId(2));
+        assert_eq!(
+            c.pin_count(0, PageId(2)),
+            1,
+            "settle must release the read pin before the explicit pin"
+        );
+        assert_eq!(c.frame_state(0, PageId(2)), FrameState::Resident);
+        c.unpin(0, PageId(2));
+        assert_eq!(c.pin_count(0, PageId(2)), 0);
     }
 
     #[test]
@@ -711,6 +1169,194 @@ mod tests {
     }
 
     #[test]
+    fn dirty_eviction_carries_the_payload() {
+        // THE bug this PR fixes: evicting a dirty frame used to surface
+        // only the key — the bytes were already recycled. Now the drain
+        // holds (key, payload) pairs until the owner writes them back.
+        let dir = TempDir::new("cache").unwrap();
+        let c = cache(&dir, 8, 2, None);
+        c.materialize(0, PageId(0));
+        c.materialize(0, PageId(1));
+        c.drain();
+        c.write(0, PageId(0), b"payload-zero");
+        // Pressure: two more pages push out the clean frame, then the
+        // dirty one.
+        c.materialize(0, PageId(2));
+        c.materialize(0, PageId(3));
+        c.drain();
+        assert_eq!(
+            c.frame_state(0, PageId(0)),
+            FrameState::Dirty,
+            "a drained payload still reports Dirty: the cache holds newer bytes"
+        );
+        let taken = c.take_dirty_evicted();
+        assert_eq!(
+            taken,
+            vec![(BufKey::new(0, PageId(0)), b"payload-zero".to_vec())],
+            "eviction must surface the payload with the key"
+        );
+        assert!(c.take_dirty_evicted().is_empty(), "taken means taken");
+        assert_eq!(c.frame_state(0, PageId(0)), FrameState::Empty);
+    }
+
+    #[test]
+    fn evicted_dirty_page_redemands_from_the_drain() {
+        let dir = TempDir::new("cache").unwrap();
+        let c = cache(&dir, 8, 2, None);
+        c.materialize(0, PageId(0));
+        c.materialize(0, PageId(1));
+        c.drain();
+        c.write(0, PageId(0), b"drain me");
+        c.materialize(0, PageId(2));
+        c.materialize(0, PageId(3)); // evicts dirty page 0 into the drain
+        c.drain();
+        let before = c.physical_reads();
+        let (ticket, fresh) = c.materialize(0, PageId(0));
+        assert!(!fresh, "the newest bytes sit in the drain, not the file");
+        assert_eq!(ticket, Ticket::NONE);
+        assert_eq!(c.physical_reads(), before, "no pread of stale file bytes");
+        assert_eq!(c.frame_state(0, PageId(0)), FrameState::Dirty);
+        // The preserved payload flushes intact.
+        let mut written = Vec::new();
+        c.flush_dirty(0, |page, buf| {
+            written.push((page, buf.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(written, vec![(PageId(0), b"drain me".to_vec())]);
+        assert_eq!(c.physical_writes(), 1);
+        assert_eq!(
+            c.frame_state(0, PageId(0)),
+            FrameState::Resident,
+            "flushed frame is clean and still warm"
+        );
+        assert_eq!(c.pending_write_back(), 0);
+    }
+
+    #[test]
+    fn write_to_an_unholdable_frame_goes_straight_to_the_drain() {
+        let dir = TempDir::new("cache").unwrap();
+        let c = cache(&dir, 4, 1, None);
+        c.materialize(0, PageId(1));
+        c.drain();
+        c.pin(0, PageId(1)); // the only frame slot is now pinned
+        c.write(0, PageId(2), b"homeless");
+        let taken = c.take_dirty_evicted();
+        assert_eq!(
+            taken,
+            vec![(BufKey::new(0, PageId(2)), b"homeless".to_vec())],
+            "an unbufferable write must still surface its payload"
+        );
+        c.unpin(0, PageId(1));
+    }
+
+    #[test]
+    fn drained_redemand_with_no_free_slot_keeps_the_payload_flushable() {
+        // Regression: re-demanding a drained page while every slot is
+        // pinned used to move the payload into the resident-payload map
+        // without residency — invisible to flush, leaked forever. It must
+        // stay in the drain instead.
+        let dir = TempDir::new("cache").unwrap();
+        let c = cache(&dir, 4, 1, None);
+        c.materialize(0, PageId(1));
+        c.drain();
+        c.pin(0, PageId(1)); // the only slot is pinned for the duration
+        c.write(0, PageId(2), b"parked");
+        assert_eq!(c.frame_state(0, PageId(2)), FrameState::Dirty);
+        let (ticket, fresh) = c.materialize(0, PageId(2));
+        assert!(!fresh, "drained payload serves the re-demand");
+        assert_eq!(ticket, Ticket::NONE);
+        assert_eq!(c.frame_state(0, PageId(2)), FrameState::Dirty);
+        let mut written = Vec::new();
+        c.flush_dirty(0, |page, buf| {
+            written.push((page, buf.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(written, vec![(PageId(2), b"parked".to_vec())]);
+        assert_eq!(c.pending_write_back(), 0, "nothing may leak");
+        c.unpin(0, PageId(1));
+    }
+
+    #[test]
+    fn write_latch_waits_for_pins() {
+        let dir = TempDir::new("cache").unwrap();
+        let c = cache(&dir, 4, 4, None);
+        c.materialize(0, PageId(1));
+        c.drain();
+        c.pin(0, PageId(1));
+        let writer = std::thread::spawn({
+            let c = Arc::clone(&c);
+            move || c.write(0, PageId(1), b"after the pin")
+        });
+        // The writer must park: the frame stays clean while pinned.
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(
+            c.frame_state(0, PageId(1)),
+            FrameState::Resident,
+            "a pinned frame must not be mutated"
+        );
+        c.unpin(0, PageId(1));
+        writer.join().unwrap();
+        assert_eq!(c.frame_state(0, PageId(1)), FrameState::Dirty);
+        let taken = c.take_dirty_evicted();
+        assert!(taken.is_empty(), "still resident, nothing drained");
+        c.clear_dirty(0, PageId(1));
+    }
+
+    #[test]
+    fn fresh_write_supersedes_a_drained_copy() {
+        let dir = TempDir::new("cache").unwrap();
+        let c = cache(&dir, 8, 2, None);
+        c.materialize(0, PageId(0));
+        c.materialize(0, PageId(1));
+        c.drain();
+        c.write(0, PageId(0), b"stale");
+        c.materialize(0, PageId(2));
+        c.materialize(0, PageId(3)); // dirty page 0 -> drain
+        c.drain();
+        c.write(0, PageId(0), b"current");
+        let taken = c.take_dirty_evicted();
+        assert!(
+            taken.is_empty(),
+            "the stale drained copy must be superseded, not resurface: {taken:?}"
+        );
+        let mut written = Vec::new();
+        c.flush_dirty(0, |page, buf| {
+            written.push((page, buf.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(written, vec![(PageId(0), b"current".to_vec())]);
+    }
+
+    #[test]
+    fn flush_dirty_failure_is_retryable_without_losing_payloads() {
+        let dir = TempDir::new("cache").unwrap();
+        let c = cache(&dir, 8, 4, None);
+        c.materialize(0, PageId(0));
+        c.materialize(0, PageId(1));
+        c.drain();
+        c.write(0, PageId(0), b"a");
+        c.write(0, PageId(1), b"b");
+        let err = c.flush_dirty(0, |_, _| Err(StorageError::Corrupt("disk full".into())));
+        assert!(err.is_err());
+        assert_eq!(c.pending_write_back(), 2, "payloads survive the failure");
+        let mut written = Vec::new();
+        c.flush_dirty(0, |page, buf| {
+            written.push((page, buf.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        written.sort();
+        assert_eq!(
+            written,
+            vec![(PageId(0), b"a".to_vec()), (PageId(1), b"b".to_vec())]
+        );
+        assert_eq!(c.pending_write_back(), 0);
+    }
+
+    #[test]
     fn handles_charge_like_the_buffer_pool_oracle() {
         let dir = TempDir::new("cache").unwrap();
         let c = cache(&dir, 8, 8, None);
@@ -757,6 +1403,58 @@ mod tests {
     }
 
     #[test]
+    fn update_handle_accounts_like_the_buffer_pool_oracle() {
+        let dir = TempDir::new("cache").unwrap();
+        let c = cache(&dir, 8, 8, None);
+        let mut h = c.update_handle(0, 2).unwrap();
+        let mut oracle = BufferPool::with_capacity_pages(2, &[UPDATE_MAX_HEIGHT]);
+        // An update-shaped charge sequence: descend (access), mutate
+        // (write), with enough distinct pages to force private dirty
+        // evictions — where the deferred write charges land.
+        let script = [
+            (PageId(0), 0, false),
+            (PageId(1), 1, true),
+            (PageId(2), 1, true),
+            (PageId(3), 1, true),
+            (PageId(1), 1, false),
+            (PageId(0), 0, true),
+        ];
+        for &(p, d, w) in &script {
+            assert_eq!(h.access(0, p, d), oracle.access(0, p, d), "page {p}");
+            if w {
+                let bytes = node_bytes(p.0);
+                NodeAccessMut::write(&mut h, 0, p, &bytes);
+                NodeAccessMut::write(&mut oracle, 0, p, &bytes);
+            }
+        }
+        assert_eq!(
+            h.stats(),
+            oracle.stats(),
+            "write charges are bit-identical to the BufferPool oracle"
+        );
+        NodeAccessMut::flush_writes(&mut h).unwrap();
+        NodeAccessMut::flush_writes(&mut oracle).unwrap();
+        assert_eq!(h.stats(), oracle.stats(), "flush charges match too");
+        assert!(
+            c.physical_writes() <= h.stats().page_writes,
+            "physical writes ({}) must not exceed logical charges ({})",
+            c.physical_writes(),
+            h.stats().page_writes
+        );
+        assert_eq!(c.pending_write_back(), 0, "flush drained every payload");
+    }
+
+    #[test]
+    fn update_handle_rejects_an_out_of_range_store() {
+        let dir = TempDir::new("cache").unwrap();
+        let c = cache(&dir, 4, 4, None);
+        assert!(matches!(
+            c.update_handle(7, 4).unwrap_err(),
+            StorageError::Corrupt(_)
+        ));
+    }
+
+    #[test]
     fn clear_goes_cold_and_reset_stats_stays_warm() {
         let dir = TempDir::new("cache").unwrap();
         let c = cache(&dir, 4, 4, None);
@@ -796,7 +1494,7 @@ mod tests {
         let poisoner = std::thread::spawn({
             let c = Arc::clone(&c);
             move || {
-                let _guard = c.shards[0].lock().unwrap();
+                let _guard = c.shards[0].frames.lock().unwrap();
                 panic!("worker dies holding the frame lock");
             }
         });

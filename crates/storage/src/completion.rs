@@ -404,7 +404,16 @@ fn worker_loop(shared: Arc<CqShared>, lane: usize, mut file: PageFile) {
                 }
             }
         }
-        match file.read_page_into(job.local, &mut buf) {
+        // A demand read can land on a page a concurrent updater appended
+        // through its own rw handle: the slot bytes hit the disk on
+        // append, but this worker's header (cached at open) — and the
+        // on-disk header, until the updater flushes — still carry the old
+        // page count. Retry once against the physical file length before
+        // declaring the read failed.
+        let read = file
+            .read_page_into(job.local, &mut buf)
+            .or_else(|_| file.read_slot_fresh(job.local, &mut buf));
+        match read {
             Ok(()) => {
                 shared.reads[lane].fetch_add(1, Ordering::Relaxed);
             }

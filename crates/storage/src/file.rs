@@ -409,6 +409,35 @@ impl PageFile {
         Ok(())
     }
 
+    /// Reads one slot bounds-checked against the *physical* file length
+    /// instead of the header page count cached at open. Charges one read,
+    /// skips the injected latency (it is a retry, not a fresh
+    /// positioning). The completion-queue lane workers fall back to this
+    /// when a demand read lands on a page a concurrent updater appended
+    /// through its own handle: the slot bytes are on disk the moment
+    /// `append_page` returns, but neither this handle's cached header nor
+    /// the on-disk header (stale until the updater flushes) knows the new
+    /// count — only the file length does.
+    pub(crate) fn read_slot_fresh(
+        &mut self,
+        id: PageId,
+        buf: &mut Vec<u8>,
+    ) -> Result<(), StorageError> {
+        let slot = self.slot_bytes();
+        let off = HEADER_BYTES as u64 + u64::from(id.0) * u64::from(self.header.slot_bytes);
+        let len = self.file.metadata()?.len();
+        if off + slot as u64 > len {
+            return Err(StorageError::Corrupt(format!(
+                "page {id} beyond the physical end of a {len}-byte file"
+            )));
+        }
+        buf.resize(slot, 0);
+        self.file.seek(SeekFrom::Start(off))?;
+        self.file.read_exact(buf)?;
+        self.reads += 1;
+        Ok(())
+    }
+
     /// Injects (or clears) an artificial latency charged on every counted
     /// page read — the knob that makes latency *hiding* measurable on page
     /// caches and fast NVMe. Handles pick up a default from

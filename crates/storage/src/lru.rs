@@ -226,10 +226,25 @@ impl LruBuffer {
     /// Marks a resident `key` dirty: its eviction will be reported through
     /// [`LruBuffer::take_dirty_evicted`] so the owner can write it back.
     /// Returns `false` (and records nothing) if `key` is not resident.
+    ///
+    /// Dirty-marking is a *touch*: the writer just materialized the page's
+    /// newest bytes, so the frame is promoted exactly like a hit (LRU:
+    /// to MRU; Clock: reference bit; FIFO: arrival order is immutable by
+    /// definition). Without the bump a freshly-dirtied hot page could be
+    /// the very next eviction victim under pressure, forcing a pointless
+    /// immediate write-back of the hottest page in the working set.
     pub fn mark_dirty(&mut self, key: BufKey) -> bool {
         match self.map.get(&key) {
             Some(&slot) => {
                 self.slots[slot].dirty = true;
+                match self.policy {
+                    EvictionPolicy::Lru => {
+                        self.detach(slot);
+                        self.push_front(slot);
+                    }
+                    EvictionPolicy::Fifo => {}
+                    EvictionPolicy::Clock => self.slots[slot].referenced = true,
+                }
                 true
             }
             None => false,
@@ -696,6 +711,30 @@ mod tests {
         assert!(b.contains(k(1)) && b.contains(k(3)) && !b.contains(k(2)));
         assert_eq!(b.evictions(), 1, "forced evictions are still counted");
         assert_eq!(b.recency_order(), vec![k(3), k(1)]);
+    }
+
+    #[test]
+    fn mark_dirty_is_a_touch() {
+        // LRU: a freshly-dirtied page is MRU, so the next eviction takes
+        // the other (clean, older) resident — not the page the updater
+        // just wrote.
+        let mut b = LruBuffer::new(2);
+        b.access(k(1));
+        b.access(k(2)); // recency: [2, 1]
+        b.mark_dirty(k(1)); // the touch promotes 1 over 2
+        b.access(k(3)); // evicts 2
+        assert!(b.contains(k(1)), "freshly-dirtied page must not be victim");
+        assert!(!b.contains(k(2)));
+        assert!(!b.has_dirty_evicted(), "the evicted page was clean");
+        assert_eq!(b.recency_order(), vec![k(3), k(1)]);
+
+        // Clock: the touch sets the reference bit, buying a second chance.
+        let mut c = LruBuffer::with_policy(1, EvictionPolicy::Clock);
+        c.access(k(1));
+        c.mark_dirty(k(1));
+        c.access(k(2)); // 1 is referenced -> spared; 2 bounces
+        assert!(c.contains(k(1)));
+        assert!(c.is_dirty(k(1)));
     }
 
     #[test]

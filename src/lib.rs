@@ -122,7 +122,8 @@ pub mod prelude {
     pub use rsj_datagen::TestId;
     pub use rsj_geom::{CmpCounter, Geometry, Meter, NoOp, Point, Rect};
     pub use rsj_rtree::{
-        DataId, InsertPolicy, Neighbor, OpenFileTree, OpenShardedTree, OpenTree, RTree, RTreeParams,
+        DataId, InsertPolicy, Neighbor, OpenCachedTree, OpenFileTree, OpenShardedTree, OpenTree,
+        RTree, RTreeParams,
     };
     pub use rsj_storage::{
         CacheConfig, CostModel, EntryFormat, EvictionPolicy, FileNodeAccess, NodeAccessMut,
