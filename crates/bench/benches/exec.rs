@@ -35,7 +35,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rsj_bench::Workbench;
 use rsj_core::exec::{recursive_spatial_join, JoinCursor, RawJoinCursor};
 use rsj_core::{JoinConfig, JoinPlan};
-use rsj_datagen::TestId;
+use rsj_datagen::{scenario, Scenario, TestId};
+use rsj_rtree::bulk::{self, BulkConfig, BulkLayout};
 use rsj_rtree::{DataId, OpenCachedTree, OpenFileTree, RTree};
 use rsj_storage::sharded::shard_lane_queue;
 use rsj_storage::{
@@ -1211,6 +1212,173 @@ impl F32Report {
     }
 }
 
+/// The out-of-core bulk-load block: streaming STR build straight to disk
+/// vs one-at-a-time R\*-insert on a uniform dataset (the build race the
+/// CI guard pins at ≥ 5×), the streaming memory contract, and a cold SJ2
+/// over bulk-built vs insert-built files on the skewed large-scale
+/// scenario.
+struct BulkScaleReport {
+    uniform_n: usize,
+    bulk_build_secs: f64,
+    insert_build_secs: f64,
+    pages: u32,
+    height: u32,
+    peak_resident_entries: usize,
+    resident_entry_bound: usize,
+    join_n: usize,
+    pairs_bulk: u64,
+    pairs_insert: u64,
+    cold_disk_bulk: u64,
+    cold_disk_insert: u64,
+    bulk_file_bytes: u64,
+    insert_file_bytes: u64,
+}
+
+fn measure_bulk_scale(cfg: &JoinConfig) -> BulkScaleReport {
+    let dir = TempDir::new("bench-bulk").expect("temp dir");
+    let params = rsj_rtree::RTreeParams::for_page_size(PAGE);
+
+    // --- Build race. Uniform rectangles, 10⁶ at full scale.
+    let uniform_n = if quick() { 60_000 } else { 1_000_000 };
+    let objs = rsj_datagen::synthetic::uniform_rects(uniform_n, 4.0, 0xB5);
+    let items: Vec<(rsj_geom::Rect, DataId)> = objs.iter().map(|o| (o.mbr, DataId(o.id))).collect();
+    drop(objs);
+
+    let bulk_path = dir.file("uniform-bulk.rsj");
+    // Two runs, keep the better: one long streaming pass per run, so a
+    // single bad scheduler window must not skew the guard ratio.
+    let mut bulk_build_secs = f64::INFINITY;
+    let mut stats = None;
+    for _ in 0..2 {
+        let start = Instant::now();
+        let (_, st) = bulk::load_to_file(
+            params,
+            &items,
+            BulkLayout::Str,
+            BulkConfig::default(),
+            &bulk_path,
+        )
+        .expect("streaming bulk build");
+        bulk_build_secs = bulk_build_secs.min(start.elapsed().as_secs_f64());
+        stats = Some(st);
+    }
+    let stats = stats.expect("bulk stats");
+
+    // The baseline: the same tree content by repeated R*-insert (once —
+    // it is the slow side by design).
+    let raw: Vec<(rsj_geom::Rect, u64)> = items.iter().map(|&(r, d)| (r, d.0)).collect();
+    let start = Instant::now();
+    let insert_tree = rsj_bench::build_rstar(&raw, PAGE);
+    let insert_build_secs = start.elapsed().as_secs_f64();
+    assert_eq!(insert_tree.len(), uniform_n);
+    drop((insert_tree, raw, items));
+
+    // --- Cold SJ2 over the skewed scenario: the same relations once
+    // through streaming-bulk files, once through insert-built + save_to
+    // files. Identical content, different page layout — the pair counts
+    // must match exactly, the disk accesses show the layout difference.
+    let join_scale = if quick() { 0.02 } else { 0.05 };
+    let sc = scenario(Scenario::SkewedClusters, join_scale);
+    let to_items = |objs: &[rsj_datagen::SpatialObject]| -> Vec<(rsj_geom::Rect, DataId)> {
+        objs.iter().map(|o| (o.mbr, DataId(o.id))).collect()
+    };
+    let (items_r, items_s) = (to_items(&sc.r), to_items(&sc.s));
+    let join_n = items_r.len();
+
+    let (rb, sb) = (dir.file("join-r-bulk.rsj"), dir.file("join-s-bulk.rsj"));
+    bulk::load_to_file(
+        params,
+        &items_r,
+        BulkLayout::Str,
+        BulkConfig::default(),
+        &rb,
+    )
+    .expect("bulk R");
+    bulk::load_to_file(
+        params,
+        &items_s,
+        BulkLayout::Str,
+        BulkConfig::default(),
+        &sb,
+    )
+    .expect("bulk S");
+
+    let (ri, si) = (dir.file("join-r-insert.rsj"), dir.file("join-s-insert.rsj"));
+    let raw_pairs = |it: &[(rsj_geom::Rect, DataId)]| -> Vec<(rsj_geom::Rect, u64)> {
+        it.iter().map(|&(r, d)| (r, d.0)).collect()
+    };
+    rsj_bench::build_rstar(&raw_pairs(&items_r), PAGE)
+        .save_to(&ri)
+        .expect("save insert R");
+    rsj_bench::build_rstar(&raw_pairs(&items_s), PAGE)
+        .save_to(&si)
+        .expect("save insert S");
+
+    let cold_sj2 = |rp: &std::path::Path, sp: &std::path::Path| -> (u64, u64) {
+        let rt = RTree::open_from(rp).expect("reopen R");
+        let st = RTree::open_from(sp).expect("reopen S");
+        let access = FileNodeAccess::new(
+            vec![
+                PageFile::open(rp).expect("open R"),
+                PageFile::open(sp).expect("open S"),
+            ],
+            cfg.buffer_bytes,
+            &[rt.height() as usize, st.height() as usize],
+            EvictionPolicy::Lru,
+        )
+        .expect("file backend");
+        let mut cursor = JoinCursor::new(&rt, &st, JoinPlan::sj2(), access);
+        let pairs = (&mut cursor).count() as u64;
+        (pairs, cursor.stats().io.disk_accesses)
+    };
+    let (pairs_bulk, cold_disk_bulk) = cold_sj2(&rb, &sb);
+    let (pairs_insert, cold_disk_insert) = cold_sj2(&ri, &si);
+
+    let file_bytes = |a: &std::path::Path, b: &std::path::Path| {
+        std::fs::metadata(a).expect("stat").len() + std::fs::metadata(b).expect("stat").len()
+    };
+    BulkScaleReport {
+        uniform_n,
+        bulk_build_secs,
+        insert_build_secs,
+        pages: stats.pages,
+        height: stats.height,
+        peak_resident_entries: stats.peak_resident_entries,
+        resident_entry_bound: params.max_entries * stats.height as usize,
+        join_n,
+        pairs_bulk,
+        pairs_insert,
+        cold_disk_bulk,
+        cold_disk_insert,
+        bulk_file_bytes: file_bytes(&rb, &sb),
+        insert_file_bytes: file_bytes(&ri, &si),
+    }
+}
+
+impl BulkScaleReport {
+    fn json(&self) -> String {
+        format!(
+            "{{\n    \"uniform_build\": {{\n      \"rects\": {},\n      \"bulk_secs\": {:.6},\n      \"rects_per_sec\": {:.0},\n      \"insert_secs\": {:.6},\n      \"speedup\": {:.2},\n      \"pages\": {},\n      \"height\": {},\n      \"peak_resident_entries\": {},\n      \"resident_entry_bound\": {}\n    }},\n    \"cold_join\": {{\n      \"scenario\": \"skewed_clusters\",\n      \"rects_per_side\": {},\n      \"pairs_bulk\": {},\n      \"pairs_insert\": {},\n      \"disk_accesses_bulk\": {},\n      \"disk_accesses_insert\": {},\n      \"bulk_file_bytes\": {},\n      \"insert_file_bytes\": {}\n    }}\n  }}",
+            self.uniform_n,
+            self.bulk_build_secs,
+            self.uniform_n as f64 / self.bulk_build_secs,
+            self.insert_build_secs,
+            self.insert_build_secs / self.bulk_build_secs,
+            self.pages,
+            self.height,
+            self.peak_resident_entries,
+            self.resident_entry_bound,
+            self.join_n,
+            self.pairs_bulk,
+            self.pairs_insert,
+            self.cold_disk_bulk,
+            self.cold_disk_insert,
+            self.bulk_file_bytes,
+            self.insert_file_bytes,
+        )
+    }
+}
+
 fn bench_exec(c: &mut Criterion) {
     let scale = if quick() { 0.02 } else { 0.05 };
     let iters = if quick() { 30 } else { 50 };
@@ -1260,8 +1428,11 @@ fn bench_exec(c: &mut Criterion) {
     let update = measure_update_path(&w, &r, &s, &cfg, iters);
     // The f32 compression ablation on the same fixture.
     let f32_ablation = measure_f32_ablation(&r, &s, &cfg);
+    // The out-of-core bulk build: streaming STR to disk vs repeated
+    // insert, plus the skewed-scenario cold join.
+    let bulk_scale = measure_bulk_scale(&cfg);
     let json = format!(
-        "{{\n  \"bench\": \"exec_three_engines\",\n  \"preset\": \"A\",\n  \"scale\": {scale},\n  \"page_bytes\": {PAGE},\n  \"iterations\": {iters},\n  \"plan\": \"{}\",\n  \"plans\": {{\n    \"{}\": {},\n    \"{}\": {}\n  }},\n  \"file_backend\": {},\n  \"overlap\": {},\n  \"warm_serving\": {},\n  \"update\": {},\n  \"f32_ablation\": {},\n  \"cursor_over_recursive\": {:.4},\n  \"raw_over_cursor\": {:.4}\n}}\n",
+        "{{\n  \"bench\": \"exec_three_engines\",\n  \"preset\": \"A\",\n  \"scale\": {scale},\n  \"page_bytes\": {PAGE},\n  \"iterations\": {iters},\n  \"plan\": \"{}\",\n  \"plans\": {{\n    \"{}\": {},\n    \"{}\": {}\n  }},\n  \"file_backend\": {},\n  \"overlap\": {},\n  \"warm_serving\": {},\n  \"update\": {},\n  \"f32_ablation\": {},\n  \"bulk_scale\": {},\n  \"cursor_over_recursive\": {:.4},\n  \"raw_over_cursor\": {:.4}\n}}\n",
         sj2.name,
         sj2.name,
         sj2.json(),
@@ -1272,6 +1443,7 @@ fn bench_exec(c: &mut Criterion) {
         warm.json(),
         update.json(),
         f32_ablation.json(),
+        bulk_scale.json(),
         sj2.secs[0] / sj2.secs[1],
         sj2.secs[1] / sj2.secs[2],
     );

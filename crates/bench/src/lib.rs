@@ -46,6 +46,7 @@ pub fn build_str(items: &[(rsj_geom::Rect, u64)], page_bytes: usize) -> RTree {
         &data,
         bulk::DEFAULT_FILL,
     )
+    .expect("preset rectangles are finite")
 }
 
 /// Lazily-built tree cache for one preset: experiments share trees across

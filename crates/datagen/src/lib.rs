@@ -16,18 +16,22 @@
 //!
 //! All generators take an explicit seed and are deterministic across runs
 //! and platforms. [`presets`] wires them into the paper's tests (A)–(E) at
-//! the original cardinalities, with a `scale` knob for quick runs.
+//! the original cardinalities, with a `scale` knob for quick runs;
+//! [`scenarios`] adds the large-scale skewed/clustered workloads the bulk
+//! build experiments run on.
 
 pub mod io;
 pub mod lines;
 pub mod objects;
 pub mod presets;
 pub mod regions;
+pub mod scenarios;
 pub mod synthetic;
 
 pub use io::{from_wkt, to_wkt};
 pub use objects::{mbr_items, Geometry, SpatialObject, WORLD};
 pub use presets::{preset, PresetData, TestId};
+pub use scenarios::{scenario, Scenario, ScenarioData, SCENARIO_FULL_CARDINALITY};
 
 #[cfg(test)]
 mod tests {

@@ -42,10 +42,15 @@ const POLICY_GUTTMAN_QUADRATIC: u8 = 1;
 const POLICY_GUTTMAN_LINEAR: u8 = 2;
 
 pub(crate) fn encode_meta(tree: &RTree) -> [u8; META_BYTES] {
+    encode_meta_parts(tree.root(), tree.len(), tree.params())
+}
+
+/// [`encode_meta`] from bare parts — for writers (the streaming bulk
+/// build) that know root, length and params without holding an [`RTree`].
+pub(crate) fn encode_meta_parts(root: PageId, len: usize, p: &RTreeParams) -> [u8; META_BYTES] {
     let mut meta = [0u8; META_BYTES];
-    meta[0..4].copy_from_slice(&tree.root().0.to_le_bytes());
-    meta[4..12].copy_from_slice(&(tree.len() as u64).to_le_bytes());
-    let p = tree.params();
+    meta[0..4].copy_from_slice(&root.0.to_le_bytes());
+    meta[4..12].copy_from_slice(&(len as u64).to_le_bytes());
     meta[12..16].copy_from_slice(&(p.max_entries as u32).to_le_bytes());
     meta[16..20].copy_from_slice(&(p.min_entries as u32).to_le_bytes());
     meta[20..24].copy_from_slice(&(p.reinsert_count as u32).to_le_bytes());
@@ -103,17 +108,20 @@ fn decode_meta(
 pub(crate) fn to_disk(node: &Node) -> DiskNode {
     DiskNode {
         level: node.level,
-        entries: node
-            .entries
-            .iter()
-            .map(|e| DiskEntry {
-                rect: [e.rect.xl, e.rect.yl, e.rect.xu, e.rect.yu],
-                child: match e.child {
-                    ChildRef::Page(p) => u64::from(p.0),
-                    ChildRef::Data(d) => d.0,
-                },
-            })
-            .collect(),
+        entries: node.entries.iter().map(disk_entry).collect(),
+    }
+}
+
+/// One in-memory entry in its on-disk shape (shared with the streaming
+/// bulk packer, which refills a reused [`DiskNode`] instead of building
+/// fresh ones).
+pub(crate) fn disk_entry(e: &Entry) -> DiskEntry {
+    DiskEntry {
+        rect: [e.rect.xl, e.rect.yl, e.rect.xu, e.rect.yu],
+        child: match e.child {
+            ChildRef::Page(p) => u64::from(p.0),
+            ChildRef::Data(d) => d.0,
+        },
     }
 }
 

@@ -84,8 +84,8 @@ proptest! {
         let params = RTreeParams::explicit(200, 10, 4, InsertPolicy::RStar);
         let items: Vec<(Rect, DataId)> =
             rects.iter().enumerate().map(|(i, &r)| (r, DataId(i as u64))).collect();
-        let s = rsj_rtree::bulk::str_load(params, &items, 0.7);
-        let h = rsj_rtree::bulk::hilbert_load(params, &items, 0.7);
+        let s = rsj_rtree::bulk::str_load(params, &items, 0.7).unwrap();
+        let h = rsj_rtree::bulk::hilbert_load(params, &items, 0.7).unwrap();
         s.validate().unwrap();
         h.validate().unwrap();
         let mut a = s.window_query(&window);

@@ -78,11 +78,16 @@
 //! * [`EntryFormat`] — the on-disk entry layout: 40-byte f64 entries by
 //!   default, or the paper's literal 20-byte f32 entries (outward-rounded)
 //!   behind a header flag;
+//! * [`BulkPageWriter`] — the streaming bulk-build write path: append-
+//!   order page emission over either file shape with one reused codec
+//!   scratch buffer; header and manifest are written only by `finish`, so
+//!   a build that crashes mid-emission reads back as a typed error;
 //! * [`PageStore`] grows the same reuse-before-append free list plus
 //!   opt-in [`PageEvent`] tracking, keeping the in-memory allocator in
 //!   lockstep with the files.
 
 pub mod access;
+pub mod bulk;
 pub mod cache;
 pub mod codec;
 pub mod completion;
@@ -102,6 +107,7 @@ pub mod temp;
 pub mod writeback;
 
 pub use access::{NodeAccess, NodeAccessMut, PageRef, Ticket};
+pub use bulk::BulkPageWriter;
 pub use cache::{CacheConfig, FrameState, SharedCacheFileAccess, SharedPageCache};
 pub use codec::{DiskEntry, DiskNode, EntryFormat, FileHeader, StorageError};
 pub use completion::{CompletionConfig, CompletionFileAccess, CompletionQueue};

@@ -150,8 +150,8 @@ fn bulk_loaded_trees_join_identically() {
     let items_r: Vec<(Rect, DataId)> = data.r.iter().map(|o| (o.mbr, DataId(o.id))).collect();
     let items_s: Vec<(Rect, DataId)> = data.s.iter().map(|o| (o.mbr, DataId(o.id))).collect();
     let params = RTreeParams::for_page_size(1024);
-    let r = rsj::rtree::bulk::str_load(params, &items_r, 0.7);
-    let s = rsj::rtree::bulk::hilbert_load(params, &items_s, 0.7);
+    let r = rsj::rtree::bulk::str_load(params, &items_r, 0.7).unwrap();
+    let s = rsj::rtree::bulk::hilbert_load(params, &items_s, 0.7).unwrap();
     let res = spatial_join(&r, &s, JoinPlan::sj4(), &JoinConfig::default());
     let mut got: Vec<(u64, u64)> = res.pairs.iter().map(|&(a, b)| (a.0, b.0)).collect();
     got.sort_unstable();
