@@ -411,6 +411,12 @@ pub struct JoinCursor<'t, A: NodeAccess, M: Meter = CmpCounter> {
     /// Machine steps taken while the front result was ticket-gated —
     /// the run-ahead budget spent since the last emission or park.
     run_ahead: u32,
+    /// Times the cursor exhausted its run-ahead budget and blocked on a
+    /// ticket ([`NodeAccess::await_settled`]) — cumulative over the
+    /// cursor's life. Telemetry only: deliberately *not* part of
+    /// [`JoinStats`], which is compared bit-identically across backends
+    /// while parks vary with completion timing.
+    parks: u64,
     stack: Vec<Frame>,
     pending: VecDeque<(DataId, DataId)>,
     scratch: ExecScratch,
@@ -545,6 +551,7 @@ impl<'t, A: NodeAccess, M: Meter> JoinCursor<'t, A, M> {
             completion,
             gate: TicketGate::default(),
             run_ahead: 0,
+            parks: 0,
             stack: Vec::new(),
             pending: VecDeque::new(),
             scratch: ExecScratch::default(),
@@ -572,6 +579,17 @@ impl<'t, A: NodeAccess, M: Meter> JoinCursor<'t, A, M> {
             result_pairs: self.emitted,
             page_bytes: self.page_bytes,
         }
+    }
+
+    /// Times this cursor exhausted its run-ahead budget and blocked on
+    /// an in-flight read's ticket. Always 0 for blocking backends; for
+    /// completion-driven ones it is the telemetry view of how often the
+    /// lanes failed to stay ahead of the machine. Not part of
+    /// [`JoinStats`] — parks depend on completion timing, which the
+    /// bit-identical cross-backend accounting deliberately excludes.
+    #[inline]
+    pub fn parks(&self) -> u64 {
+        self.parks
     }
 
     /// Consumes the cursor, returning the page-access accountant.
@@ -1239,6 +1257,7 @@ impl<A: NodeAccess, M: Meter> JoinCursor<'_, A, M> {
                         }
                         self.access.await_settled(ticket);
                         self.run_ahead = 0;
+                        self.parks += 1;
                         continue;
                     }
                 }

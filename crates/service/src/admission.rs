@@ -1,0 +1,219 @@
+//! Admission control: bounded in-flight permits plus a bounded wait
+//! queue over the shared worker pool.
+//!
+//! The contract, in order:
+//!
+//! 1. fewer than `max_in_flight` queries running → the permit is
+//!    granted immediately (no clock read, no queueing);
+//! 2. the pool is full but fewer than `max_queue` callers are already
+//!    waiting → the caller parks on a condvar and is granted a permit
+//!    when one frees, reporting its time-in-queue;
+//! 3. the wait queue is also full → the caller is rejected *now* with
+//!    a typed [`Overloaded`] — admission never blocks an over-limit
+//!    caller, so a load spike degrades into fast rejections instead of
+//!    unbounded latency.
+//!
+//! A [`Permit`] releases on `Drop`, so a worker that panics mid-query
+//! gives its slot back during unwind — the poisoned-worker path. The
+//! internal mutex recovers from poisoning for the same reason: one
+//! panicked holder must not wedge admission for the fleet.
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use rsj_telemetry::Gauge;
+
+/// The typed rejection: both bounds were full at arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overloaded {
+    /// Queries holding permits at rejection time.
+    pub in_flight: usize,
+    /// Callers already parked in the wait queue.
+    pub queued: usize,
+}
+
+impl std::fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "overloaded: {} in flight, {} queued",
+            self.in_flight, self.queued
+        )
+    }
+}
+
+impl std::error::Error for Overloaded {}
+
+#[derive(Debug, Default)]
+struct AdmissionState {
+    in_flight: usize,
+    waiting: usize,
+}
+
+/// Bounded permits + bounded wait queue (module docs).
+#[derive(Debug)]
+pub struct Admission {
+    max_in_flight: usize,
+    max_queue: usize,
+    state: Mutex<AdmissionState>,
+    freed: Condvar,
+    /// Live queries — mirrors `in_flight` for the metrics page.
+    in_flight_gauge: Arc<Gauge>,
+    /// Parked callers — mirrors `waiting`.
+    queue_depth_gauge: Arc<Gauge>,
+}
+
+fn lock_state(adm: &Admission) -> MutexGuard<'_, AdmissionState> {
+    // Permits release on Drop during unwind, so a panicked holder left
+    // the counters consistent; recover rather than cascade.
+    adm.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Admission {
+    /// `max_in_flight` concurrent permits, at most `max_queue` waiting
+    /// callers beyond that. Both bounds are clamped to ≥ 1 permit / ≥ 0
+    /// queue slots.
+    pub fn new(max_in_flight: usize, max_queue: usize) -> Self {
+        Admission {
+            max_in_flight: max_in_flight.max(1),
+            max_queue,
+            state: Mutex::new(AdmissionState::default()),
+            freed: Condvar::new(),
+            in_flight_gauge: Arc::new(Gauge::new()),
+            queue_depth_gauge: Arc::new(Gauge::new()),
+        }
+    }
+
+    /// Same, but mirroring the in-flight and queue-depth levels into
+    /// caller-provided gauges (the service registers these in its
+    /// registry).
+    pub fn with_gauges(
+        max_in_flight: usize,
+        max_queue: usize,
+        in_flight: Arc<Gauge>,
+        queue_depth: Arc<Gauge>,
+    ) -> Self {
+        Admission {
+            in_flight_gauge: in_flight,
+            queue_depth_gauge: queue_depth,
+            ..Admission::new(max_in_flight, max_queue)
+        }
+    }
+
+    /// Acquire a permit, waiting in the bounded queue if necessary.
+    /// Returns the typed [`Overloaded`] — never blocks — once both
+    /// bounds are full.
+    pub fn acquire(&self) -> Result<Permit<'_>, Overloaded> {
+        let mut st = lock_state(self);
+        if st.in_flight < self.max_in_flight && st.waiting == 0 {
+            // Fast path: free slot, nobody queued ahead — no clock read.
+            st.in_flight += 1;
+            self.in_flight_gauge.add(1);
+            return Ok(Permit {
+                admission: self,
+                waited: Duration::ZERO,
+            });
+        }
+        if st.waiting >= self.max_queue {
+            return Err(Overloaded {
+                in_flight: st.in_flight,
+                queued: st.waiting,
+            });
+        }
+        let parked = Instant::now();
+        st.waiting += 1;
+        self.queue_depth_gauge.add(1);
+        while st.in_flight >= self.max_in_flight {
+            st = self.freed.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st.waiting -= 1;
+        st.in_flight += 1;
+        self.queue_depth_gauge.sub(1);
+        self.in_flight_gauge.add(1);
+        Ok(Permit {
+            admission: self,
+            waited: parked.elapsed(),
+        })
+    }
+
+    /// Queries currently holding permits.
+    pub fn in_flight(&self) -> usize {
+        lock_state(self).in_flight
+    }
+
+    /// Callers currently parked in the wait queue.
+    pub fn queue_depth(&self) -> usize {
+        lock_state(self).waiting
+    }
+
+    /// The permit bound.
+    pub fn max_in_flight(&self) -> usize {
+        self.max_in_flight
+    }
+
+    /// The wait-queue bound.
+    pub fn max_queue(&self) -> usize {
+        self.max_queue
+    }
+
+    fn release(&self) {
+        let mut st = lock_state(self);
+        st.in_flight -= 1;
+        self.in_flight_gauge.sub(1);
+        drop(st);
+        self.freed.notify_all();
+    }
+}
+
+/// One granted admission slot. Releasing is `Drop` — success and panic
+/// paths both give the slot back.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    admission: &'a Admission,
+    waited: Duration,
+}
+
+impl Permit<'_> {
+    /// How long this caller sat in the wait queue (zero on the fast
+    /// path — which also performs no clock read).
+    pub fn waited(&self) -> Duration {
+        self.waited
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.admission.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_path_grants_without_waiting() {
+        let adm = Admission::new(2, 4);
+        let a = adm.acquire().expect("free slot");
+        let b = adm.acquire().expect("free slot");
+        assert_eq!(adm.in_flight(), 2);
+        assert_eq!(a.waited(), Duration::ZERO);
+        drop(a);
+        drop(b);
+        assert_eq!(adm.in_flight(), 0);
+    }
+
+    #[test]
+    fn zero_queue_rejects_at_capacity() {
+        let adm = Admission::new(1, 0);
+        let _p = adm.acquire().expect("first");
+        let err = adm.acquire().expect_err("must reject, not block");
+        assert_eq!(
+            err,
+            Overloaded {
+                in_flight: 1,
+                queued: 0
+            }
+        );
+    }
+}

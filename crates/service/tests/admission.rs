@@ -1,0 +1,109 @@
+//! Admission-control contract under burst: the queue cap is honored,
+//! over-limit callers get a typed [`Overloaded`] and never hang, and
+//! permits come back on success *and* on panic.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rsj_service::{Admission, Overloaded};
+
+/// Spin until `cond` holds (the condition is monotone in every use
+/// below), with a generous deadline so a regression fails loudly
+/// instead of deadlocking the suite.
+fn wait_for(mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "condition never held");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Fill the pool, fill the queue, and the next caller is rejected with
+/// the exact levels — while the parked callers all eventually run.
+#[test]
+fn queue_cap_honored_under_burst() {
+    let adm = Arc::new(Admission::new(2, 3));
+    let a = adm.acquire().expect("slot 1");
+    let b = adm.acquire().expect("slot 2");
+
+    let waiters: Vec<_> = (0..3)
+        .map(|_| {
+            let adm = Arc::clone(&adm);
+            std::thread::spawn(move || {
+                let p = adm.acquire().expect("parked caller must be admitted");
+                let waited = p.waited();
+                drop(p);
+                waited
+            })
+        })
+        .collect();
+    wait_for(|| adm.queue_depth() == 3);
+
+    // Both bounds full: the burst's next caller is rejected *now*.
+    let start = Instant::now();
+    let err = adm.acquire().expect_err("queue cap must reject");
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "rejection must be immediate, not a hang"
+    );
+    assert_eq!(
+        err,
+        Overloaded {
+            in_flight: 2,
+            queued: 3
+        }
+    );
+
+    // Freeing the pool drains the queue; every parked caller ran and
+    // reported a real wait.
+    drop(a);
+    drop(b);
+    for w in waiters {
+        let waited = w.join().expect("waiter must not die");
+        assert!(waited > Duration::ZERO, "parked caller must report wait");
+    }
+    assert_eq!(adm.in_flight(), 0);
+    assert_eq!(adm.queue_depth(), 0);
+}
+
+/// A holder that panics releases its permit during unwind: admission
+/// recovers and the next caller gets the slot.
+#[test]
+fn permit_released_on_panic() {
+    let adm = Arc::new(Admission::new(1, 0));
+    let adm2 = Arc::clone(&adm);
+    let worker = std::thread::spawn(move || {
+        let _p = adm2.acquire().expect("slot");
+        panic!("query died mid-flight");
+    });
+    assert!(worker.join().is_err(), "worker must have panicked");
+    assert_eq!(adm.in_flight(), 0, "panic must release the permit");
+    let p = adm.acquire().expect("slot must be free again");
+    assert_eq!(p.waited(), Duration::ZERO);
+}
+
+/// Release wakes exactly the parked callers — no permit is ever lost
+/// under a storm of short acquisitions.
+#[test]
+fn no_permit_lost_under_storm() {
+    let adm = Arc::new(Admission::new(3, 64));
+    let done = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let workers: Vec<_> = (0..8)
+        .map(|_| {
+            let adm = Arc::clone(&adm);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let _p = adm.acquire().expect("queue is big enough");
+                    done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("storm worker must not die");
+    }
+    assert_eq!(done.load(std::sync::atomic::Ordering::Relaxed), 8 * 50);
+    assert_eq!(adm.in_flight(), 0);
+    assert_eq!(adm.queue_depth(), 0);
+}

@@ -207,6 +207,15 @@ pub struct SharedPageCache {
     physical: AtomicU64,
     /// Pages written to disk through [`SharedPageCache::flush_dirty`].
     physical_writes: AtomicU64,
+    /// Physical preads split by store (index = store = lane).
+    physical_by_store: Vec<AtomicU64>,
+    /// Materialize calls served by a resident frame.
+    frame_hits: AtomicU64,
+    /// Materialize calls that adopted another worker's in-flight read
+    /// (the single-flight saving, made visible).
+    adoptions: AtomicU64,
+    /// Materialize calls served from the dirty-eviction drain.
+    drain_hits: AtomicU64,
     heights: Vec<usize>,
     page_bytes: usize,
     /// The backing files, by store — [`SharedPageCache::update_handle`]
@@ -295,6 +304,10 @@ impl SharedPageCache {
             queue,
             physical: AtomicU64::new(0),
             physical_writes: AtomicU64::new(0),
+            physical_by_store: paths.iter().map(|_| AtomicU64::new(0)).collect(),
+            frame_hits: AtomicU64::new(0),
+            adoptions: AtomicU64::new(0),
+            drain_hits: AtomicU64::new(0),
             heights: heights.to_vec(),
             page_bytes,
             paths: paths.to_vec(),
@@ -407,10 +420,12 @@ impl SharedPageCache {
         if let Some(&ticket) = s.reading.get(&key) {
             // Single-flight: adopt the in-flight read, touch recency.
             s.lru.access(key);
+            self.adoptions.fetch_add(1, Ordering::Relaxed);
             return (ticket, false);
         }
         if s.lru.contains(key) {
             s.lru.access(key);
+            self.frame_hits.fetch_add(1, Ordering::Relaxed);
             return (Ticket::NONE, false);
         }
         if s.drained.contains_key(&key) {
@@ -426,6 +441,7 @@ impl SharedPageCache {
             // slot pinned) — the payload simply stays in the drain,
             // still Dirty, still flushable.
             self.harvest(&mut s);
+            self.drain_hits.fetch_add(1, Ordering::Relaxed);
             return (Ticket::NONE, false);
         }
         // Empty → Reading: install the frame, read-pin it so eviction
@@ -439,6 +455,7 @@ impl SharedPageCache {
         let (ticket, _) = self.queue.adopt_or_submit(store as usize, key, page);
         s.reading.insert(key, ticket);
         self.physical.fetch_add(1, Ordering::Relaxed);
+        self.physical_by_store[store as usize].fetch_add(1, Ordering::Relaxed);
         (ticket, true)
     }
 
@@ -670,6 +687,70 @@ impl SharedPageCache {
         self.physical_writes.load(Ordering::Relaxed)
     }
 
+    /// Physical preads split by store (index = store = lane). Sums to
+    /// [`SharedPageCache::physical_reads`].
+    pub fn physical_reads_by_store(&self) -> Vec<u64> {
+        self.physical_by_store
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Materialize calls served by an already-resident frame.
+    #[inline]
+    pub fn frame_hits(&self) -> u64 {
+        self.frame_hits.load(Ordering::Relaxed)
+    }
+
+    /// Materialize calls that adopted another worker's in-flight read
+    /// instead of issuing a duplicate pread (single-flight savings).
+    #[inline]
+    pub fn adoptions(&self) -> u64 {
+        self.adoptions.load(Ordering::Relaxed)
+    }
+
+    /// Materialize calls served from the dirty-eviction drain (newest
+    /// bytes recovered without touching the file).
+    #[inline]
+    pub fn drain_hits(&self) -> u64 {
+        self.drain_hits.load(Ordering::Relaxed)
+    }
+
+    /// Frames evicted across all shards since open (or the last
+    /// [`SharedPageCache::clear`]'s LRU reset).
+    pub fn evictions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| lock_frames(s).lru.evictions())
+            .sum()
+    }
+
+    /// Dirty payloads parked in the eviction drain right now — the
+    /// write-back backlog eviction has produced.
+    pub fn drain_depth(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let mut s = lock_frames(shard);
+                self.harvest(&mut s);
+                s.drained.len()
+            })
+            .sum()
+    }
+
+    /// Fraction of materialize calls served without a physical read
+    /// (resident frame, adopted in-flight read, or drain). 1.0 when
+    /// every request was warm; 0.0 with no traffic.
+    pub fn hit_ratio(&self) -> f64 {
+        let warm = self.frame_hits() + self.adoptions() + self.drain_hits();
+        let total = warm + self.physical_reads();
+        if total == 0 {
+            0.0
+        } else {
+            warm as f64 / total as f64
+        }
+    }
+
     /// Dirty payloads the cache currently holds (resident + drained) —
     /// what a full [`SharedPageCache::flush_dirty`] sweep would write.
     pub fn pending_write_back(&self) -> usize {
@@ -740,6 +821,16 @@ impl SharedPageCache {
         self.queue.reset();
         self.physical.store(0, Ordering::Relaxed);
         self.physical_writes.store(0, Ordering::Relaxed);
+        self.reset_telemetry();
+    }
+
+    fn reset_telemetry(&self) {
+        for c in &self.physical_by_store {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.frame_hits.store(0, Ordering::Relaxed);
+        self.adoptions.store(0, Ordering::Relaxed);
+        self.drain_hits.store(0, Ordering::Relaxed);
     }
 
     /// Drops every frame and zeroes the counters — a cold cache. Pending
@@ -762,6 +853,7 @@ impl SharedPageCache {
         self.queue.reset();
         self.physical.store(0, Ordering::Relaxed);
         self.physical_writes.store(0, Ordering::Relaxed);
+        self.reset_telemetry();
     }
 }
 

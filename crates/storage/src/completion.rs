@@ -97,6 +97,12 @@ struct CqShared {
     reads: Vec<AtomicU64>,
     /// Total `is_complete` calls — the busy-spin budget tests meter.
     polls: AtomicU64,
+    /// Summed submit→complete latency in nanoseconds (queue wait
+    /// included), over `lag_samples` completions.
+    lag_nanos: AtomicU64,
+    lag_samples: AtomicU64,
+    /// Worst single submit→complete latency seen, in nanoseconds.
+    lag_max_nanos: AtomicU64,
     /// Sticky read-failure flag; surfaced as a panic at the next wait.
     failed: AtomicBool,
     delay: Option<DelayFn>,
@@ -167,6 +173,9 @@ impl CompletionQueue {
             outstanding: AtomicUsize::new(0),
             reads: (0..lane_paths.len()).map(|_| AtomicU64::new(0)).collect(),
             polls: AtomicU64::new(0),
+            lag_nanos: AtomicU64::new(0),
+            lag_samples: AtomicU64::new(0),
+            lag_max_nanos: AtomicU64::new(0),
             failed: AtomicBool::new(false),
             delay,
         });
@@ -349,6 +358,23 @@ impl CompletionQueue {
         self.shared().polls.load(Ordering::Relaxed)
     }
 
+    /// Submissions currently queued on `lane` — waiting for a worker,
+    /// not yet being read (one term of [`CompletionQueue::in_flight`]).
+    pub fn lane_depth(&self, lane: usize) -> usize {
+        self.shared().state.lock().unwrap().lane_depth(lane)
+    }
+
+    /// Submit→complete latency accounting across all completions so
+    /// far: queue wait plus read service time, per completed job.
+    pub fn completion_lag(&self) -> CompletionLag {
+        let sh = self.shared();
+        CompletionLag {
+            total_nanos: sh.lag_nanos.load(Ordering::Relaxed),
+            samples: sh.lag_samples.load(Ordering::Relaxed),
+            max_nanos: sh.lag_max_nanos.load(Ordering::Relaxed),
+        }
+    }
+
     /// Abandons queued submissions, waits out in-progress reads, forgets
     /// staged completions and zeroes the read/poll counters — a cold
     /// queue for the next measurement. Ticket numbering continues
@@ -370,12 +396,34 @@ impl CompletionQueue {
             r.store(0, Ordering::Relaxed);
         }
         sh.polls.store(0, Ordering::Relaxed);
+        sh.lag_nanos.store(0, Ordering::Relaxed);
+        sh.lag_samples.store(0, Ordering::Relaxed);
+        sh.lag_max_nanos.store(0, Ordering::Relaxed);
     }
 
     fn check_failed(&self) {
         if self.shared().failed.load(Ordering::Relaxed) {
             panic!("completion-queue page read failed mid-join");
         }
+    }
+}
+
+/// Submit→complete latency totals of a [`CompletionQueue`] (queue wait
+/// plus read service time, accumulated per completed job).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompletionLag {
+    /// Summed lag over all completions, nanoseconds.
+    pub total_nanos: u64,
+    /// Completions accumulated into `total_nanos`.
+    pub samples: u64,
+    /// Worst single completion lag, nanoseconds.
+    pub max_nanos: u64,
+}
+
+impl CompletionLag {
+    /// Mean submit→complete latency in nanoseconds (0 with no samples).
+    pub fn mean_nanos(&self) -> u64 {
+        self.total_nanos.checked_div(self.samples).unwrap_or(0)
     }
 }
 
@@ -421,6 +469,10 @@ fn worker_loop(shared: Arc<CqShared>, lane: usize, mut file: PageFile) {
                 shared.failed.store(true, Ordering::Relaxed);
             }
         }
+        let lag = job.submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        shared.lag_nanos.fetch_add(lag, Ordering::Relaxed);
+        shared.lag_samples.fetch_add(1, Ordering::Relaxed);
+        shared.lag_max_nanos.fetch_max(lag, Ordering::Relaxed);
         let mut st = shared.state.lock().unwrap();
         st.complete(&job);
         shared.done_floor.store(st.done_floor(), Ordering::Release);

@@ -11,6 +11,7 @@
 //! instance behind its lock; the backends never touch raw tables anymore.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::time::Instant;
 
 use crate::lru::BufKey;
 use crate::page::PageId;
@@ -23,6 +24,9 @@ pub(crate) struct ReadJob {
     pub ticket: u64,
     pub key: BufKey,
     pub local: PageId,
+    /// When the submission entered its lane — completion lag (submit →
+    /// complete, queue wait included) is measured from here.
+    pub submitted: Instant,
 }
 
 /// Where a submission currently is in its lifecycle.
@@ -122,7 +126,12 @@ impl InflightTables {
                 phase: Phase::Queued,
             },
         );
-        self.lanes[lane].push_back(ReadJob { ticket, key, local });
+        self.lanes[lane].push_back(ReadJob {
+            ticket,
+            key,
+            local,
+            submitted: Instant::now(),
+        });
         self.outstanding += 1;
         ticket
     }
@@ -139,9 +148,21 @@ impl InflightTables {
         self.next_ticket += 1;
         // Demand outranks queued read-ahead on its lane, same as the
         // promotion a demand adoption performs in `consume`.
-        self.lanes[lane].push_front(ReadJob { ticket, key, local });
+        self.lanes[lane].push_front(ReadJob {
+            ticket,
+            key,
+            local,
+            submitted: Instant::now(),
+        });
         self.outstanding += 1;
         ticket
+    }
+
+    /// Submissions currently queued on `lane` (not yet claimed by a
+    /// worker).
+    #[inline]
+    pub fn lane_depth(&self, lane: usize) -> usize {
+        self.lanes[lane].len()
     }
 
     /// A worker claims the oldest queued job of `lane`, if any.

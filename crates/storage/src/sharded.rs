@@ -840,6 +840,16 @@ impl ShardedFileAccess {
         self.files[store as usize].shard_reads(shard) + self.reader_reads(store, shard)
     }
 
+    /// The full per-shard physical read split of `store` — one total
+    /// per shard, demand and parallel-reader reads combined. This is
+    /// the vector the telemetry layer exports as the
+    /// `shard="<i>"`-labeled read family.
+    pub fn read_split(&self, store: u8) -> Vec<u64> {
+        (0..self.files[store as usize].shard_count())
+            .map(|shard| self.shard_reads_total(store, shard))
+            .collect()
+    }
+
     /// Empties all buffers and zeroes every I/O counter, including the
     /// per-shard read/write counters and the reader-pool state —
     /// consecutive runs start cold. Un-flushed dirty pages are discarded

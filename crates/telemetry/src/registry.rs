@@ -1,0 +1,398 @@
+//! Named metric families with labels, snapshots, and text exposition.
+//!
+//! The registry is the *cold* side of the crate: registration and
+//! snapshotting take a mutex, but the handles it returns are plain
+//! `Arc`s onto lock-free metrics — the hot path never touches the
+//! registry again after startup.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::{Counter, FloatGauge, Gauge};
+
+/// What a family's series are.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    FloatGauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn exposition_type(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge | MetricKind::FloatGauge => "gauge",
+            MetricKind::Histogram => "summary",
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    FloatGauge(Arc<FloatGauge>),
+    Histogram(Arc<Histogram>),
+}
+
+type LabelSet = Vec<(String, String)>;
+
+struct Family {
+    help: String,
+    kind: MetricKind,
+    series: BTreeMap<LabelSet, Metric>,
+}
+
+/// A registry of labeled metric families. `get_or_create` semantics:
+/// asking twice for the same `(name, labels)` returns the same
+/// underlying metric, so independent components can share a family.
+///
+/// Registering a name under two different kinds is a programming
+/// error and panics with the offending name.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_create<T>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        make: impl FnOnce() -> Metric,
+        unwrap: impl FnOnce(&Metric) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        let mut key: LabelSet = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        key.sort();
+        let mut families = self.families.lock().expect("registry poisoned");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert_eq!(
+            family.kind, kind,
+            "metric family `{name}` registered as {:?} and {kind:?}",
+            family.kind
+        );
+        let metric = family.series.entry(key).or_insert_with(make);
+        unwrap(metric).expect("kind checked above")
+    }
+
+    /// A counter in family `name` with the given label set.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.get_or_create(
+            name,
+            help,
+            labels,
+            MetricKind::Counter,
+            || Metric::Counter(Arc::new(Counter::new())),
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// A gauge in family `name` with the given label set.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.get_or_create(
+            name,
+            help,
+            labels,
+            MetricKind::Gauge,
+            || Metric::Gauge(Arc::new(Gauge::new())),
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// An `f64` gauge (export-time ratios) in family `name`.
+    pub fn float_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<FloatGauge> {
+        self.get_or_create(
+            name,
+            help,
+            labels,
+            MetricKind::FloatGauge,
+            || Metric::FloatGauge(Arc::new(FloatGauge::new())),
+            |m| match m {
+                Metric::FloatGauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// A histogram in family `name` with the given label set.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.get_or_create(
+            name,
+            help,
+            labels,
+            MetricKind::Histogram,
+            || Metric::Histogram(Arc::new(Histogram::new())),
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Point-in-time copy of every family and series.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let families = self.families.lock().expect("registry poisoned");
+        RegistrySnapshot {
+            families: families
+                .iter()
+                .map(|(name, family)| FamilySnapshot {
+                    name: name.clone(),
+                    help: family.help.clone(),
+                    kind: family.kind,
+                    series: family
+                        .series
+                        .iter()
+                        .map(|(labels, metric)| SeriesSnapshot {
+                            labels: labels.clone(),
+                            value: match metric {
+                                Metric::Counter(c) => SampleValue::Counter(c.get()),
+                                Metric::Gauge(g) => SampleValue::Gauge(g.get()),
+                                Metric::FloatGauge(g) => SampleValue::Float(g.get()),
+                                Metric::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+                            },
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Text exposition of the current state; see
+    /// [`RegistrySnapshot::render_text`].
+    pub fn render_text(&self) -> String {
+        self.snapshot().render_text()
+    }
+}
+
+/// One series' value inside a snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SampleValue {
+    Counter(u64),
+    Gauge(i64),
+    Float(f64),
+    Histogram(HistogramSnapshot),
+}
+
+/// One labeled series inside a family snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesSnapshot {
+    pub labels: Vec<(String, String)>,
+    pub value: SampleValue,
+}
+
+/// One family inside a [`RegistrySnapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FamilySnapshot {
+    pub name: String,
+    pub help: String,
+    pub kind: MetricKind,
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// A point-in-time copy of a whole [`Registry`], with delta and text
+/// exposition.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    pub families: Vec<FamilySnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Look up one series by family name and labels.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&SampleValue> {
+        let mut key: LabelSet = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        key.sort();
+        self.families
+            .iter()
+            .find(|f| f.name == name)?
+            .series
+            .iter()
+            .find(|s| s.labels == key)
+            .map(|s| &s.value)
+    }
+
+    /// What happened since `earlier`: counters and histograms
+    /// subtract; gauges keep their current level (they are levels, not
+    /// flows). Series absent from `earlier` pass through unchanged.
+    pub fn delta(&self, earlier: &Self) -> Self {
+        Self {
+            families: self
+                .families
+                .iter()
+                .map(|family| {
+                    let old = earlier.families.iter().find(|f| f.name == family.name);
+                    FamilySnapshot {
+                        name: family.name.clone(),
+                        help: family.help.clone(),
+                        kind: family.kind,
+                        series: family
+                            .series
+                            .iter()
+                            .map(|series| {
+                                let prev = old.and_then(|f| {
+                                    f.series.iter().find(|s| s.labels == series.labels)
+                                });
+                                SeriesSnapshot {
+                                    labels: series.labels.clone(),
+                                    value: match (&series.value, prev.map(|s| &s.value)) {
+                                        (
+                                            SampleValue::Counter(now),
+                                            Some(SampleValue::Counter(then)),
+                                        ) => SampleValue::Counter(now.saturating_sub(*then)),
+                                        (
+                                            SampleValue::Histogram(now),
+                                            Some(SampleValue::Histogram(then)),
+                                        ) => SampleValue::Histogram(now.delta(then)),
+                                        (value, _) => value.clone(),
+                                    },
+                                }
+                            })
+                            .collect(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Prometheus-shaped text exposition. Counters and gauges render
+    /// one sample per series; histograms render `_count`, `_sum`,
+    /// `_max`, and `quantile="…"` samples (p50/p90/p99) computed from
+    /// the snapshot's buckets.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for family in &self.families {
+            let _ = writeln!(out, "# HELP {} {}", family.name, family.help);
+            let _ = writeln!(
+                out,
+                "# TYPE {} {}",
+                family.name,
+                family.kind.exposition_type()
+            );
+            for series in &family.series {
+                let labels = render_labels(&series.labels, None);
+                match &series.value {
+                    SampleValue::Counter(v) => {
+                        let _ = writeln!(out, "{}{} {}", family.name, labels, v);
+                    }
+                    SampleValue::Gauge(v) => {
+                        let _ = writeln!(out, "{}{} {}", family.name, labels, v);
+                    }
+                    SampleValue::Float(v) => {
+                        let _ = writeln!(out, "{}{} {}", family.name, labels, v);
+                    }
+                    SampleValue::Histogram(h) => {
+                        let q = h.quantiles();
+                        let _ = writeln!(out, "{}_count{} {}", family.name, labels, q.count);
+                        let _ = writeln!(out, "{}_sum{} {}", family.name, labels, h.sum());
+                        let _ = writeln!(out, "{}_max{} {}", family.name, labels, q.max);
+                        for (tag, v) in [("0.5", q.p50), ("0.9", q.p90), ("0.99", q.p99)] {
+                            let quant = render_labels(&series.labels, Some(tag));
+                            let _ = writeln!(out, "{}{} {}", family.name, quant, v);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_labels(labels: &[(String, String)], quantile: Option<&str>) -> String {
+    if labels.is_empty() && quantile.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    if let Some(q) = quantile {
+        parts.push(format!("quantile=\"{q}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_shares_handles() {
+        let reg = Registry::new();
+        let a = reg.counter("rsj_reads_total", "reads", &[("store", "0")]);
+        let b = reg.counter("rsj_reads_total", "reads", &[("store", "0")]);
+        a.add(3);
+        assert_eq!(b.get(), 3);
+        // Different labels are a different series.
+        let c = reg.counter("rsj_reads_total", "reads", &[("store", "1")]);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("rsj_x", "", &[]);
+        reg.gauge("rsj_x", "", &[]);
+    }
+
+    #[test]
+    fn snapshot_delta_and_lookup() {
+        let reg = Registry::new();
+        let c = reg.counter("rsj_c", "c", &[]);
+        let g = reg.gauge("rsj_g", "g", &[]);
+        let h = reg.histogram("rsj_h", "h", &[]);
+        c.add(5);
+        g.set(2);
+        h.record(10);
+        let before = reg.snapshot();
+        c.add(7);
+        g.set(9);
+        h.record(20);
+        let delta = reg.snapshot().delta(&before);
+        assert_eq!(delta.get("rsj_c", &[]), Some(&SampleValue::Counter(7)));
+        assert_eq!(delta.get("rsj_g", &[]), Some(&SampleValue::Gauge(9)));
+        match delta.get("rsj_h", &[]) {
+            Some(SampleValue::Histogram(h)) => {
+                assert_eq!(h.count(), 1);
+                assert_eq!(h.sum(), 20);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_exposition_shape() {
+        let reg = Registry::new();
+        reg.counter("rsj_reads_total", "physical reads", &[("store", "0")])
+            .add(4);
+        reg.histogram("rsj_query_us", "query latency", &[])
+            .record(100);
+        let text = reg.render_text();
+        assert!(text.contains("# TYPE rsj_reads_total counter"));
+        assert!(text.contains("rsj_reads_total{store=\"0\"} 4"));
+        assert!(text.contains("rsj_query_us_count 1"));
+        assert!(text.contains("rsj_query_us{quantile=\"0.5\"} 100"));
+    }
+}

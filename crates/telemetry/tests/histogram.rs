@@ -1,0 +1,159 @@
+//! Histogram guarantees, pinned: bucket-boundary exactness, the
+//! quantile error bound against a sorted-vector oracle (proptest),
+//! snapshot/delta determinism, and exact totals under concurrent
+//! recording from `thread::scope` workers.
+
+use proptest::prelude::*;
+use rsj_telemetry::{Histogram, HistogramSnapshot};
+
+/// The oracle rank rule must match `HistogramSnapshot::quantile`:
+/// nearest rank `ceil(q · (n-1))` into the sorted vector.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = (q * (sorted.len() - 1) as f64).ceil() as usize;
+    sorted[rank]
+}
+
+#[test]
+fn bucket_boundaries_are_exact_below_64() {
+    // Every value below 64 occupies its own bucket: quantiles over any
+    // mix of small values are *exact*, not approximate.
+    let h = Histogram::new();
+    for v in 0..64u64 {
+        for _ in 0..=v {
+            h.record(v);
+        }
+    }
+    let snap = h.snapshot();
+    let buckets: Vec<(u64, u64, u64)> = snap.nonzero_buckets().collect();
+    assert_eq!(buckets.len(), 64);
+    for (i, &(lo, hi, count)) in buckets.iter().enumerate() {
+        assert_eq!(lo, i as u64);
+        assert_eq!(hi, i as u64, "bucket {i} must have width 1");
+        assert_eq!(count, i as u64 + 1);
+    }
+    assert_eq!(snap.count(), (1..=64).sum::<u64>());
+}
+
+#[test]
+fn power_of_two_boundaries_split_buckets() {
+    // 2^e is the first value of a fresh octave: 2^e - 1 and 2^e must
+    // never share a bucket, for every representable octave.
+    for e in 6..64u32 {
+        let h = Histogram::new();
+        let at = 1u64 << e;
+        h.record(at - 1);
+        h.record(at);
+        let snap = h.snapshot();
+        let buckets: Vec<_> = snap.nonzero_buckets().collect();
+        assert_eq!(buckets.len(), 2, "2^{e}-1 and 2^{e} shared a bucket");
+        assert_eq!(buckets[1].0, at, "octave at 2^{e} must start exactly there");
+        assert_eq!(
+            buckets[0].1,
+            at - 1,
+            "bucket below 2^{e} must end exactly below it"
+        );
+    }
+}
+
+#[test]
+fn quantile_of_exact_values_is_exact() {
+    let h = Histogram::new();
+    for v in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    // Ranks: p0 → 1, p100 → 10; values < 64 so everything is exact.
+    assert_eq!(snap.quantile(0.0), 1);
+    assert_eq!(snap.quantile(1.0), 10);
+    assert_eq!(
+        snap.quantile(0.5),
+        oracle_quantile(&(1..=10).collect::<Vec<_>>(), 0.5)
+    );
+    assert_eq!(snap.max(), 10);
+    assert_eq!(snap.sum(), 55);
+    assert_eq!(snap.mean(), 5.5);
+}
+
+#[test]
+fn snapshot_delta_determinism() {
+    let h = Histogram::new();
+    for v in [10u64, 500, 70_000] {
+        h.record(v);
+    }
+    let a = h.snapshot();
+    for v in [20u64, 900, 1_000_000] {
+        h.record(v);
+    }
+    let b = h.snapshot();
+
+    let d1 = b.delta(&a);
+    let d2 = b.delta(&a);
+    assert_eq!(d1, d2, "delta must be a pure function of its inputs");
+    assert_eq!(d1.count(), 3);
+    assert_eq!(d1.sum(), 20 + 900 + 1_000_000);
+    // Deltas against the empty snapshot are the identity.
+    assert_eq!(b.delta(&HistogramSnapshot::empty()), b);
+    // Self-delta is empty.
+    assert_eq!(b.delta(&b).count(), 0);
+    assert_eq!(b.delta(&b).sum(), 0);
+}
+
+#[test]
+fn concurrent_recording_is_totals_exact() {
+    const WORKERS: u64 = 8;
+    const PER_WORKER: u64 = 10_000;
+    let h = Histogram::new();
+    std::thread::scope(|scope| {
+        for w in 0..WORKERS {
+            let h = &h;
+            scope.spawn(move || {
+                // Distinct value streams per worker, spanning exact and
+                // log-linear ranges.
+                for i in 0..PER_WORKER {
+                    h.record(w * 1_000 + (i % 97) * 13);
+                }
+            });
+        }
+    });
+    let snap = h.snapshot();
+    assert_eq!(
+        snap.count(),
+        WORKERS * PER_WORKER,
+        "no sample lost or doubled"
+    );
+    let expected_sum: u64 = (0..WORKERS)
+        .flat_map(|w| (0..PER_WORKER).map(move |i| w * 1_000 + (i % 97) * 13))
+        .sum();
+    assert_eq!(snap.sum(), expected_sum);
+    let expected_max = (WORKERS - 1) * 1_000 + 96 * 13;
+    assert_eq!(snap.max(), expected_max);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every reported quantile sits within the documented relative
+    /// error bound of the sorted-vector order statistic: for true
+    /// value x at the same rank, x ≤ estimate ≤ x + x/32 (exactly
+    /// equal below 64, where buckets have width 1).
+    #[test]
+    fn quantile_error_bound_vs_sorted_oracle(
+        values in prop::collection::vec(0u64..2_000_000, 1..400),
+        q_millis in 0u64..1001,
+    ) {
+        let q = q_millis as f64 / 1000.0;
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let truth = oracle_quantile(&sorted, q);
+        let est = h.snapshot().quantile(q);
+        prop_assert!(est >= truth, "estimate {est} below oracle {truth} at q={q}");
+        prop_assert!(
+            (est - truth).saturating_mul(32) <= truth,
+            "estimate {est} beyond 1/32 relative bound of oracle {truth} at q={q}"
+        );
+    }
+}

@@ -162,4 +162,34 @@ fn main() {
          \u{20} every charge is served from shared frames, the disk stays silent.",
         pool.physical_reads() - fill
     );
+
+    // 4: the same story as a *service* with first-class telemetry — a
+    // `JoinService` owns the warm pool, admits queries through bounded
+    // permits, and answers with per-query spans. One cold query faults
+    // the working set, the warm burst runs disk-silent, and the final
+    // text exposition carries the whole picture: latency histograms,
+    // stage split, hit ratio, and the per-store read split.
+    let svc = JoinService::open(&rp, &sp, ServiceConfig::default()).expect("open service");
+    let cold_resp = svc.execute(plan, false).expect("cold service query");
+    println!(
+        "\n  service: cold query   {} pairs, span {:?}",
+        cold_resp.stats.result_pairs, cold_resp.span
+    );
+    std::thread::scope(|scope| {
+        for _ in 0..WORKERS {
+            let svc = &svc;
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    let resp = svc.execute(plan, false).expect("warm service query");
+                    assert_eq!(resp.stats.result_pairs, cold_resp.stats.result_pairs);
+                }
+            });
+        }
+    });
+    println!(
+        "  service: warm burst   {} clients x 3 queries, hit ratio {:.3}",
+        WORKERS,
+        svc.hit_ratio()
+    );
+    println!("\n--- telemetry exposition ---\n{}", svc.telemetry_text());
 }

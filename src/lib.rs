@@ -41,7 +41,17 @@
 //!   raw-mode twin whose [`geom::NoOp`] meter compiles the paper's
 //!   comparison accounting out of the hot path;
 //! * [`datagen`] — deterministic synthetic stand-ins for the paper's
-//!   TIGER/Line and region datasets.
+//!   TIGER/Line and region datasets;
+//! * [`telemetry`] — a dependency-free metrics kit: atomic counters and
+//!   gauges, log-linear latency histograms (p50/p90/p99 within 1/32
+//!   relative error, no per-sample allocation), a labeled
+//!   [`telemetry::Registry`] with snapshot/delta semantics and text
+//!   exposition, and the [`telemetry::Recorder`] switch that compiles
+//!   recording out entirely;
+//! * [`service`] — the long-lived [`service::JoinService`]: session
+//!   plans over one warm [`storage::SharedPageCache`], bounded
+//!   admission with typed [`service::Overloaded`] rejection, and
+//!   per-query queue/plan/io/join/emit spans feeding the registry.
 //!
 //! ## Quickstart
 //!
@@ -109,7 +119,9 @@ pub use rsj_core as join;
 pub use rsj_datagen as datagen;
 pub use rsj_geom as geom;
 pub use rsj_rtree as rtree;
+pub use rsj_service as service;
 pub use rsj_storage as storage;
+pub use rsj_telemetry as telemetry;
 
 /// The names most programs need.
 pub mod prelude {
@@ -130,4 +142,7 @@ pub mod prelude {
         PageFile, PageRef, PrefetchConfig, PrefetchingFileAccess, ShardReaderConfig,
         ShardedFileAccess, ShardedPageFile, SharedPageCache, StorageError,
     };
+
+    pub use rsj_service::{JoinService, Overloaded, ServiceConfig, ServiceError, SpanReport};
+    pub use rsj_telemetry::{Histogram, Registry};
 }
